@@ -1,0 +1,152 @@
+"""Ablations: the Section-5.2 speculation switch plus the design-choice
+sweeps DESIGN.md calls out (P_max, operand-network latency, core count,
+underlying modulo scheduler)."""
+
+from repro.experiments import (
+    render_speculation,
+    run_comm_latency_sweep,
+    run_core_sweep,
+    run_pmax_sweep,
+    run_speculation,
+)
+from repro.experiments.ablation import run_scheduler_comparison
+
+from conftest import LOOP_ITERATIONS
+
+
+def test_speculation_ablation(benchmark):
+    rows = benchmark.pedantic(
+        run_speculation, kwargs=dict(iterations=LOOP_ITERATIONS),
+        rounds=1, iterations=1)
+    print("\n" + render_speculation(rows))
+    by_bench = {}
+    for r in rows:
+        by_bench.setdefault(r.benchmark, []).append(r)
+    # paper: equake and fma3d lose double-digit fractions of their gain
+    for name in ("equake", "fma3d"):
+        assert any(r.gain_reduction > 0.1 for r in by_bench[name]), name
+    # paper: misspeculation frequency stays below 0.1%
+    assert all(r.misspec_frequency < 0.001 for r in rows)
+
+
+def test_pmax_sweep(benchmark):
+    points = benchmark.pedantic(
+        run_pmax_sweep,
+        kwargs=dict(iterations=LOOP_ITERATIONS // 2, benchmarks=["art"]),
+        rounds=1, iterations=1)
+    print("\nP_max sweep (art loops):")
+    for p in points:
+        print(f"  P_max={p.p_max:<5} II={p.tms_ii:5.1f} "
+              f"C_delay={p.tms_cdelay:5.1f} "
+              f"misspec={100 * p.misspec_frequency:.3f}% "
+              f"cyc/iter={p.cycles_per_iteration:.2f}")
+    assert points[0].misspec_frequency <= points[-1].misspec_frequency + 1e-9
+
+
+def test_comm_latency_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_comm_latency_sweep,
+        kwargs=dict(iterations=LOOP_ITERATIONS // 2, benchmarks=["art"]),
+        rounds=1, iterations=1)
+    print("\noperand-network latency sweep (art loops):")
+    for r in rows:
+        print(f"  C_reg_com={r['reg_comm_latency']}: "
+              f"C_delay={r['avg_c_delay']:.1f} "
+              f"cyc/iter={r['avg_cycles_per_iteration']:.2f}")
+    assert rows[0]["avg_c_delay"] <= rows[-1]["avg_c_delay"]
+
+
+def test_core_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_core_sweep,
+        kwargs=dict(iterations=LOOP_ITERATIONS // 2, benchmarks=["art"]),
+        rounds=1, iterations=1)
+    print("\ncore-count sweep (art loops):")
+    for r in rows:
+        print(f"  ncore={r['ncore']}: II={r['avg_tms_ii']:.1f} "
+              f"C_delay={r['avg_c_delay']:.1f} "
+              f"cyc/iter={r['avg_cycles_per_iteration']:.2f}")
+    assert rows[-1]["avg_cycles_per_iteration"] <= \
+        rows[0]["avg_cycles_per_iteration"] + 1e-9
+
+
+def test_scheduler_comparison(benchmark):
+    rows = benchmark.pedantic(
+        run_scheduler_comparison,
+        kwargs=dict(iterations=LOOP_ITERATIONS // 2, benchmarks=["art"]),
+        rounds=1, iterations=1)
+    print("\nSMS vs IMS vs Huff vs TMS on the SpMT machine (art loops):")
+    for r in rows:
+        print(f"  {r['loop']}: SMS {r['sms_cpi']:.2f}  IMS {r['ims_cpi']:.2f}"
+              f"  Huff {r['huff_cpi']:.2f}  TMS {r['tms_cpi']:.2f} cyc/iter")
+    for r in rows:
+        assert r["tms_cdelay"] <= r["sms_cdelay"] + 1e-9
+
+
+def test_granularity_sweep(benchmark):
+    """The paper's future work: unroll to vary thread granularity."""
+    from repro.experiments.ablation import run_granularity_sweep
+    rows = benchmark.pedantic(
+        run_granularity_sweep,
+        kwargs=dict(factors=(1, 2, 4), iterations=LOOP_ITERATIONS // 2,
+                    benchmarks=["art"]),
+        rounds=1, iterations=1)
+    print("\nthread-granularity sweep (small art loops, per-original-"
+          "iteration):")
+    for r in rows:
+        print(f"  unroll x{r['unroll_factor']}: II={r['avg_tms_ii']:.1f} "
+              f"pairs/iter={r['avg_pairs_per_orig_iteration']:.2f} "
+              f"cyc/iter={r['avg_cycles_per_orig_iteration']:.2f}")
+    # coarser threads communicate less per original iteration
+    assert rows[-1]["avg_pairs_per_orig_iteration"] < \
+        rows[0]["avg_pairs_per_orig_iteration"]
+
+
+def test_nest_crossover(benchmark):
+    """Outer-loop future work: inner-TMS amortisation vs nest baselines."""
+    from repro.experiments.nest import render_nest_crossover, run_nest_crossover
+    points = benchmark.pedantic(
+        run_nest_crossover,
+        kwargs=dict(inner_trips=(4, 16, 64, 256),
+                    benchmarks=["equake", "fma3d"]),
+        rounds=1, iterations=1)
+    print("\n" + render_nest_crossover(points))
+    by = {(p.loop, p.inner_trip): p for p in points}
+    # amortisation: per-iteration cost falls monotonically with trip count
+    for loop in {p.loop for p in points}:
+        cpis = [by[(loop, t)].inner_tms_cpi for t in (4, 16, 64, 256)]
+        assert cpis == sorted(cpis, reverse=True), loop
+
+
+def test_cache_sensitivity(benchmark):
+    """Probabilistic cache: throughput vs L1/L2 miss rates (both the
+    baseline and the SpMT kernels slow down; the scheduler still plans
+    for L1 hits, as the paper's compiler does)."""
+    from repro.config import ArchConfig, SimConfig
+    from repro.machine import LatencyModel, ResourceModel
+    from repro.graph import build_ddg
+    from repro.sched import run_postpass, schedule_tms
+    from repro.spmt import simulate
+    from repro.workloads import selected_loops
+
+    def run():
+        out = []
+        base = ArchConfig.paper_default()
+        sl = selected_loops("equake")[0]
+        ddg = build_ddg(sl.loop, LatencyModel.for_arch(base))
+        resources = ResourceModel.default()
+        tms = schedule_tms(ddg, resources, base)
+        for l1_miss in (0.0, 0.05, 0.2):
+            arch = ArchConfig(l1_miss_rate=l1_miss, l2_miss_rate=0.1)
+            pipelined = run_postpass(tms, arch)
+            stats = simulate(pipelined, arch,
+                             SimConfig(iterations=LOOP_ITERATIONS // 2))
+            out.append((l1_miss, stats.cycles_per_iteration))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\ncache sensitivity (equake smvp, TMS kernel):")
+    for miss, cpi in rows:
+        print(f"  L1 miss rate {miss:4.0%}: {cpi:.2f} cyc/iter")
+    cpis = [cpi for _m, cpi in rows]
+    assert cpis == sorted(cpis)  # misses only slow things down

@@ -1,0 +1,18 @@
+"""Figure 4: speedups of TMS over SMS (quad-core SpMT simulation)."""
+
+from repro.experiments import render_fig4, run_fig4
+
+from conftest import SUITE_ITERATIONS
+
+
+def test_fig4(benchmark, table2_rows):
+    rows = benchmark.pedantic(
+        run_fig4, kwargs=dict(iterations=SUITE_ITERATIONS,
+                              table2_rows=table2_rows),
+        rounds=1, iterations=1)
+    print("\n" + render_fig4(rows))
+    avg = sum(r.loop_speedup for r in rows) / len(rows)
+    assert avg > 1.05  # paper: +28% average loop speedup
+    by = {r.benchmark: r for r in rows}
+    # wupwise gains (almost) nothing — its dominant loop is one big SCC
+    assert by["wupwise"].loop_speedup == min(r.loop_speedup for r in rows)

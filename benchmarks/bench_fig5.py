@@ -1,0 +1,16 @@
+"""Figure 5: speedups of TMS over single-threaded code."""
+
+from repro.experiments import render_fig5, run_fig5
+
+from conftest import LOOP_ITERATIONS
+
+
+def test_fig5(benchmark, table3_rows):
+    rows = benchmark.pedantic(
+        run_fig5, kwargs=dict(iterations=LOOP_ITERATIONS,
+                              table3_rows=table3_rows),
+        rounds=1, iterations=1)
+    print("\n" + render_fig5(rows))
+    assert all(r.loop_speedup > 1.0 for r in rows)
+    assert max(rows, key=lambda r: r.program_speedup).benchmark == "equake"
+    assert min(rows, key=lambda r: r.loop_speedup).benchmark == "lucas"

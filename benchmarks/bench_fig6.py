@@ -1,0 +1,20 @@
+"""Figure 6: synchronisation stalls, SEND/RECV pairs, communication
+overhead — TMS vs SMS on the selected loops."""
+
+from repro.experiments import render_fig6, run_fig6
+
+from conftest import LOOP_ITERATIONS
+
+
+def test_fig6(benchmark, table3_rows):
+    rows = benchmark.pedantic(
+        run_fig6, kwargs=dict(iterations=LOOP_ITERATIONS,
+                              table3_rows=table3_rows),
+        rounds=1, iterations=1)
+    print("\n" + render_fig6(rows))
+    by = {r.benchmark: r for r in rows}
+    for name in ("art", "equake", "fma3d"):
+        assert by[name].stall_reduction > 0.5, name   # paper: >50%
+    assert by["lucas"].stall_reduction == min(
+        r.stall_reduction for r in rows)               # lucas least
+    assert all(r.comm_reduction > 0 for r in rows)     # Fig 6(c)

@@ -1,0 +1,39 @@
+"""Figures 1-2: the motivating example, SMS vs TMS on the SpMT machine."""
+
+from repro.config import ArchConfig, SimConfig
+from repro.costmodel import achieved_c_delay
+from repro.sched import run_postpass, schedule_sms, schedule_tms
+from repro.spmt import simulate
+from repro.workloads import motivating_ddg, motivating_machine
+
+from conftest import LOOP_ITERATIONS
+
+
+def _run():
+    arch = ArchConfig.paper_default()
+    ddg = motivating_ddg()
+    machine = motivating_machine()
+    sms = schedule_sms(ddg, machine)
+    tms = schedule_tms(ddg, machine, arch)
+    out = {"sms_ii": sms.ii, "tms_ii": tms.ii,
+           "sms_cdelay": achieved_c_delay(sms, arch),
+           "tms_cdelay": achieved_c_delay(tms, arch)}
+    for ncore in (2, 4):
+        a = arch.with_cores(ncore)
+        cfg = SimConfig(iterations=LOOP_ITERATIONS)
+        t_sms = simulate(run_postpass(sms, a), a, cfg).total_cycles
+        t_tms = simulate(run_postpass(tms, a), a, cfg).total_cycles
+        out[f"speedup_{ncore}core"] = t_sms / t_tms
+    return out
+
+
+def test_motivating_example(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(f"\nFig 1-2 anchors: SMS II={result['sms_ii']} "
+          f"C_delay={result['sms_cdelay']:.1f} (paper: 8, 11); "
+          f"TMS II={result['tms_ii']} C_delay={result['tms_cdelay']:.1f} "
+          f"(paper: 8, ~5); 2-core TMS/SMS speedup "
+          f"{result['speedup_2core']:.2f}x")
+    assert result["sms_cdelay"] == 11.0
+    assert result["tms_cdelay"] <= 5.0
+    assert result["speedup_2core"] > 1.0

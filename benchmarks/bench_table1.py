@@ -1,0 +1,9 @@
+"""Table 1: the simulated architecture (configuration rendering)."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    text = benchmark(table1)
+    print("\n" + text)
+    assert "SEND/RECV" in text

@@ -1,0 +1,14 @@
+"""Table 2: SMS vs TMS metrics over the synthetic SPECfp2000 suite."""
+
+from repro.experiments import render_table2
+
+
+def test_table2(benchmark, table2_rows):
+    text = benchmark.pedantic(render_table2, args=(table2_rows,),
+                              rounds=1, iterations=1)
+    print("\n" + text)
+    for row in table2_rows:
+        # the paper's Table-2 shape: TMS trades II for C_delay
+        assert row.tms_ii >= row.sms_ii - 1e-9, row.benchmark
+        assert row.tms_cdelay <= row.sms_cdelay + 1e-9, row.benchmark
+        assert row.tlp_gap_tms >= row.tlp_gap_sms - 1e-9, row.benchmark

@@ -1,0 +1,13 @@
+"""Table 3: the selected DOACROSS loops and their TMS metrics."""
+
+from repro.experiments import render_table3
+
+
+def test_table3(benchmark, table3_rows):
+    text = benchmark.pedantic(render_table3, args=(table3_rows,),
+                              rounds=1, iterations=1)
+    print("\n" + text)
+    by = {r.benchmark: r for r in table3_rows}
+    assert by["lucas"].tms_cdelay >= by["lucas"].avg_mii  # recurrence-bound
+    assert by["equake"].tms_cdelay <= 8
+    assert by["art"].n_loops == 4

@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Each bench regenerates one of the paper's tables/figures and prints it
+(run with ``-s`` to see the output).  Populations and trip counts default
+to laptop-quick settings; set ``REPRO_FULL=1`` for the full 778-loop suite
+and paper-scale trip counts.
+
+    pytest benchmarks/ --benchmark-only
+    REPRO_FULL=1 pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: per-benchmark loop-population cap (None = all loops)
+MAX_LOOPS = None if FULL else 4
+#: simulated trip count for suite experiments
+SUITE_ITERATIONS = 1000 if FULL else 200
+#: simulated trip count for the selected DOACROSS loops
+LOOP_ITERATIONS = 2000 if FULL else 500
+
+
+@pytest.fixture(scope="session")
+def table2_rows():
+    from repro.experiments import run_table2
+    return run_table2(max_loops=MAX_LOOPS)
+
+
+@pytest.fixture(scope="session")
+def table3_rows():
+    from repro.experiments import run_table3
+    return run_table3()

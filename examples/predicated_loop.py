@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""If-conversion: making a branchy loop modulo-schedulable.
+
+The paper's evaluation notes that GCC considers "loops whose branches can
+be converted by compare and move instructions" as modulo-scheduling
+candidates.  This example writes a branchy loop (conditional clamp and a
+conditional accumulation into memory), if-converts it with
+``GuardedLoopBuilder`` into straight-line SELECT form, verifies the
+lowering against the branchy reference semantics, and runs the converted
+loop through TMS and the SpMT simulator.
+
+Run:  python examples/predicated_loop.py
+"""
+
+import numpy as np
+
+from repro.config import ArchConfig, SimConfig
+from repro.graph import build_ddg
+from repro.ir import run_sequential
+from repro.ir.ifconvert import GuardedLoopBuilder
+from repro.ir.opcode import Opcode
+from repro.machine import LatencyModel, ResourceModel
+from repro.sched import run_postpass, schedule_tms
+from repro.sched.pipeline_exec import check_equivalence
+from repro.spmt import simulate, simulate_sequential
+
+
+def build() -> GuardedLoopBuilder:
+    gb = GuardedLoopBuilder(
+        "clamp_acc", arrays={"X": 128, "A": 128},
+        live_ins={"th": 1.0, "gain": 1.5})
+    gb.load("l0", "x", "X")
+    gb.op("c0", Opcode.CMPLT, "big", "th", "x")     # big = x > th
+    gb.op("d0", Opcode.FMUL, "scaled", "x", "gain")
+    with gb.when("big"):                            # only for big elements:
+        gb.op("u0", Opcode.FADD, "boost", "scaled", 0.25)
+        gb.store("s0", "A", "boost")                #   conditional scatter
+    return gb
+
+
+def main() -> None:
+    gb = build()
+    loop = gb.lower()
+    print("if-converted loop:")
+    print(loop.listing())
+
+    # prove the lowering equals the branchy semantics
+    n = 32
+    init = {"X": np.linspace(0.0, 2.0, 128), "A": np.zeros(128)}
+    _regs, ref_arrays = gb.reference_run(n, array_init=init)
+    got = run_sequential(loop, n, array_init=init)
+    assert np.allclose(ref_arrays["A"], got.arrays["A"])
+    print("\nlowering == branchy reference over 32 iterations: OK")
+
+    # ...and through the whole pipeline
+    arch = ArchConfig.paper_default()
+    resources = ResourceModel.default()
+    ddg = build_ddg(loop, LatencyModel.for_arch(arch))
+    tms = schedule_tms(ddg, resources, arch)
+    check_equivalence(loop, tms, iterations=24)
+    stats = simulate(run_postpass(tms, arch), arch, SimConfig(iterations=1000))
+    seq = simulate_sequential(ddg, resources, 1000)
+    print(f"TMS: II={tms.ii}, {stats.cycles_per_iteration:.2f} cyc/iter "
+          f"on 4 cores vs {seq.total_cycles / 1000:.2f} single-threaded "
+          f"({seq.total_cycles / stats.total_cycles:.2f}x)")
+    print("(this loop is DOALL after conversion — an ideal out-of-order "
+          "core already pipelines it,\n so SpMT overheads don't pay here; "
+          "see examples/kernel_gallery.py for where they do)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""Section 4.2: execution-time estimation for a modulo-scheduled loop on an
+SpMT machine.
+
+With ``N`` iterations on ``ncore`` cores, spawn overhead ``C_spn``, commit
+overhead ``C_ci``, invalidation overhead ``C_inv`` and maximum per-thread
+synchronisation delay ``C_delay``:
+
+* ``T_lb = II + C_ci + max(C_spn, C_delay)`` — lower bound on one thread's
+  busy time on its core;
+* ``T_nomiss = max(C_spn, C_ci, C_delay, T_lb / ncore) * N`` (Equation 2):
+  spawns, commits and synchronisation waits serialise pairwise, and when
+  cores saturate the per-iteration cost cannot drop below ``T_lb / ncore``;
+* one misspeculation wastes ``II + C_inv - max(0, C_delay - C_spn)`` cycles
+  (the squashed execution plus invalidation, minus what re-execution gains
+  because its inputs already arrived);
+* ``T_mis_spec = penalty * P_M * N`` where ``P_M`` is Equation 3 over the
+  *non-preserved* inter-iteration memory dependences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ArchConfig
+from .misspec import misspec_probability
+from .sync import ScheduleView, non_preserved_memory_deps, sync_delay
+
+__all__ = [
+    "t_lower_bound",
+    "objective_f",
+    "achieved_c_delay",
+    "misspec_penalty",
+    "kernel_misspec_probability",
+    "CostEstimate",
+    "estimate_execution_time",
+]
+
+
+def t_lower_bound(ii: int, c_delay: float, arch: ArchConfig) -> float:
+    """``T_lb``: lower bound on a thread's execution time."""
+    return ii + arch.commit_overhead + max(arch.spawn_overhead, c_delay)
+
+
+def objective_f(ii: int, c_delay: float, arch: ArchConfig) -> float:
+    """``F(II, C_delay) = T_nomiss / N`` — the quantity TMS minimises."""
+    return max(
+        arch.spawn_overhead,
+        arch.commit_overhead,
+        c_delay,
+        t_lower_bound(ii, c_delay, arch) / arch.ncore,
+    )
+
+
+def achieved_c_delay(schedule: ScheduleView, arch: ArchConfig,
+                     *, include_memory: bool = False) -> float:
+    """The maximum sync delay any synchronised dependence imposes in
+    ``schedule`` (0.0 when the kernel has no inter-iteration register
+    dependences).
+
+    With ``include_memory=True``, inter-iteration memory flow dependences
+    are counted as synchronised too — the no-speculation ablation of
+    Section 5.2.
+    """
+    deps = list(schedule.inter_iteration_register_deps())
+    if include_memory:
+        deps += list(schedule.inter_iteration_memory_deps())
+    if not deps:
+        return 0.0
+    # a negative sync delay means the value arrives before it is needed —
+    # the thread never waits, so the incurred delay is zero.
+    return max(0.0, max(sync_delay(schedule, e, arch.reg_comm_latency)
+                        for e in deps))
+
+
+def misspec_penalty(ii: int, c_delay: float, arch: ArchConfig) -> float:
+    """Cycles lost to one misspeculation."""
+    return ii + arch.invalidation_overhead - max(0.0, c_delay - arch.spawn_overhead)
+
+
+def kernel_misspec_probability(schedule: ScheduleView, arch: ArchConfig) -> float:
+    """``P_M`` for a complete schedule: Equation 3 over the non-preserved
+    inter-iteration memory dependences (Definition 3)."""
+    mem = schedule.inter_iteration_memory_deps()
+    reg = schedule.inter_iteration_register_deps()
+    live = non_preserved_memory_deps(schedule, mem, reg, arch.reg_comm_latency)
+    return misspec_probability(live)
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Model-predicted execution profile of a scheduled loop."""
+
+    ii: int
+    c_delay: float
+    p_m: float
+    t_nomiss: float
+    t_mis_spec: float
+    iterations: int
+
+    @property
+    def total(self) -> float:
+        return self.t_nomiss + self.t_mis_spec
+
+    @property
+    def per_iteration(self) -> float:
+        return self.total / self.iterations if self.iterations else 0.0
+
+
+def estimate_execution_time(schedule, arch: ArchConfig, iterations: int,
+                            *, synchronize_memory: bool = False) -> CostEstimate:
+    """End-to-end model estimate ``T = T_nomiss + T_mis_spec`` for a
+    complete schedule.
+
+    ``synchronize_memory`` models the no-speculation mode: memory
+    dependences contribute to ``C_delay`` and never misspeculate.
+    """
+    c_delay = achieved_c_delay(schedule, arch, include_memory=synchronize_memory)
+    p_m = 0.0 if synchronize_memory else kernel_misspec_probability(schedule, arch)
+    t_nomiss = objective_f(schedule.ii, c_delay, arch) * iterations
+    penalty = misspec_penalty(schedule.ii, c_delay, arch)
+    return CostEstimate(
+        ii=schedule.ii,
+        c_delay=c_delay,
+        p_m=p_m,
+        t_nomiss=t_nomiss,
+        t_mis_spec=penalty * p_m * iterations,
+        iterations=iterations,
+    )

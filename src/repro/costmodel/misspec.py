@@ -1,0 +1,25 @@
+"""Equation 3: kernel misspeculation probability."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..graph.dependence import Dependence
+
+__all__ = ["misspec_probability"]
+
+
+def misspec_probability(deps: Iterable[Dependence | float]) -> float:
+    """``P_M = 1 - prod(1 - p_e)`` over the given memory dependences.
+
+    Accepts either dependence edges (their ``probability`` field is used) or
+    raw probabilities.  The paper's conservative reading: for every ``X``
+    producer writes, ``p_e * X`` consumer reads may hit the same location
+    and hence misspeculate, so per kernel iteration the chance that *some*
+    non-preserved dependence fires is the complement of none firing.
+    """
+    prod = 1.0
+    for dep in deps:
+        p = dep.probability if isinstance(dep, Dependence) else float(dep)
+        prod *= (1.0 - p)
+    return 1.0 - prod

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the TMS reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Malformed loop IR (bad operands, undefined registers, ...)."""
+
+
+class DSLParseError(IRError):
+    """Syntax or semantic error while parsing the textual loop DSL."""
+
+    def __init__(self, message: str, line_no: int | None = None, line: str | None = None):
+        self.line_no = line_no
+        self.line = line
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+            if line is not None:
+                message = f"{message}\n    {line.strip()}"
+        super().__init__(message)
+
+
+class DDGError(ReproError):
+    """Inconsistent data-dependence graph (negative-latency cycles, ...)."""
+
+
+class MachineError(ReproError):
+    """Invalid machine/resource model configuration or usage."""
+
+
+class SchedulingError(ReproError):
+    """A modulo scheduler could not produce a valid schedule."""
+
+
+class ScheduleValidationError(SchedulingError):
+    """A produced schedule violates a dependence or resource constraint."""
+
+
+class SimulationError(ReproError):
+    """The SpMT simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was given unsatisfiable parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failed to assemble its inputs."""

@@ -1,0 +1,50 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every harness returns plain data structures (lists of dataclasses / dicts)
+and offers a ``render(...)`` producing the table the paper prints.  The
+``runner`` module exposes them as a CLI (``python -m repro.experiments``),
+and ``benchmarks/`` wraps each in a pytest-benchmark target.
+
+Quick-vs-full: harnesses accept ``max_loops`` (per-benchmark population
+cap) and ``iterations`` (simulated trip count); the defaults keep a full
+run tractable on a laptop, and the benches further reduce them unless
+``REPRO_FULL=1`` is set.
+"""
+
+from .pipeline import CompiledLoop, compile_loop, simulate_loop
+from .table1 import table1
+from .table2 import Table2Row, run_table2, render_table2
+from .table3 import Table3Row, run_table3, render_table3
+from .fig4 import Fig4Row, run_fig4, render_fig4
+from .fig5 import Fig5Row, run_fig5, render_fig5
+from .fig6 import Fig6Row, run_fig6, render_fig6
+from .speculation import SpeculationRow, run_speculation, render_speculation
+from .ablation import run_pmax_sweep, run_comm_latency_sweep, run_core_sweep
+
+__all__ = [
+    "CompiledLoop",
+    "Fig4Row",
+    "Fig5Row",
+    "Fig6Row",
+    "SpeculationRow",
+    "Table2Row",
+    "Table3Row",
+    "compile_loop",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "render_speculation",
+    "render_table2",
+    "render_table3",
+    "run_comm_latency_sweep",
+    "run_core_sweep",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_pmax_sweep",
+    "run_speculation",
+    "run_table2",
+    "run_table3",
+    "simulate_loop",
+    "table1",
+]

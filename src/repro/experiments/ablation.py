@@ -1,0 +1,190 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* ``run_pmax_sweep`` — the paper's "several values for P_max can be tried":
+  how the threshold trades misspeculation frequency against C_delay/II.
+* ``run_comm_latency_sweep`` — sensitivity to the scalar-operand-network
+  latency (1/3/6-cycle; the paper's machine uses 3).
+* ``run_core_sweep`` — 2/4/8 cores: the objective F depends on ncore, so
+  TMS picks different (II, C_delay) trade-offs per machine width.
+* ``run_scheduler_comparison`` — SMS vs IMS vs Huff vs TMS kernels on the
+  SpMT machine (the paper: "our work is not tied to any existing modulo
+  scheduling algorithm"; Huff's lifetime-sensitive scheduler is its
+  reference [9]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import ArchConfig, SchedulerConfig
+from ..machine.resources import ResourceModel
+from ..sched.huff import HuffModuloScheduler
+from ..sched.ims import IterativeModuloScheduler
+from ..workloads.doacross import DOACROSS_LOOPS
+from .pipeline import AlgResult, compile_loop, simulate_loop
+from .report import format_table
+
+__all__ = [
+    "PmaxPoint",
+    "run_comm_latency_sweep",
+    "run_core_sweep",
+    "run_granularity_sweep",
+    "run_pmax_sweep",
+    "run_scheduler_comparison",
+]
+
+
+@dataclass(frozen=True)
+class PmaxPoint:
+    p_max: float
+    tms_ii: float
+    tms_cdelay: float
+    misspec_frequency: float
+    cycles_per_iteration: float
+
+
+def _selected(benchmarks: list[str] | None):
+    for sl in DOACROSS_LOOPS:
+        if benchmarks is None or sl.benchmark in benchmarks:
+            yield sl
+
+
+def run_pmax_sweep(p_values: tuple[float, ...] = (0.0, 0.01, 0.05, 0.2, 1.0),
+                   arch: ArchConfig | None = None,
+                   iterations: int = 500,
+                   benchmarks: list[str] | None = None) -> list[PmaxPoint]:
+    arch = arch or ArchConfig.paper_default()
+    resources = ResourceModel.default(arch.issue_width)
+    points: list[PmaxPoint] = []
+    loops = list(_selected(benchmarks))
+    for p_max in p_values:
+        config = SchedulerConfig(p_max=p_max)
+        iis, cds, freqs, cpis = [], [], [], []
+        for sl in loops:
+            compiled = compile_loop(sl.loop, arch, resources, config)
+            stats = simulate_loop(compiled.tms, arch, iterations)
+            iis.append(compiled.tms.ii)
+            cds.append(compiled.tms.c_delay)
+            freqs.append(stats.misspec_frequency)
+            cpis.append(stats.cycles_per_iteration)
+        n = len(loops)
+        points.append(PmaxPoint(
+            p_max=p_max,
+            tms_ii=sum(iis) / n,
+            tms_cdelay=sum(cds) / n,
+            misspec_frequency=sum(freqs) / n,
+            cycles_per_iteration=sum(cpis) / n,
+        ))
+    return points
+
+
+def run_comm_latency_sweep(latencies: tuple[int, ...] = (1, 3, 6),
+                           iterations: int = 500,
+                           benchmarks: list[str] | None = None
+                           ) -> list[dict]:
+    """TMS quality vs operand-network latency."""
+    out: list[dict] = []
+    for lat in latencies:
+        arch = ArchConfig.paper_default().with_reg_comm_latency(lat)
+        resources = ResourceModel.default(arch.issue_width)
+        cds, cpis = [], []
+        for sl in _selected(benchmarks):
+            compiled = compile_loop(sl.loop, arch, resources)
+            stats = simulate_loop(compiled.tms, arch, iterations)
+            cds.append(compiled.tms.c_delay)
+            cpis.append(stats.cycles_per_iteration)
+        out.append({
+            "reg_comm_latency": lat,
+            "avg_c_delay": sum(cds) / len(cds),
+            "avg_cycles_per_iteration": sum(cpis) / len(cpis),
+        })
+    return out
+
+
+def run_core_sweep(cores: tuple[int, ...] = (2, 4, 8),
+                   iterations: int = 500,
+                   benchmarks: list[str] | None = None) -> list[dict]:
+    """TMS scaling with core count."""
+    out: list[dict] = []
+    for ncore in cores:
+        arch = ArchConfig.paper_default().with_cores(ncore)
+        resources = ResourceModel.default(arch.issue_width)
+        iis, cds, cpis = [], [], []
+        for sl in _selected(benchmarks):
+            compiled = compile_loop(sl.loop, arch, resources)
+            stats = simulate_loop(compiled.tms, arch, iterations)
+            iis.append(compiled.tms.ii)
+            cds.append(compiled.tms.c_delay)
+            cpis.append(stats.cycles_per_iteration)
+        n = len(iis)
+        out.append({
+            "ncore": ncore,
+            "avg_tms_ii": sum(iis) / n,
+            "avg_c_delay": sum(cds) / n,
+            "avg_cycles_per_iteration": sum(cpis) / n,
+        })
+    return out
+
+
+def run_scheduler_comparison(arch: ArchConfig | None = None,
+                             iterations: int = 500,
+                             benchmarks: list[str] | None = None
+                             ) -> list[dict]:
+    """SMS vs IMS vs Huff vs TMS kernels executed on the SpMT machine."""
+    arch = arch or ArchConfig.paper_default()
+    resources = ResourceModel.default(arch.issue_width)
+    out: list[dict] = []
+    for sl in _selected(benchmarks):
+        compiled = compile_loop(sl.loop, arch, resources)
+        ims = AlgResult.from_schedule(
+            IterativeModuloScheduler(compiled.ddg, resources).schedule(), arch)
+        huff = AlgResult.from_schedule(
+            HuffModuloScheduler(compiled.ddg, resources).schedule(), arch)
+        row = {"loop": sl.loop.name}
+        for name, alg in (("sms", compiled.sms), ("ims", ims),
+                          ("huff", huff), ("tms", compiled.tms)):
+            stats = simulate_loop(alg, arch, iterations)
+            row[f"{name}_ii"] = alg.ii
+            row[f"{name}_cdelay"] = alg.c_delay
+            row[f"{name}_cpi"] = stats.cycles_per_iteration
+        out.append(row)
+    return out
+
+
+def run_granularity_sweep(factors: tuple[int, ...] = (1, 2, 4),
+                          arch: ArchConfig | None = None,
+                          iterations: int = 500,
+                          benchmarks: list[str] | None = None
+                          ) -> list[dict]:
+    """Thread-granularity sweep via loop unrolling (the paper's future
+    work): each SpMT thread executes ``factor`` original iterations,
+    trading communication frequency against II and speculation
+    granularity.  Reported cycles are normalised per *original*
+    iteration."""
+    from ..ir.unroll import unroll_loop
+
+    arch = arch or ArchConfig.paper_default()
+    resources = ResourceModel.default(arch.issue_width)
+    out: list[dict] = []
+    max_factor = max(factors)
+    for factor in factors:
+        cpis, iis, pairs = [], [], []
+        for sl in _selected(benchmarks):
+            if len(sl.loop) * max_factor > 80:
+                continue  # keep the sweep tractable: fine-grain loops only
+            loop = unroll_loop(sl.loop, factor)
+            compiled = compile_loop(loop, arch, resources)
+            stats = simulate_loop(compiled.tms, arch,
+                                  max(iterations // factor, 64))
+            cpis.append(stats.cycles_per_iteration / factor)
+            iis.append(compiled.tms.ii)
+            pairs.append(compiled.tms.pipelined.comm.pairs_per_iteration
+                         / factor)
+        n = len(cpis)
+        out.append({
+            "unroll_factor": factor,
+            "avg_tms_ii": sum(iis) / n,
+            "avg_cycles_per_orig_iteration": sum(cpis) / n,
+            "avg_pairs_per_orig_iteration": sum(pairs) / n,
+        })
+    return out

@@ -1,0 +1,133 @@
+"""``tms-experiments compile`` — run the full compiler flow on a user loop.
+
+Takes a DSL file (see :mod:`repro.ir.dsl`), profiles it, builds the DDG,
+schedules with SMS and TMS, prints the schedules / thread program /
+simulated performance, and optionally dumps everything as JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from ..config import ArchConfig, SchedulerConfig, SimConfig
+from ..costmodel import achieved_c_delay, estimate_execution_time
+from ..graph import build_ddg
+from ..ir import parse_loop, unroll_loop
+from ..machine import LatencyModel, ResourceModel
+from ..sched import (
+    allocate_registers,
+    generate_thread_program,
+    run_postpass,
+    schedule_sms,
+    schedule_tms,
+)
+from ..spmt import simulate, simulate_sequential
+from ..workloads import profile_memory_dependences
+
+__all__ = ["compile_report", "run_compile_command"]
+
+
+def compile_report(source: str, *, arch: ArchConfig | None = None,
+                   config: SchedulerConfig | None = None,
+                   iterations: int = 1000,
+                   unroll: int = 1,
+                   profile_iterations: int = 512) -> dict:
+    """Compile DSL ``source`` end to end; return a JSON-able report."""
+    arch = arch or ArchConfig.paper_default()
+    resources = ResourceModel.default(arch.issue_width)
+    latency = LatencyModel.for_arch(arch)
+
+    loop = parse_loop(source)
+    if unroll > 1:
+        loop = unroll_loop(loop, unroll)
+    probs = profile_memory_dependences(loop, iterations=profile_iterations)
+    ddg = build_ddg(loop, latency, probabilities=probs,
+                    default_irregular_probability=0.002)
+
+    report: dict = {
+        "loop": loop.name,
+        "instructions": len(loop),
+        "profiled_dependences": [
+            {"producer": p, "consumer": c, "distance": d, "probability": prob}
+            for (p, c, d), prob in sorted(probs.items())
+        ],
+        "algorithms": {},
+    }
+    seq = simulate_sequential(ddg, resources, iterations)
+    report["single_threaded_cycles_per_iteration"] = \
+        seq.total_cycles / iterations
+
+    for name, sched in (("sms", schedule_sms(ddg, resources, config)),
+                        ("tms", schedule_tms(ddg, resources, arch, config))):
+        pipelined = run_postpass(sched, arch)
+        stats = simulate(pipelined, arch, SimConfig(iterations=iterations))
+        alloc = allocate_registers(sched)
+        est = estimate_execution_time(sched, arch, iterations)
+        report["algorithms"][name] = {
+            "ii": sched.ii,
+            "stages": sched.num_stages,
+            "c_delay": achieved_c_delay(sched, arch),
+            "max_live": alloc.n_registers,
+            "registers": alloc.n_registers,
+            "send_recv_pairs_per_iteration":
+                pipelined.comm.pairs_per_iteration,
+            "copies": pipelined.comm.copies,
+            "modelled_cycles_per_iteration": est.per_iteration,
+            "simulated_cycles_per_iteration": stats.cycles_per_iteration,
+            "sync_stall_cycles_per_iteration":
+                stats.sync_stall_cycles / iterations,
+            "misspec_frequency": stats.misspec_frequency,
+            "speedup_vs_single_threaded":
+                seq.total_cycles / stats.total_cycles,
+            "thread_program": generate_thread_program(pipelined).listing(),
+        }
+    tms = report["algorithms"]["tms"]
+    sms = report["algorithms"]["sms"]
+    report["tms_speedup_over_sms"] = (
+        sms["simulated_cycles_per_iteration"]
+        / tms["simulated_cycles_per_iteration"]
+        if tms["simulated_cycles_per_iteration"] else 1.0)
+    return report
+
+
+def render_compile_report(report: dict, *, show_program: bool = True) -> str:
+    lines = [f"loop {report['loop']}: {report['instructions']} instructions"]
+    if report["profiled_dependences"]:
+        lines.append("profiled memory dependences:")
+        for dep in report["profiled_dependences"]:
+            lines.append(
+                f"  {dep['producer']} -> {dep['consumer']} "
+                f"@d{dep['distance']}: p={dep['probability']:.4f}")
+    lines.append(
+        f"single-threaded: "
+        f"{report['single_threaded_cycles_per_iteration']:.2f} cyc/iter")
+    for name in ("sms", "tms"):
+        a = report["algorithms"][name]
+        lines.append(
+            f"{name.upper()}: II={a['ii']} stages={a['stages']} "
+            f"C_delay={a['c_delay']:.1f} regs={a['registers']} "
+            f"pairs/iter={a['send_recv_pairs_per_iteration']} | "
+            f"{a['simulated_cycles_per_iteration']:.2f} cyc/iter, "
+            f"misspec {100 * a['misspec_frequency']:.3f}%, "
+            f"{a['speedup_vs_single_threaded']:.2f}x vs single-threaded")
+    lines.append(f"TMS speedup over SMS: "
+                 f"{report['tms_speedup_over_sms']:.2f}x")
+    if show_program:
+        lines.append("")
+        lines.append(report["algorithms"]["tms"]["thread_program"])
+    return "\n".join(lines)
+
+
+def run_compile_command(path: str, *, cores: int = 4, iterations: int = 1000,
+                        unroll: int = 1, json_out: str | None = None) -> int:
+    source = Path(path).read_text()
+    arch = ArchConfig.paper_default().with_cores(cores)
+    report = compile_report(source, arch=arch, iterations=iterations,
+                            unroll=unroll)
+    print(render_compile_report(report))
+    if json_out:
+        Path(json_out).write_text(json.dumps(report, indent=2))
+        print(f"\n[json report written to {json_out}]")
+    return 0

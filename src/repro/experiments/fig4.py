@@ -1,0 +1,93 @@
+"""Figure 4: speedups of TMS over SMS on the quad-core SpMT machine.
+
+Both algorithms' kernels are simulated per loop; per-benchmark loop speedup
+is the coverage-weighted mean over its loop population, and the program
+speedup composes through Amdahl's law with the benchmark's loop coverage.
+
+Expected shape: good loop speedups everywhere except wupwise (~0, its
+dominant loop is a single big SCC where TMS trades ILP one-for-one for
+TLP); art the largest (paper: 83%); averages around 28% loop / 10% program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ArchConfig, SchedulerConfig
+from ..workloads.specfp import SPECFP_BENCHMARKS, benchmark_by_name, loop_weights
+from .pipeline import simulate_loop
+from .report import format_table, pct
+from .table2 import Table2Row, run_table2
+
+__all__ = ["Fig4Row", "run_fig4", "render_fig4"]
+
+
+@dataclass(frozen=True)
+class Fig4Row:
+    """One benchmark's simulated speedups."""
+
+    benchmark: str
+    loop_speedup: float       # weighted mean of per-loop speedups (1.0 = parity)
+    program_speedup: float    # Amdahl composition with loop coverage
+    per_loop: tuple[float, ...] = ()
+
+
+def amdahl(coverage: float, loop_speedup: float) -> float:
+    """Whole-program speedup when ``coverage`` of time speeds up by
+    ``loop_speedup``."""
+    if loop_speedup <= 0:
+        return 1.0
+    return 1.0 / ((1.0 - coverage) + coverage / loop_speedup)
+
+
+def run_fig4(arch: ArchConfig | None = None,
+             config: SchedulerConfig | None = None,
+             max_loops: int | None = None,
+             iterations: int = 300,
+             benchmarks: list[str] | None = None,
+             table2_rows: list[Table2Row] | None = None) -> list[Fig4Row]:
+    """Simulate SMS and TMS kernels and compute speedups.
+
+    Reuses ``table2_rows`` (with compiled loops kept) when provided, so the
+    suite is only compiled once per session.
+    """
+    arch = arch or ArchConfig.paper_default()
+    if table2_rows is None:
+        table2_rows = run_table2(arch, config, max_loops=max_loops,
+                                 benchmarks=benchmarks, keep_compiled=True)
+    out: list[Fig4Row] = []
+    for row in table2_rows:
+        spec = benchmark_by_name(row.benchmark)
+        weights = loop_weights(spec, len(row.compiled))
+        speedups: list[float] = []
+        weighted = 0.0
+        for compiled, w in zip(row.compiled, weights):
+            sms_stats = simulate_loop(compiled.sms, arch, iterations)
+            tms_stats = simulate_loop(compiled.tms, arch, iterations)
+            s = (sms_stats.total_cycles / tms_stats.total_cycles
+                 if tms_stats.total_cycles else 1.0)
+            speedups.append(s)
+            weighted += w * s
+        out.append(Fig4Row(
+            benchmark=row.benchmark,
+            loop_speedup=weighted,
+            program_speedup=amdahl(spec.coverage, weighted),
+            per_loop=tuple(speedups),
+        ))
+    return out
+
+
+def render_fig4(rows: list[Fig4Row]) -> str:
+    table_rows = [
+        [r.benchmark, pct(r.loop_speedup - 1.0), pct(r.program_speedup - 1.0)]
+        for r in rows
+    ]
+    if rows:
+        avg_loop = sum(r.loop_speedup for r in rows) / len(rows)
+        avg_prog = sum(r.program_speedup for r in rows) / len(rows)
+        table_rows.append(["AVERAGE", pct(avg_loop - 1.0), pct(avg_prog - 1.0)])
+        table_rows.append(["(paper avg)", "+28.0%", "+10.0%"])
+    return format_table(
+        ["Benchmark", "Loop speedup", "Program speedup"],
+        table_rows,
+        title="Figure 4. Speedups of TMS over SMS (quad-core SpMT).")

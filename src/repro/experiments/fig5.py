@@ -1,0 +1,84 @@
+"""Figure 5: speedups of TMS over single-threaded code.
+
+For each Table-3 loop, the TMS kernel runs on the quad-core SpMT machine
+and is compared against the original loop executing single-threaded
+(acyclic list schedule on one core with ideal out-of-order iteration
+overlap — generous to the baseline).  Program speedups compose through
+Amdahl with each loop's coverage.
+
+Expected shape (paper): loop speedups between ~37% and ~210% (avg 73%);
+equake's huge coverage gives the largest program speedup (~24%); program
+average ~12%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ArchConfig, SchedulerConfig
+from ..machine.resources import ResourceModel
+from ..spmt.single import simulate_sequential
+from .fig4 import amdahl
+from .pipeline import simulate_loop
+from .report import format_table, pct
+from .table3 import Table3Row, run_table3
+
+__all__ = ["Fig5Row", "run_fig5", "render_fig5"]
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One loop's TMS-vs-single-threaded result."""
+
+    loop: str
+    benchmark: str
+    coverage: float
+    single_cycles: float
+    tms_cycles: float
+    loop_speedup: float
+    program_speedup: float
+
+
+def run_fig5(arch: ArchConfig | None = None,
+             config: SchedulerConfig | None = None,
+             iterations: int = 1000,
+             table3_rows: list[Table3Row] | None = None) -> list[Fig5Row]:
+    arch = arch or ArchConfig.paper_default()
+    resources = ResourceModel.default(arch.issue_width)
+    if table3_rows is None:
+        table3_rows = run_table3(arch, config, keep_compiled=True)
+    out: list[Fig5Row] = []
+    for row in table3_rows:
+        for sl, compiled in zip(row.selected, row.compiled):
+            single = simulate_sequential(compiled.ddg, resources, iterations)
+            tms = simulate_loop(compiled.tms, arch, iterations)
+            speedup = (single.total_cycles / tms.total_cycles
+                       if tms.total_cycles else 1.0)
+            out.append(Fig5Row(
+                loop=compiled.name,
+                benchmark=sl.benchmark,
+                coverage=sl.coverage,
+                single_cycles=single.total_cycles,
+                tms_cycles=tms.total_cycles,
+                loop_speedup=speedup,
+                program_speedup=amdahl(sl.coverage, speedup),
+            ))
+    return out
+
+
+def render_fig5(rows: list[Fig5Row]) -> str:
+    table_rows = [
+        [r.loop, r.benchmark, f"{100 * r.coverage:.1f}%",
+         pct(r.loop_speedup - 1.0), pct(r.program_speedup - 1.0)]
+        for r in rows
+    ]
+    if rows:
+        avg_loop = sum(r.loop_speedup for r in rows) / len(rows)
+        avg_prog = sum(r.program_speedup for r in rows) / len(rows)
+        table_rows.append(["AVERAGE", "", "",
+                           pct(avg_loop - 1.0), pct(avg_prog - 1.0)])
+        table_rows.append(["(paper avg)", "", "", "+73.0%", "+12.0%"])
+    return format_table(
+        ["Loop", "Benchmark", "LC", "Loop speedup", "Program speedup"],
+        table_rows,
+        title="Figure 5. Speedups of TMS over single-threaded code.")

@@ -1,0 +1,111 @@
+"""Figure 6: synchronisation behaviour of TMS vs SMS on the Table-3 loops.
+
+Three panels, all measured over committed threads on the quad-core machine:
+
+* (a) synchronisation stalls — total cycles stalled at a RECV on an empty
+  receive queue.  Expected: TMS cuts stalls by >50% for art/equake/fma3d;
+  lucas less (its C_delay is pinned at its recurrence).
+* (b) dynamic SEND/RECV pair increase — TMS trades a few extra register
+  communications (largest for lucas: about three extra pairs/iteration)
+  for the stall reduction.
+* (c) communication overhead — stalls + C_reg_com x pairs.  Expected:
+  still a clear reduction under TMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ArchConfig, SchedulerConfig
+from .pipeline import simulate_loop
+from .report import format_table, pct, ratio
+from .table3 import Table3Row, run_table3
+
+__all__ = ["Fig6Row", "run_fig6", "render_fig6"]
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """Per-benchmark aggregate over its selected loops."""
+
+    benchmark: str
+    sms_stall_cycles: float
+    tms_stall_cycles: float
+    sms_pairs: int
+    tms_pairs: int
+    sms_comm_overhead: float
+    tms_comm_overhead: float
+    iterations: int
+
+    @property
+    def stall_reduction(self) -> float:
+        """Fraction of SMS stall cycles eliminated by TMS."""
+        return 1.0 - ratio(self.tms_stall_cycles, self.sms_stall_cycles) \
+            if self.sms_stall_cycles else 0.0
+
+    @property
+    def pair_increase(self) -> float:
+        """Relative increase in dynamic SEND/RECV pairs under TMS."""
+        return ratio(self.tms_pairs, self.sms_pairs) - 1.0 \
+            if self.sms_pairs else 0.0
+
+    @property
+    def extra_pairs_per_iteration(self) -> float:
+        return (self.tms_pairs - self.sms_pairs) / self.iterations \
+            if self.iterations else 0.0
+
+    @property
+    def comm_reduction(self) -> float:
+        return 1.0 - ratio(self.tms_comm_overhead, self.sms_comm_overhead) \
+            if self.sms_comm_overhead else 0.0
+
+
+def run_fig6(arch: ArchConfig | None = None,
+             config: SchedulerConfig | None = None,
+             iterations: int = 1000,
+             table3_rows: list[Table3Row] | None = None) -> list[Fig6Row]:
+    arch = arch or ArchConfig.paper_default()
+    if table3_rows is None:
+        table3_rows = run_table3(arch, config, keep_compiled=True)
+    out: list[Fig6Row] = []
+    for row in table3_rows:
+        sms_stall = tms_stall = 0.0
+        sms_pairs = tms_pairs = 0
+        sms_comm = tms_comm = 0.0
+        for compiled in row.compiled:
+            sms_stats = simulate_loop(compiled.sms, arch, iterations)
+            tms_stats = simulate_loop(compiled.tms, arch, iterations)
+            sms_stall += sms_stats.sync_stall_cycles
+            tms_stall += tms_stats.sync_stall_cycles
+            sms_pairs += sms_stats.send_recv_pairs
+            tms_pairs += tms_stats.send_recv_pairs
+            sms_comm += sms_stats.communication_overhead
+            tms_comm += tms_stats.communication_overhead
+        out.append(Fig6Row(
+            benchmark=row.benchmark,
+            sms_stall_cycles=sms_stall,
+            tms_stall_cycles=tms_stall,
+            sms_pairs=sms_pairs,
+            tms_pairs=tms_pairs,
+            sms_comm_overhead=sms_comm,
+            tms_comm_overhead=tms_comm,
+            iterations=iterations * len(row.compiled),
+        ))
+    return out
+
+
+def render_fig6(rows: list[Fig6Row]) -> str:
+    table_rows = [
+        [r.benchmark,
+         f"{r.sms_stall_cycles:.0f}", f"{r.tms_stall_cycles:.0f}",
+         pct(-r.stall_reduction),
+         pct(r.pair_increase), f"{r.extra_pairs_per_iteration:+.2f}",
+         pct(-r.comm_reduction)]
+        for r in rows
+    ]
+    return format_table(
+        ["Benchmark", "SMS stalls", "TMS stalls", "stall delta",
+         "pairs delta", "pairs/iter delta", "comm-ovh delta"],
+        table_rows,
+        title="Figure 6. Synchronisation of TMS vs SMS "
+              "(negative deltas = TMS reduction).")

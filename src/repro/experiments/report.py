@@ -1,0 +1,42 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "pct", "ratio"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def pct(x: float) -> str:
+    """Format a ratio-minus-one as a percentage ('+28.0%')."""
+    return f"{100.0 * x:+.1f}%"
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe division."""
+    return a / b if b else 0.0

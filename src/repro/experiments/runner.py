@@ -1,0 +1,166 @@
+"""Command-line entry point: ``python -m repro.experiments`` /
+``tms-experiments``.
+
+Regenerates any (or all) of the paper's tables and figures:
+
+    tms-experiments table1
+    tms-experiments table2 --max-loops 5
+    tms-experiments fig4 --max-loops 5 --iterations 300
+    tms-experiments table3 fig5 fig6 speculation
+    tms-experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..config import ArchConfig, SchedulerConfig
+from .ablation import run_comm_latency_sweep, run_core_sweep, run_pmax_sweep
+from .fig4 import render_fig4, run_fig4
+from .fig5 import render_fig5, run_fig5
+from .fig6 import render_fig6, run_fig6
+from .report import format_table
+from .speculation import render_speculation, run_speculation
+from .table1 import table1
+from .table2 import render_table2, run_table2
+from .table3 import render_table3, run_table3
+
+__all__ = ["main"]
+
+_EXPERIMENTS = ("table1", "table2", "table3", "fig4", "fig5", "fig6",
+                "speculation", "ablation")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tms-experiments",
+        description="Regenerate the paper's tables/figures, or compile a "
+                    "loop of your own.")
+    sub = parser.add_subparsers(dest="command")
+    comp = sub.add_parser(
+        "compile", help="compile a DSL loop file with SMS and TMS and "
+                        "report schedules + simulated performance")
+    comp.add_argument("path", help="loop source file (repro.ir.dsl syntax)")
+    comp.add_argument("--cores", type=int, default=4)
+    comp.add_argument("--iterations", type=int, default=1000)
+    comp.add_argument("--unroll", type=int, default=1,
+                      help="unroll factor (thread granularity)")
+    comp.add_argument("--json", dest="json_out", default=None,
+                      help="also write the full report as JSON")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args_list = list(argv) if argv is not None else None
+    import sys as _sys
+    raw = args_list if args_list is not None else _sys.argv[1:]
+    if raw and raw[0] == "compile":
+        from .compile_cli import run_compile_command
+        ns = _build_parser().parse_args(raw)
+        return run_compile_command(ns.path, cores=ns.cores,
+                                   iterations=ns.iterations,
+                                   unroll=ns.unroll, json_out=ns.json_out)
+    parser = argparse.ArgumentParser(
+        prog="tms-experiments",
+        description="Regenerate the paper's tables and figures "
+                    "(or 'compile <file>' for a loop of your own).")
+    parser.add_argument("experiments", nargs="+",
+                        choices=_EXPERIMENTS + ("all",),
+                        help="which tables/figures to run")
+    parser.add_argument("--max-loops", type=int, default=None,
+                        help="cap each benchmark's loop population (suite "
+                             "experiments)")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="simulated trip count per loop")
+    parser.add_argument("--quick", action="store_true",
+                        help="small populations and short runs")
+    parser.add_argument("--cores", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    wanted = list(_EXPERIMENTS) if "all" in args.experiments \
+        else args.experiments
+    max_loops = args.max_loops if args.max_loops is not None \
+        else (4 if args.quick else None)
+    iterations = args.iterations if args.iterations is not None \
+        else (200 if args.quick else 1000)
+    suite_iterations = min(iterations, 300)
+
+    arch = ArchConfig.paper_default().with_cores(args.cores)
+    config = SchedulerConfig()
+
+    table2_rows = None
+    table3_rows = None
+    for name in wanted:
+        start = time.time()
+        if name == "table1":
+            print(table1(arch))
+        elif name == "table2":
+            table2_rows = run_table2(arch, config, max_loops=max_loops)
+            print(render_table2(table2_rows))
+        elif name == "fig4":
+            if table2_rows is None:
+                table2_rows = run_table2(arch, config, max_loops=max_loops)
+            print(render_fig4(run_fig4(arch, config,
+                                       iterations=suite_iterations,
+                                       table2_rows=table2_rows)))
+        elif name == "table3":
+            table3_rows = run_table3(arch, config)
+            print(render_table3(table3_rows))
+        elif name == "fig5":
+            if table3_rows is None:
+                table3_rows = run_table3(arch, config)
+            print(render_fig5(run_fig5(arch, config, iterations=iterations,
+                                       table3_rows=table3_rows)))
+        elif name == "fig6":
+            if table3_rows is None:
+                table3_rows = run_table3(arch, config)
+            print(render_fig6(run_fig6(arch, config, iterations=iterations,
+                                       table3_rows=table3_rows)))
+        elif name == "speculation":
+            print(render_speculation(run_speculation(
+                arch, config, iterations=iterations)))
+        elif name == "ablation":
+            _print_ablation(iterations)
+        print(f"[{name}: {time.time() - start:.1f}s]\n", file=sys.stderr)
+    return 0
+
+
+def _print_ablation(iterations: int) -> None:
+    from .ablation import run_granularity_sweep
+    from .nest import render_nest_crossover, run_nest_crossover
+    points = run_pmax_sweep(iterations=iterations)
+    print(format_table(
+        ["P_max", "TMS II", "TMS C_delay", "misspec freq", "cyc/iter"],
+        [[p.p_max, p.tms_ii, p.tms_cdelay,
+          f"{100 * p.misspec_frequency:.3f}%", p.cycles_per_iteration]
+         for p in points],
+        title="Ablation: P_max sweep (Table-3 loops)."))
+    comm = run_comm_latency_sweep(iterations=iterations)
+    print(format_table(
+        ["C_reg_com", "avg C_delay", "avg cyc/iter"],
+        [[r["reg_comm_latency"], r["avg_c_delay"],
+          r["avg_cycles_per_iteration"]] for r in comm],
+        title="Ablation: operand-network latency sweep."))
+    cores = run_core_sweep(iterations=iterations)
+    print(format_table(
+        ["ncore", "avg TMS II", "avg C_delay", "avg cyc/iter"],
+        [[r["ncore"], r["avg_tms_ii"], r["avg_c_delay"],
+          r["avg_cycles_per_iteration"]] for r in cores],
+        title="Ablation: core-count sweep."))
+    grains = run_granularity_sweep(iterations=iterations,
+                                   benchmarks=["art"])
+    print(format_table(
+        ["unroll", "avg TMS II", "pairs/orig-iter", "cyc/orig-iter"],
+        [[r["unroll_factor"], r["avg_tms_ii"],
+          r["avg_pairs_per_orig_iteration"],
+          r["avg_cycles_per_orig_iteration"]] for r in grains],
+        title="Ablation: thread-granularity sweep via unrolling "
+              "(fine-grain art loops)."))
+    print(render_nest_crossover(run_nest_crossover(
+        benchmarks=["equake", "fma3d"])))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Table 1: the simulated architecture."""
+
+from __future__ import annotations
+
+from ..config import ArchConfig
+from .report import format_table
+
+__all__ = ["table1"]
+
+
+def table1(arch: ArchConfig | None = None) -> str:
+    """Render Table 1 for the given (default: paper) architecture."""
+    arch = arch or ArchConfig.paper_default()
+    return format_table(
+        ["Parameter", "Values"],
+        arch.as_table(),
+        title="Table 1. Architecture simulated.",
+    )

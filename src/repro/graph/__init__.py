@@ -1,0 +1,39 @@
+"""Data-dependence graphs and their analyses.
+
+The DDG is the scheduler's input: nodes are the loop's instructions (with
+their assumed latencies and functional-unit classes), edges are register and
+memory dependences with iteration distances and — for memory dependences —
+profile-derived manifestation probabilities ``p_d`` (paper Section 4.2).
+
+Analyses: Tarjan SCCs, resource-constrained MII, recurrence-constrained MII
+(positive-cycle feasibility test), longest dependence path, ASAP/ALAP/
+height/depth used by the SMS node ordering.
+"""
+
+from .dependence import Dependence, DepKind, DepType
+from .ddg import DDG, DDGNode, build_ddg
+from .scc import strongly_connected_components, condensation_order
+from .mii import rec_mii, res_mii, compute_mii, is_feasible_ii
+from .paths import NodeMetrics, compute_metrics, longest_dependence_path
+from .circuits import Circuit, critical_circuits, elementary_circuits
+
+__all__ = [
+    "Circuit",
+    "DDG",
+    "DDGNode",
+    "Dependence",
+    "DepKind",
+    "DepType",
+    "NodeMetrics",
+    "build_ddg",
+    "compute_metrics",
+    "compute_mii",
+    "critical_circuits",
+    "elementary_circuits",
+    "condensation_order",
+    "is_feasible_ii",
+    "longest_dependence_path",
+    "rec_mii",
+    "res_mii",
+    "strongly_connected_components",
+]

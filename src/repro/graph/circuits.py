@@ -1,0 +1,155 @@
+"""Elementary-circuit enumeration and critical-recurrence diagnostics.
+
+`repro.graph.mii.rec_mii` computes the recurrence bound without ever
+materialising a cycle (positive-cycle feasibility + binary search), which
+is what the schedulers use.  This module answers the follow-up question a
+compiler engineer actually asks: *which* recurrence binds the II, and by
+how much — the paper's per-loop analyses (wupwise's single non-trivial
+SCC, lucas's probability-1 carry chain) are exactly such diagnoses.
+
+``elementary_circuits`` is Johnson's algorithm (1975), bounded by a
+circuit budget because dense DDGs can have exponentially many cycles;
+``critical_circuits`` ranks circuits by their II requirement
+``ceil(sum(delay) / sum(distance))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import DDGError
+from .ddg import DDG
+from .dependence import Dependence
+from .scc import strongly_connected_components
+
+__all__ = ["Circuit", "elementary_circuits", "critical_circuits"]
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """One elementary dependence circuit."""
+
+    nodes: tuple[str, ...]
+    edges: tuple[Dependence, ...]
+
+    @property
+    def delay(self) -> int:
+        return sum(e.delay for e in self.edges)
+
+    @property
+    def distance(self) -> int:
+        return sum(e.distance for e in self.edges)
+
+    @property
+    def ii_bound(self) -> int:
+        """Minimum II this circuit imposes: ceil(delay / distance)."""
+        if self.distance <= 0:
+            raise DDGError(f"circuit {self.nodes} has zero distance")
+        return math.ceil(self.delay / self.distance)
+
+    @property
+    def is_memory_carried(self) -> bool:
+        """True when every loop-carried edge of the circuit is a memory
+        dependence (a *speculatable* recurrence)."""
+        carried = [e for e in self.edges if e.distance > 0]
+        return bool(carried) and all(e.kind.value == "memory" for e in carried)
+
+    def __str__(self) -> str:
+        path = " -> ".join(self.nodes + (self.nodes[0],))
+        return f"{path} [delay={self.delay}, distance={self.distance}, " \
+               f"II>={self.ii_bound}]"
+
+
+def elementary_circuits(ddg: DDG, max_circuits: int = 5000) -> list[Circuit]:
+    """All elementary circuits of ``ddg`` (Johnson's algorithm), up to
+    ``max_circuits``.  Parallel edges between the same node pair yield one
+    circuit per edge combination only for the minimal-delay edge — enough
+    for II diagnostics without a combinatorial blow-up."""
+    # pick, per (src, dst), the tightest edge: max delay, then max distance
+    # is NOT what we want — for II bounds the binding edge per pair is the
+    # one maximising delay - II*distance, which depends on II; we keep one
+    # edge per (pair, distance) instead, which preserves every distinct
+    # cycle ratio.
+    best: dict[tuple[str, str, int], Dependence] = {}
+    for e in ddg.edges:
+        key = (e.src, e.dst, e.distance)
+        if key not in best or e.delay > best[key].delay:
+            best[key] = e
+    adj: dict[str, list[Dependence]] = {n.name: [] for n in ddg.nodes}
+    for e in best.values():
+        adj[e.src].append(e)
+
+    circuits: list[Circuit] = []
+    # Johnson's algorithm per SCC, with a global budget
+    for comp in strongly_connected_components(ddg):
+        comp_set = set(comp)
+        if len(comp) == 1:
+            name = comp[0]
+            for e in adj[name]:
+                if e.dst == name:
+                    circuits.append(Circuit((name,), (e,)))
+            continue
+        order = sorted(comp)
+        for start in order:
+            if len(circuits) >= max_circuits:
+                return circuits
+            _johnson_from(start, adj, comp_set, circuits, max_circuits)
+            comp_set.discard(start)
+    return circuits
+
+
+def _johnson_from(start: str, adj: dict[str, list[Dependence]],
+                  allowed: set[str], out: list[Circuit],
+                  max_circuits: int) -> None:
+    path_nodes: list[str] = [start]
+    path_edges: list[Dependence] = []
+    blocked: set[str] = {start}
+    block_map: dict[str, set[str]] = {}
+
+    def unblock(v: str) -> None:
+        blocked.discard(v)
+        for w in block_map.pop(v, ()):  # cascade
+            if w in blocked:
+                unblock(w)
+
+    def circuit(v: str) -> bool:
+        found = False
+        for e in adj[v]:
+            w = e.dst
+            if w not in allowed:
+                continue
+            if w == start:
+                if len(out) < max_circuits:
+                    out.append(Circuit(tuple(path_nodes),
+                                       tuple(path_edges) + (e,)))
+                found = True
+            elif w not in blocked:
+                path_nodes.append(w)
+                path_edges.append(e)
+                blocked.add(w)
+                if circuit(w):
+                    found = True
+                path_nodes.pop()
+                path_edges.pop()
+            if len(out) >= max_circuits:
+                return found
+        if found:
+            unblock(v)
+        else:
+            for e in adj[v]:
+                if e.dst in allowed:
+                    block_map.setdefault(e.dst, set()).add(v)
+        return found
+
+    circuit(start)
+
+
+def critical_circuits(ddg: DDG, top: int = 5,
+                      max_circuits: int = 5000) -> list[Circuit]:
+    """The ``top`` circuits with the highest II requirement, ties broken
+    toward register-carried (non-speculatable) recurrences."""
+    circuits = elementary_circuits(ddg, max_circuits=max_circuits)
+    circuits.sort(key=lambda c: (-c.ii_bound, c.is_memory_carried,
+                                 len(c.nodes)))
+    return circuits[:top]

@@ -1,0 +1,102 @@
+"""Minimum initiation interval computation.
+
+``MII = max(ResMII, RecMII)``:
+
+* ``ResMII`` comes from the resource model (functional-unit pressure and
+  issue width) — :meth:`repro.machine.resources.ResourceModel.res_mii`.
+* ``RecMII`` is the smallest II for which no dependence cycle has positive
+  slack deficit, i.e. for every cycle C:
+  ``sum(delay(e)) <= II * sum(distance(e))``.  We test a candidate II by
+  looking for a positive-weight cycle under edge weights
+  ``delay(e) - II * distance(e)`` (Bellman-Ford style relaxation) and
+  binary-search the smallest feasible integer II.  This avoids enumerating
+  elementary circuits, which can be exponential in loops like lucas's
+  169-instruction bodies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..errors import DDGError
+from ..machine.resources import ResourceModel
+from .ddg import DDG
+
+__all__ = ["res_mii", "rec_mii", "compute_mii", "is_feasible_ii", "scc_rec_mii"]
+
+
+def res_mii(ddg: DDG, resources: ResourceModel) -> int:
+    """Resource-constrained MII."""
+    return resources.res_mii(ddg.opcodes())
+
+
+def is_feasible_ii(ddg: DDG, ii: int, nodes: Iterable[str] | None = None) -> bool:
+    """True iff no dependence cycle (within ``nodes``) requires II > ``ii``.
+
+    Uses Bellman-Ford positive-cycle detection on edge weights
+    ``delay - ii * distance``.
+    """
+    if ii < 1:
+        return False
+    node_set = set(nodes) if nodes is not None else set(ddg.node_names)
+    edges = [e for e in ddg.edges if e.src in node_set and e.dst in node_set]
+    if not edges:
+        return True
+    dist: dict[str, float] = {n: 0.0 for n in node_set}
+    n = len(node_set)
+    for round_no in range(n):
+        changed = False
+        for e in edges:
+            w = e.delay - ii * e.distance
+            if dist[e.src] + w > dist[e.dst]:
+                dist[e.dst] = dist[e.src] + w
+                changed = True
+        if not changed:
+            return True
+    return False  # still relaxing after |V| rounds -> positive cycle
+
+
+def rec_mii(ddg: DDG, nodes: Iterable[str] | None = None) -> int:
+    """Recurrence-constrained MII (1 when there are no recurrences)."""
+    node_set = set(nodes) if nodes is not None else set(ddg.node_names)
+    edges = [e for e in ddg.edges if e.src in node_set and e.dst in node_set]
+    loop_carried = [e for e in edges if e.distance > 0]
+    if not loop_carried:
+        return 1
+    hi = max(1, sum(e.delay for e in edges))
+    if not is_feasible_ii(ddg, hi, node_set):
+        raise DDGError(
+            f"DDG {ddg.name!r}: no feasible II up to {hi} "
+            f"(a zero-distance cycle slipped through?)")
+    lo = 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if is_feasible_ii(ddg, mid, node_set):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def compute_mii(ddg: DDG, resources: ResourceModel) -> int:
+    """``max(ResMII, RecMII)``."""
+    return max(res_mii(ddg, resources), rec_mii(ddg))
+
+
+def scc_rec_mii(ddg: DDG, components: Sequence[Sequence[str]]) -> list[int]:
+    """Per-SCC RecMII (1 for trivial single-node components without a
+    self-dependence)."""
+    out: list[int] = []
+    for comp in components:
+        if len(comp) == 1:
+            name = comp[0]
+            self_edges = [e for e in ddg.succs(name) if e.dst == name]
+            if not self_edges:
+                out.append(1)
+                continue
+            out.append(max(1, max(math.ceil(e.delay / e.distance)
+                                  for e in self_edges)))
+            continue
+        out.append(rec_mii(ddg, comp))
+    return out

@@ -1,0 +1,85 @@
+"""Acyclic path metrics: ASAP/ALAP, depth, height, mobility, LDP.
+
+These are computed over the *intra-iteration* (distance-0) sub-DAG, which is
+what SMS's node ordering consumes and what the paper's ``LDP`` ("longest
+dependence path in the DDG of the loop") measures: the schedule length of one
+iteration given unlimited resources.  The gap between a schedule's II and the
+LDP is the paper's proxy for exploited ILP (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ddg import DDG
+
+__all__ = ["NodeMetrics", "compute_metrics", "longest_dependence_path"]
+
+
+@dataclass(frozen=True)
+class NodeMetrics:
+    """Per-node acyclic metrics.
+
+    ``depth``: longest delay-weighted path from any source to this node
+    (its ASAP issue cycle).  ``height``: longest delay-weighted path from
+    this node to any sink.  ``alap = ldp_issue_span - height`` where
+    ``ldp_issue_span`` is the latest ASAP; ``mobility = alap - depth``.
+    """
+
+    depth: int
+    height: int
+    alap: int
+    mobility: int
+
+
+def _topo_order(ddg: DDG) -> list[str]:
+    indeg = {n.name: 0 for n in ddg.nodes}
+    for e in ddg.edges:
+        if e.distance == 0:
+            indeg[e.dst] += 1
+    order: list[str] = []
+    queue = [n.name for n in ddg.nodes if indeg[n.name] == 0]
+    while queue:
+        u = queue.pop()
+        order.append(u)
+        for e in ddg.succs(u):
+            if e.distance == 0:
+                indeg[e.dst] -= 1
+                if indeg[e.dst] == 0:
+                    queue.append(e.dst)
+    return order
+
+
+def compute_metrics(ddg: DDG) -> dict[str, NodeMetrics]:
+    """Depth/height/ALAP/mobility for every node (distance-0 subgraph)."""
+    order = _topo_order(ddg)
+    depth: dict[str, int] = {name: 0 for name in order}
+    for u in order:
+        for e in ddg.succs(u):
+            if e.distance == 0:
+                depth[e.dst] = max(depth[e.dst], depth[u] + e.delay)
+    height: dict[str, int] = {name: 0 for name in order}
+    for u in reversed(order):
+        for e in ddg.succs(u):
+            if e.distance == 0:
+                height[u] = max(height[u], height[e.dst] + e.delay)
+    span = max(depth.values(), default=0)
+    return {
+        name: NodeMetrics(
+            depth=depth[name],
+            height=height[name],
+            alap=span - height[name],
+            mobility=span - height[name] - depth[name],
+        )
+        for name in order
+    }
+
+
+def longest_dependence_path(ddg: DDG) -> int:
+    """LDP in cycles: completion time of one iteration with infinite
+    resources (issue path length plus the final node's latency)."""
+    metrics = compute_metrics(ddg)
+    return max(
+        (m.depth + max(m.height, ddg.latency(name)) for name, m in metrics.items()),
+        default=0,
+    )

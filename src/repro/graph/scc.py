@@ -1,0 +1,93 @@
+"""Strongly connected components (iterative Tarjan) and their condensation.
+
+SCC structure drives the SMS node ordering: non-trivial SCCs are recurrences
+whose ``RecMII`` determines their scheduling priority.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .ddg import DDG
+
+__all__ = ["strongly_connected_components", "condensation_order"]
+
+
+def strongly_connected_components(ddg: DDG) -> list[list[str]]:
+    """Tarjan's algorithm, iteratively (loops can be large).
+
+    Returns components as lists of node names, in reverse topological order
+    of the condensation (Tarjan's natural output order).
+    """
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = 0
+
+    succs = {n.name: sorted({e.dst for e in ddg.succs(n.name)}) for n in ddg.nodes}
+
+    for root in ddg.node_names:
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_idx = work.pop()
+            if child_idx == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = succs[node]
+            for i in range(child_idx, len(children)):
+                child = children[i]
+                if child not in index:
+                    work.append((node, i + 1))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                comp: list[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                components.append(comp)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def condensation_order(ddg: DDG, components: Sequence[Sequence[str]]
+                       ) -> list[int]:
+    """Topological order of component indices in the condensation DAG."""
+    comp_of: dict[str, int] = {}
+    for idx, comp in enumerate(components):
+        for name in comp:
+            comp_of[name] = idx
+    adj: dict[int, set[int]] = {i: set() for i in range(len(components))}
+    indeg: dict[int, int] = {i: 0 for i in range(len(components))}
+    for e in ddg.edges:
+        cu, cv = comp_of[e.src], comp_of[e.dst]
+        if cu != cv and cv not in adj[cu]:
+            adj[cu].add(cv)
+            indeg[cv] += 1
+    order: list[int] = []
+    queue = sorted(i for i, d in indeg.items() if d == 0)
+    while queue:
+        u = queue.pop(0)
+        order.append(u)
+        for v in sorted(adj[u]):
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                queue.append(v)
+    return order

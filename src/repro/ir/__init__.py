@@ -1,0 +1,51 @@
+"""Loop intermediate representation.
+
+A :class:`~repro.ir.loop.Loop` is a straight-line innermost loop body over a
+small register machine with arrays — the shape GCC's modulo scheduler accepts
+(single basic block, if-converted).  Instructions read *operands* (virtual
+registers, possibly from earlier iterations, or immediates) and optionally
+access memory through affine or indirect array references.
+
+The package also contains a reference sequential interpreter
+(:mod:`repro.ir.interp`) used to check that modulo-scheduled execution
+preserves the loop's semantics, and a small textual DSL
+(:mod:`repro.ir.dsl`) used by the examples and the hand-built DOACROSS
+workloads.
+"""
+
+from .opcode import FUClass, Opcode
+from .operand import AffineIndex, Imm, IndirectIndex, MemRef, Operand, Reg
+from .instruction import AliasHint, Instruction
+from .loop import Loop
+from .builder import LoopBuilder
+from .dsl import parse_loop
+from .validate import validate_loop
+from .interp import ExecutionResult, SequentialInterpreter, run_sequential
+from .unroll import check_unroll_equivalence, unroll_loop
+from .serialize import dumps_loop, loads_loop, loop_from_dict, loop_to_dict
+
+__all__ = [
+    "AffineIndex",
+    "AliasHint",
+    "ExecutionResult",
+    "FUClass",
+    "Imm",
+    "IndirectIndex",
+    "Instruction",
+    "Loop",
+    "LoopBuilder",
+    "MemRef",
+    "Opcode",
+    "Operand",
+    "Reg",
+    "SequentialInterpreter",
+    "check_unroll_equivalence",
+    "dumps_loop",
+    "loads_loop",
+    "loop_from_dict",
+    "loop_to_dict",
+    "parse_loop",
+    "run_sequential",
+    "unroll_loop",
+    "validate_loop",
+]

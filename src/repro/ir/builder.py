@@ -1,0 +1,157 @@
+"""Fluent builder for constructing loops programmatically.
+
+Example
+-------
+>>> from repro.ir import LoopBuilder, Reg, Imm
+>>> b = LoopBuilder("axpy", arrays={"X": 64, "Y": 64}, live_ins={"a": 2.0})
+>>> b.load("n0", "x", "X", coeff=1)
+>>> b.op("n1", "fmul", "t", Reg("x"), Reg("a"))
+>>> b.load("n2", "y", "Y")
+>>> b.op("n3", "fadd", "r", Reg("t"), Reg("y"))
+>>> b.store("n4", "Y", Reg("r"))
+>>> loop = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Union
+
+from ..errors import IRError
+from .instruction import AliasHint, Instruction
+from .loop import Loop
+from .opcode import Opcode
+from .operand import AffineIndex, Imm, IndirectIndex, MemRef, Operand, Reg
+from .validate import validate_loop
+
+__all__ = ["LoopBuilder"]
+
+OperandLike = Union[Operand, str, int, float]
+
+
+def _coerce(op: OperandLike) -> Operand:
+    """Accept ``Reg``/``Imm`` objects, register-name strings (optionally with
+    an ``@-k`` back-reference suffix) and bare numbers."""
+    if isinstance(op, (Reg, Imm)):
+        return op
+    if isinstance(op, str):
+        if "@-" in op:
+            name, _, back = op.partition("@-")
+            return Reg(name, back=int(back))
+        return Reg(op)
+    if isinstance(op, (int, float)):
+        return Imm(float(op))
+    raise IRError(f"cannot interpret {op!r} as an operand")
+
+
+class LoopBuilder:
+    """Incrementally assemble a :class:`~repro.ir.loop.Loop`."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        arrays: Mapping[str, int] | None = None,
+        live_ins: Mapping[str, float] | None = None,
+        coverage: float | None = None,
+    ) -> None:
+        self.name = name
+        self.arrays: dict[str, int] = dict(arrays or {})
+        self.live_ins: dict[str, float] = dict(live_ins or {})
+        self.coverage = coverage
+        self._body: list[Instruction] = []
+        self._auto = 0
+
+    # -- low-level -------------------------------------------------------
+
+    def add(self, instruction: Instruction) -> Instruction:
+        self._body.append(instruction)
+        return instruction
+
+    def _next_name(self) -> str:
+        name = f"n{self._auto}"
+        self._auto += 1
+        return name
+
+    # -- instruction helpers ----------------------------------------------
+
+    def op(
+        self,
+        name: str | None,
+        opcode: Union[Opcode, str],
+        dest: str,
+        *srcs: OperandLike,
+    ) -> Instruction:
+        """Append an arithmetic/logic/move instruction."""
+        if isinstance(opcode, str):
+            opcode = Opcode(opcode)
+        return self.add(Instruction(
+            name=name or self._next_name(),
+            opcode=opcode,
+            dest=dest,
+            srcs=tuple(_coerce(s) for s in srcs),
+        ))
+
+    def load(
+        self,
+        name: str | None,
+        dest: str,
+        array: str,
+        *,
+        coeff: int = 1,
+        offset: int = 0,
+        index_reg: OperandLike | None = None,
+        alias_hints: Iterable[AliasHint] = (),
+    ) -> Instruction:
+        """Append a load of ``array`` at an affine or indirect index."""
+        index = (IndirectIndex(_coerce_reg(index_reg)) if index_reg is not None
+                 else AffineIndex(coeff, offset))
+        return self.add(Instruction(
+            name=name or self._next_name(),
+            opcode=Opcode.LOAD,
+            dest=dest,
+            mem=MemRef(array, index),
+            alias_hints=tuple(alias_hints),
+        ))
+
+    def store(
+        self,
+        name: str | None,
+        array: str,
+        value: OperandLike,
+        *,
+        coeff: int = 1,
+        offset: int = 0,
+        index_reg: OperandLike | None = None,
+        alias_hints: Iterable[AliasHint] = (),
+    ) -> Instruction:
+        """Append a store of ``value`` to ``array``."""
+        index = (IndirectIndex(_coerce_reg(index_reg)) if index_reg is not None
+                 else AffineIndex(coeff, offset))
+        return self.add(Instruction(
+            name=name or self._next_name(),
+            opcode=Opcode.STORE,
+            mem=MemRef(array, index),
+            srcs=(_coerce(value),),
+            alias_hints=tuple(alias_hints),
+        ))
+
+    # -- finish ------------------------------------------------------------
+
+    def build(self, *, validate: bool = True) -> Loop:
+        loop = Loop(
+            name=self.name,
+            body=tuple(self._body),
+            live_ins=self.live_ins,
+            arrays=self.arrays,
+            coverage=self.coverage,
+        )
+        if validate:
+            validate_loop(loop)
+        return loop
+
+
+def _coerce_reg(op: OperandLike) -> Reg:
+    coerced = _coerce(op)
+    if not isinstance(coerced, Reg):
+        raise IRError(f"index register must be a register, got {op!r}")
+    return coerced

@@ -1,0 +1,169 @@
+"""A small textual language for writing loop kernels.
+
+Used by the examples and the hand-built DOACROSS workloads so that loop
+bodies read like the paper's examples rather than builder-call chains.
+
+Grammar (line oriented, ``#`` starts a comment)::
+
+    loop <name> [coverage=<float>]
+    array <name> <size>
+    livein <reg> <value>
+    <label>: <dest> = <opcode> <operand> [, <operand> ...]
+    <label>: <dest> = load <array>[<index>] [!alias <store>:<dist>:<prob> ...]
+    <label>: store <array>[<index>], <operand> [!alias <store>:<dist>:<prob> ...]
+
+Operands are immediates (``1.5``), registers (``t3``) or back-references to
+older iterations (``s@-2``).  Indexes are affine in the induction variable
+(``i``, ``i+3``, ``2*i-1``, ``7``) or a register name for indirect accesses.
+
+Example::
+
+    loop axpy
+    array X 64
+    array Y 64
+    livein a 2.0
+    n0: x = load X[i]
+    n1: t = fmul x, a
+    n2: y = load Y[i]
+    n3: r = fadd t, y
+    n4: store Y[i], r
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import DSLParseError
+from .builder import LoopBuilder
+from .instruction import AliasHint, Instruction
+from .loop import Loop
+from .opcode import Opcode
+from .operand import AffineIndex, Imm, IndirectIndex, MemRef, Operand, Reg
+
+__all__ = ["parse_loop"]
+
+_LOOP_RE = re.compile(r"^loop\s+(\w+)(?:\s+coverage=([\d.]+))?\s*$")
+_ARRAY_RE = re.compile(r"^array\s+(\w+)\s+(\d+)\s*$")
+_LIVEIN_RE = re.compile(r"^livein\s+(\w+)\s+(-?[\d.eE+]+)\s*$")
+_INSTR_RE = re.compile(r"^(\w+)\s*:\s*(.+)$")
+_AFFINE_RE = re.compile(
+    r"^(?:(?P<coeff>-?\d+)\s*\*\s*)?i(?:\s*(?P<sign>[+-])\s*(?P<off>\d+))?$")
+_CONST_RE = re.compile(r"^-?\d+$")
+_ALIAS_RE = re.compile(r"!alias\s+(\w+):(\d+):([\d.eE+-]+)")
+_NUM_RE = re.compile(r"^-?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?$")
+
+
+def parse_loop(text: str) -> Loop:
+    """Parse DSL ``text`` into a validated :class:`~repro.ir.loop.Loop`."""
+    builder: LoopBuilder | None = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if (m := _LOOP_RE.match(line)):
+            if builder is not None:
+                raise DSLParseError("multiple 'loop' directives", line_no, raw)
+            coverage = float(m.group(2)) if m.group(2) else None
+            builder = LoopBuilder(m.group(1), coverage=coverage)
+            continue
+        if builder is None:
+            raise DSLParseError("first directive must be 'loop <name>'", line_no, raw)
+        if (m := _ARRAY_RE.match(line)):
+            builder.arrays[m.group(1)] = int(m.group(2))
+            continue
+        if (m := _LIVEIN_RE.match(line)):
+            builder.live_ins[m.group(1)] = float(m.group(2))
+            continue
+        if (m := _INSTR_RE.match(line)):
+            builder.add(_parse_instruction(m.group(1), m.group(2), line_no, raw))
+            continue
+        raise DSLParseError("unrecognised line", line_no, raw)
+    if builder is None:
+        raise DSLParseError("no 'loop' directive found")
+    return builder.build()
+
+
+def _parse_instruction(label: str, body: str, line_no: int, raw: str) -> Instruction:
+    body, hints = _split_alias_hints(body, line_no, raw)
+    if body.startswith("store"):
+        return _parse_store(label, body, hints, line_no, raw)
+    if "=" not in body:
+        raise DSLParseError("expected '<dest> = <opcode> ...' or 'store ...'",
+                            line_no, raw)
+    dest, _, rhs = body.partition("=")
+    dest = dest.strip()
+    rhs = rhs.strip()
+    if not re.fullmatch(r"\w+", dest):
+        raise DSLParseError(f"bad destination register {dest!r}", line_no, raw)
+    parts = rhs.split(None, 1)
+    opname = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    if opname == "load":
+        array, index = _parse_memref(rest.strip(), line_no, raw)
+        return Instruction(name=label, opcode=Opcode.LOAD, dest=dest,
+                           mem=MemRef(array, index), alias_hints=hints)
+    try:
+        opcode = Opcode(opname)
+    except ValueError:
+        raise DSLParseError(f"unknown opcode {opname!r}", line_no, raw) from None
+    operands = tuple(_parse_operand(tok.strip(), line_no, raw)
+                     for tok in rest.split(",")) if rest.strip() else ()
+    if hints:
+        raise DSLParseError("alias hints are only valid on loads/stores",
+                            line_no, raw)
+    return Instruction(name=label, opcode=opcode, dest=dest, srcs=operands)
+
+
+def _parse_store(label: str, body: str, hints: tuple[AliasHint, ...],
+                 line_no: int, raw: str) -> Instruction:
+    m = re.match(r"^store\s+(\w+)\s*\[([^\]]+)\]\s*,\s*(.+)$", body)
+    if not m:
+        raise DSLParseError("expected 'store ARRAY[index], value'", line_no, raw)
+    array, index_str, value_str = m.group(1), m.group(2).strip(), m.group(3).strip()
+    index = _parse_index(index_str, line_no, raw)
+    value = _parse_operand(value_str, line_no, raw)
+    return Instruction(name=label, opcode=Opcode.STORE,
+                       mem=MemRef(array, index), srcs=(value,), alias_hints=hints)
+
+
+def _split_alias_hints(body: str, line_no: int, raw: str
+                       ) -> tuple[str, tuple[AliasHint, ...]]:
+    hints = []
+    for m in _ALIAS_RE.finditer(body):
+        try:
+            hints.append(AliasHint(m.group(1), int(m.group(2)), float(m.group(3))))
+        except Exception as exc:
+            raise DSLParseError(f"bad alias hint: {exc}", line_no, raw) from None
+    body = _ALIAS_RE.sub("", body).strip()
+    return body, tuple(hints)
+
+
+def _parse_memref(text: str, line_no: int, raw: str):
+    m = re.match(r"^(\w+)\s*\[([^\]]+)\]$", text)
+    if not m:
+        raise DSLParseError(f"expected 'ARRAY[index]', got {text!r}", line_no, raw)
+    return m.group(1), _parse_index(m.group(2).strip(), line_no, raw)
+
+
+def _parse_index(text: str, line_no: int, raw: str):
+    if (m := _AFFINE_RE.match(text)):
+        coeff = int(m.group("coeff")) if m.group("coeff") else 1
+        off = int(m.group("off") or 0)
+        if m.group("sign") == "-":
+            off = -off
+        return AffineIndex(coeff, off)
+    if _CONST_RE.match(text):
+        return AffineIndex(0, int(text))
+    op = _parse_operand(text, line_no, raw)
+    if isinstance(op, Reg):
+        return IndirectIndex(op)
+    raise DSLParseError(f"cannot parse index {text!r}", line_no, raw)
+
+
+def _parse_operand(text: str, line_no: int, raw: str) -> Operand:
+    if _NUM_RE.match(text):
+        return Imm(float(text))
+    m = re.fullmatch(r"(\w+)(?:@-(\d+))?", text)
+    if not m:
+        raise DSLParseError(f"cannot parse operand {text!r}", line_no, raw)
+    return Reg(m.group(1), back=int(m.group(2) or 0))

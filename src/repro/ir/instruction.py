@@ -1,0 +1,109 @@
+"""The :class:`Instruction` node of the loop IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import IRError
+from .opcode import Opcode
+from .operand import Imm, MemRef, Operand, Reg
+
+__all__ = ["Instruction", "AliasHint"]
+
+
+@dataclass(frozen=True)
+class AliasHint:
+    """A declared probabilistic memory dependence.
+
+    ``producer`` names an earlier store instruction whose written location the
+    annotated instruction may touch ``distance`` iterations later, with
+    probability ``probability`` per iteration.  Hints stand in for the
+    profile information the paper gathers with the train inputs; the
+    profiler in :mod:`repro.workloads.memprofile` produces the same data by
+    measurement.
+    """
+
+    producer: str
+    distance: int = 1
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.distance < 0:
+            raise IRError(f"alias-hint distance must be >= 0, got {self.distance}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise IRError(
+                f"alias-hint probability must be in [0,1], got {self.probability}")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One operation of a loop body.
+
+    Attributes
+    ----------
+    name:
+        Unique label within the loop (``n0``, ``n1``, ... by convention).
+    opcode:
+        The operation.
+    dest:
+        Destination virtual register, or ``None`` for stores and other
+        dest-less opcodes.
+    srcs:
+        Source operands.  For ``STORE`` the single source is the stored
+        value; the address lives in ``mem``.
+    mem:
+        Memory reference for ``LOAD``/``STORE``.
+    alias_hints:
+        Declared probabilistic memory dependences (see :class:`AliasHint`).
+    """
+
+    name: str
+    opcode: Opcode
+    dest: str | None = None
+    srcs: tuple[Operand, ...] = ()
+    mem: MemRef | None = None
+    alias_hints: tuple[AliasHint, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRError("instruction name must be non-empty")
+        if self.opcode.has_dest and self.dest is None:
+            raise IRError(f"{self.name}: {self.opcode.name} requires a destination")
+        if not self.opcode.has_dest and self.dest is not None:
+            raise IRError(f"{self.name}: {self.opcode.name} cannot have a destination")
+        if self.opcode.is_mem and self.mem is None:
+            raise IRError(f"{self.name}: {self.opcode.name} requires a memory reference")
+        if not self.opcode.is_mem and self.mem is not None:
+            raise IRError(f"{self.name}: {self.opcode.name} cannot reference memory")
+        expected = self.opcode.num_srcs
+        if expected is not None and len(self.srcs) != expected:
+            raise IRError(
+                f"{self.name}: {self.opcode.name} expects {expected} operand(s), "
+                f"got {len(self.srcs)}")
+        for s in self.srcs:
+            if not isinstance(s, (Reg, Imm)):
+                raise IRError(f"{self.name}: bad operand {s!r}")
+
+    @property
+    def reg_reads(self) -> tuple[Reg, ...]:
+        """Register operands read by this instruction, including indirect
+        address registers."""
+        regs = [s for s in self.srcs if isinstance(s, Reg)]
+        if self.mem is not None and not self.mem.is_affine:
+            regs.append(self.mem.index.reg)  # type: ignore[union-attr]
+        return tuple(regs)
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.dest is not None:
+            parts.append(f"{self.dest} =")
+        parts.append(self.opcode.value)
+        operands = [str(s) for s in self.srcs]
+        if self.mem is not None:
+            if self.opcode.is_load:
+                operands.insert(0, str(self.mem))
+            else:
+                operands.insert(0, str(self.mem))
+        if operands:
+            parts.append(", ".join(operands))
+        return f"{self.name}: " + " ".join(parts)

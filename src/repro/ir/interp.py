@@ -1,0 +1,238 @@
+"""Reference sequential interpreter for loop IR.
+
+Executes a loop exactly as written, one iteration after another.  It is the
+semantic ground truth for the library: the software-pipelining execution
+checker (:mod:`repro.sched.pipeline_exec`) replays a modulo schedule and must
+produce the same final register/array state, and the profiler
+(:mod:`repro.workloads.memprofile`) uses the interpreter's address traces to
+measure memory-dependence probabilities the way the paper profiles with the
+train inputs.
+
+Array subscripts wrap modulo the array size so synthetic loops with long trip
+counts remain in bounds.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import IRError, SimulationError
+from .instruction import Instruction
+from .loop import INDUCTION_VAR, Loop
+from .opcode import Opcode
+from .operand import Imm, Reg
+
+__all__ = ["SequentialInterpreter", "ExecutionResult", "run_sequential"]
+
+
+@dataclass
+class ExecutionResult:
+    """Final machine state plus optional traces after ``iterations`` runs."""
+
+    iterations: int
+    registers: dict[str, float]
+    arrays: dict[str, np.ndarray]
+    #: per-instruction list of (iteration, address) for memory operations —
+    #: populated only when tracing is enabled.
+    address_trace: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+    #: per-instruction list of computed values (tracing only).
+    value_trace: dict[str, list[float]] = field(default_factory=dict)
+
+    def state_fingerprint(self) -> tuple:
+        """Hashable summary of the final state, for equivalence checks."""
+        regs = tuple(sorted((k, round(v, 9)) for k, v in self.registers.items()))
+        arrays = tuple(
+            (name, tuple(np.round(arr, 9).tolist()))
+            for name, arr in sorted(self.arrays.items())
+        )
+        return (regs, arrays)
+
+
+_BINOPS: dict[Opcode, Callable[[float, float], float]] = {
+    Opcode.IADD: lambda a, b: float(int(a) + int(b)),
+    Opcode.ISUB: lambda a, b: float(int(a) - int(b)),
+    Opcode.IMUL: lambda a, b: float(int(a) * int(b)),
+    Opcode.IDIV: lambda a, b: float(int(a) // int(b)) if int(b) != 0 else 0.0,
+    Opcode.AND: lambda a, b: float(int(a) & int(b)),
+    Opcode.OR: lambda a, b: float(int(a) | int(b)),
+    Opcode.XOR: lambda a, b: float(int(a) ^ int(b)),
+    Opcode.SHL: lambda a, b: float(int(a) << (int(b) & 63)),
+    Opcode.SHR: lambda a, b: float(int(a) >> (int(b) & 63)),
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: lambda a, b: a / b if b != 0.0 else 0.0,
+    Opcode.FMIN: min,
+    Opcode.FMAX: max,
+    Opcode.CMPLT: lambda a, b: 1.0 if a < b else 0.0,
+    Opcode.CMPLE: lambda a, b: 1.0 if a <= b else 0.0,
+    Opcode.CMPEQ: lambda a, b: 1.0 if a == b else 0.0,
+    Opcode.CMPNE: lambda a, b: 1.0 if a != b else 0.0,
+}
+
+_UNOPS: dict[Opcode, Callable[[float], float]] = {
+    Opcode.FNEG: lambda a: -a,
+    Opcode.FABS: abs,
+    Opcode.FSQRT: lambda a: math.sqrt(a) if a >= 0.0 else 0.0,
+    Opcode.MOV: lambda a: a,
+    Opcode.COPY: lambda a: a,
+}
+
+
+class SequentialInterpreter:
+    """Stateful interpreter over a :class:`~repro.ir.loop.Loop`.
+
+    Register semantics: each register keeps a history of definitions;
+    ``Reg(name, back=k)`` reads the value ``k`` definitions before the most
+    recent one.  Registers read before any definition yield their live-in
+    value (default 0.0).
+    """
+
+    #: maximum history depth retained per register.
+    HISTORY_DEPTH = 64
+
+    def __init__(self, loop: Loop, *, trace: bool = False,
+                 array_init: dict[str, np.ndarray] | None = None) -> None:
+        self.loop = loop
+        self.trace = trace
+        self._hist: dict[str, list[float]] = {}
+        for reg, value in loop.live_ins.items():
+            self._hist[reg] = [float(value)]
+        self.arrays: dict[str, np.ndarray] = {}
+        for name, size in loop.arrays.items():
+            if array_init is not None and name in array_init:
+                arr = np.asarray(array_init[name], dtype=np.float64).copy()
+                if arr.shape != (size,):
+                    raise IRError(
+                        f"array initialiser for {name!r} has shape {arr.shape}, "
+                        f"expected ({size},)")
+            else:
+                # deterministic, loop-independent pseudo-data
+                arr = _default_array(name, size)
+            self.arrays[name] = arr
+        self.address_trace: dict[str, list[tuple[int, int]]] = {}
+        self.value_trace: dict[str, list[float]] = {}
+        self.iteration = 0
+
+    # -- operand / register access ---------------------------------------
+
+    def _read(self, reg: Reg, iteration: int) -> float:
+        if reg.name == INDUCTION_VAR:
+            if reg.back:
+                raise IRError("induction variable cannot be back-referenced")
+            return float(iteration)
+        hist = self._hist.get(reg.name)
+        if not hist:
+            return 0.0
+        idx = len(hist) - 1 - reg.back
+        if idx < 0:
+            # before the first definition: oldest known value (the live-in)
+            return hist[0]
+        return hist[idx]
+
+    def _write(self, reg_name: str, value: float) -> None:
+        hist = self._hist.setdefault(reg_name, [])
+        hist.append(float(value))
+        if len(hist) > self.HISTORY_DEPTH:
+            del hist[0]
+
+    def _operand(self, op, iteration: int) -> float:
+        if isinstance(op, Imm):
+            return float(op.value)
+        return self._read(op, iteration)
+
+    def _address(self, ins: Instruction, iteration: int) -> int:
+        mem = ins.mem
+        assert mem is not None
+        size = self.arrays[mem.array].shape[0]
+        if mem.is_affine:
+            raw = mem.index.at(iteration)
+        else:
+            raw = int(self._read(mem.index.reg, iteration))
+        return raw % size
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one full iteration of the loop body."""
+        i = self.iteration
+        for ins in self.loop.body:
+            value = self._execute(ins, i)
+            if self.trace and value is not None:
+                self.value_trace.setdefault(ins.name, []).append(value)
+        self.iteration += 1
+
+    def _execute(self, ins: Instruction, i: int) -> float | None:
+        op = ins.opcode
+        if op.is_load:
+            addr = self._address(ins, i)
+            if self.trace:
+                self.address_trace.setdefault(ins.name, []).append((i, addr))
+            value = float(self.arrays[ins.mem.array][addr])
+            self._write(ins.dest, value)
+            return value
+        if op.is_store:
+            addr = self._address(ins, i)
+            if self.trace:
+                self.address_trace.setdefault(ins.name, []).append((i, addr))
+            value = self._operand(ins.srcs[0], i)
+            self.arrays[ins.mem.array][addr] = value
+            return value
+        if op in _BINOPS:
+            a = self._operand(ins.srcs[0], i)
+            b = self._operand(ins.srcs[1], i)
+            value = _BINOPS[op](a, b)
+        elif op in _UNOPS:
+            value = _UNOPS[op](self._operand(ins.srcs[0], i))
+        elif op is Opcode.SELECT:
+            cond = self._operand(ins.srcs[0], i)
+            value = (self._operand(ins.srcs[1], i) if cond != 0.0
+                     else self._operand(ins.srcs[2], i))
+        elif op is Opcode.FMA:
+            value = (self._operand(ins.srcs[0], i) * self._operand(ins.srcs[1], i)
+                     + self._operand(ins.srcs[2], i))
+        elif op is Opcode.NOP:
+            return None
+        else:
+            raise SimulationError(f"interpreter cannot execute {op.name}")
+        if ins.dest is not None:
+            self._write(ins.dest, value)
+        return value
+
+    def run(self, iterations: int) -> ExecutionResult:
+        """Execute ``iterations`` iterations and return the final state."""
+        if iterations < 0:
+            raise SimulationError("iterations must be non-negative")
+        for _ in range(iterations):
+            self.step()
+        registers = {name: hist[-1] for name, hist in self._hist.items() if hist}
+        return ExecutionResult(
+            iterations=self.iteration,
+            registers=registers,
+            arrays={k: v.copy() for k, v in self.arrays.items()},
+            address_trace=dict(self.address_trace),
+            value_trace=dict(self.value_trace),
+        )
+
+
+def run_sequential(loop: Loop, iterations: int, *, trace: bool = False,
+                   array_init: dict[str, np.ndarray] | None = None
+                   ) -> ExecutionResult:
+    """Convenience wrapper: interpret ``loop`` for ``iterations`` iterations."""
+    return SequentialInterpreter(loop, trace=trace, array_init=array_init).run(iterations)
+
+
+def _default_array(name: str, size: int) -> np.ndarray:
+    """Deterministic array contents derived from the array's name.
+
+    Uses CRC32 rather than ``hash`` so contents are stable across processes
+    (Python string hashing is salted).
+    """
+    seed = (zlib.crc32(name.encode("utf-8")) % (2**31)) or 1
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.5, 1.5, size=size)

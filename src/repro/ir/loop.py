@@ -1,0 +1,113 @@
+"""The :class:`Loop` container: a single-basic-block innermost loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..errors import IRError
+from .instruction import Instruction
+from .opcode import Opcode
+
+__all__ = ["Loop"]
+
+#: Name of the implicit normalised induction variable.  Reads of this
+#: register yield the current iteration index; it carries no scheduling
+#: dependence (address generation is folded into the memory units, as GCC
+#: does for induction variables handled by doloop/IV elimination).
+INDUCTION_VAR = "i"
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A normalised innermost loop: ``for i in range(N): body``.
+
+    Attributes
+    ----------
+    name:
+        Loop identifier (used in reports).
+    body:
+        The instructions, in sequential program order.
+    live_ins:
+        Initial values of registers that are live into the first iteration
+        (loop-carried scalars and invariants).
+    arrays:
+        Sizes of the arrays the loop touches.
+    coverage:
+        Fraction of whole-program execution time this loop accounts for
+        (``LC`` in the paper's Table 3); used for Amdahl composition of
+        program speedups.  ``None`` when unknown.
+    """
+
+    name: str
+    body: tuple[Instruction, ...]
+    live_ins: Mapping[str, float] = field(default_factory=dict)
+    arrays: Mapping[str, int] = field(default_factory=dict)
+    coverage: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise IRError(f"loop {self.name!r} has an empty body")
+        object.__setattr__(self, "live_ins", dict(self.live_ins))
+        object.__setattr__(self, "arrays", dict(self.arrays))
+        if self.coverage is not None and not 0.0 < self.coverage <= 1.0:
+            raise IRError(f"loop coverage must be in (0, 1], got {self.coverage}")
+
+    # -- lookups ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.body)
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+    @property
+    def instruction_names(self) -> tuple[str, ...]:
+        return tuple(ins.name for ins in self.body)
+
+    def instruction(self, name: str) -> Instruction:
+        for ins in self.body:
+            if ins.name == name:
+                return ins
+        raise IRError(f"loop {self.name!r} has no instruction {name!r}")
+
+    def position(self, name: str) -> int:
+        """Index of instruction ``name`` in sequential program order."""
+        for idx, ins in enumerate(self.body):
+            if ins.name == name:
+                return idx
+        raise IRError(f"loop {self.name!r} has no instruction {name!r}")
+
+    def definers(self) -> dict[str, Instruction]:
+        """Map register name -> the (unique) instruction defining it."""
+        out: dict[str, Instruction] = {}
+        for ins in self.body:
+            if ins.dest is not None:
+                if ins.dest in out:
+                    raise IRError(
+                        f"loop {self.name!r}: register {ins.dest!r} defined by both "
+                        f"{out[ins.dest].name!r} and {ins.name!r} (one def per "
+                        f"register per iteration required)")
+                out[ins.dest] = ins
+        return out
+
+    @property
+    def stores(self) -> tuple[Instruction, ...]:
+        return tuple(ins for ins in self.body if ins.opcode.is_store)
+
+    @property
+    def loads(self) -> tuple[Instruction, ...]:
+        return tuple(ins for ins in self.body if ins.opcode.is_load)
+
+    def listing(self) -> str:
+        """Human-readable multi-line listing of the loop body."""
+        lines = [f"loop {self.name} ({len(self.body)} instructions)"]
+        if self.live_ins:
+            ins_str = ", ".join(f"{k}={v}" for k, v in sorted(self.live_ins.items()))
+            lines.append(f"  live-in: {ins_str}")
+        if self.arrays:
+            arr_str = ", ".join(f"{k}[{v}]" for k, v in sorted(self.arrays.items()))
+            lines.append(f"  arrays: {arr_str}")
+        for ins in self.body:
+            lines.append(f"  {ins}")
+        return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Instruction set: opcodes, functional-unit classes and default latencies.
+
+The ISA is a small RISC-like register machine sufficient to express the
+SPECfp2000-style floating-point loop kernels the paper schedules: integer and
+floating arithmetic, loads/stores, copies, compares/selects (for if-converted
+bodies) and the SpMT communication pseudo-ops (``SEND``/``RECV``/``SPAWN``)
+that the post-pass inserts.
+
+Default latencies are chosen so the machine resembles the paper's cores
+(4-wide out-of-order, 3-cycle L1 hits); any latency can be overridden
+per-machine via :class:`repro.machine.latency.LatencyModel` — the motivating
+example does so to reproduce the paper's exact numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["FUClass", "Opcode", "DEFAULT_LATENCY", "OPCODE_FU"]
+
+
+class FUClass(enum.Enum):
+    """Functional-unit classes instructions are issued to."""
+
+    ALU = "alu"          # integer/logic, copies, compares, selects
+    FPADD = "fpadd"      # FP add/sub/convert
+    FPMUL = "fpmul"      # FP multiply
+    FPDIV = "fpdiv"      # FP divide / sqrt (typically non-pipelined)
+    MEM = "mem"          # loads and stores
+    COMM = "comm"        # SEND/RECV/SPAWN (scalar operand network port)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FUClass.{self.name}"
+
+
+class Opcode(enum.Enum):
+    """All operations the IR supports."""
+
+    # integer / logic
+    IADD = "iadd"
+    ISUB = "isub"
+    IMUL = "imul"
+    IDIV = "idiv"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    # floating point
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FNEG = "fneg"
+    FABS = "fabs"
+    FMIN = "fmin"
+    FMAX = "fmax"
+    FMA = "fma"
+    # data movement
+    MOV = "mov"          # reg <- operand (imm or reg)
+    COPY = "copy"        # register copy inserted by the post-pass
+    # memory
+    LOAD = "load"
+    STORE = "store"
+    # predication support (if-converted branches)
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    SELECT = "select"    # dest = src0 != 0 ? src1 : src2
+    # SpMT pseudo-ops (inserted by the post-pass, not user-visible)
+    SEND = "send"
+    RECV = "recv"
+    SPAWN = "spawn"
+    NOP = "nop"
+
+    @property
+    def fu_class(self) -> FUClass:
+        return OPCODE_FU[self]
+
+    @property
+    def is_load(self) -> bool:
+        return self is Opcode.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self is Opcode.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self in (Opcode.LOAD, Opcode.STORE)
+
+    @property
+    def is_comm(self) -> bool:
+        return self in (Opcode.SEND, Opcode.RECV, Opcode.SPAWN)
+
+    @property
+    def has_dest(self) -> bool:
+        """Whether the opcode writes a register."""
+        return self not in (Opcode.STORE, Opcode.SEND, Opcode.SPAWN, Opcode.NOP)
+
+    @property
+    def num_srcs(self) -> int | None:
+        """Expected operand count, or None when variable."""
+        return _NUM_SRCS.get(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Opcode.{self.name}"
+
+
+OPCODE_FU: dict[Opcode, FUClass] = {
+    Opcode.IADD: FUClass.ALU,
+    Opcode.ISUB: FUClass.ALU,
+    Opcode.IMUL: FUClass.ALU,
+    Opcode.IDIV: FUClass.ALU,
+    Opcode.AND: FUClass.ALU,
+    Opcode.OR: FUClass.ALU,
+    Opcode.XOR: FUClass.ALU,
+    Opcode.SHL: FUClass.ALU,
+    Opcode.SHR: FUClass.ALU,
+    Opcode.FADD: FUClass.FPADD,
+    Opcode.FSUB: FUClass.FPADD,
+    Opcode.FNEG: FUClass.FPADD,
+    Opcode.FABS: FUClass.FPADD,
+    Opcode.FMIN: FUClass.FPADD,
+    Opcode.FMAX: FUClass.FPADD,
+    Opcode.FMUL: FUClass.FPMUL,
+    Opcode.FMA: FUClass.FPMUL,
+    Opcode.FDIV: FUClass.FPDIV,
+    Opcode.FSQRT: FUClass.FPDIV,
+    Opcode.MOV: FUClass.ALU,
+    Opcode.COPY: FUClass.ALU,
+    Opcode.LOAD: FUClass.MEM,
+    Opcode.STORE: FUClass.MEM,
+    Opcode.CMPLT: FUClass.ALU,
+    Opcode.CMPLE: FUClass.ALU,
+    Opcode.CMPEQ: FUClass.ALU,
+    Opcode.CMPNE: FUClass.ALU,
+    Opcode.SELECT: FUClass.ALU,
+    Opcode.SEND: FUClass.COMM,
+    Opcode.RECV: FUClass.COMM,
+    Opcode.SPAWN: FUClass.COMM,
+    Opcode.NOP: FUClass.ALU,
+}
+
+#: Compile-time default latencies (cycles).  LOAD assumes an L1 hit; the
+#: simulator may lengthen individual loads probabilistically.
+DEFAULT_LATENCY: dict[Opcode, int] = {
+    Opcode.IADD: 1,
+    Opcode.ISUB: 1,
+    Opcode.IMUL: 3,
+    Opcode.IDIV: 8,
+    Opcode.AND: 1,
+    Opcode.OR: 1,
+    Opcode.XOR: 1,
+    Opcode.SHL: 1,
+    Opcode.SHR: 1,
+    Opcode.FADD: 2,
+    Opcode.FSUB: 2,
+    Opcode.FNEG: 1,
+    Opcode.FABS: 1,
+    Opcode.FMIN: 2,
+    Opcode.FMAX: 2,
+    Opcode.FMUL: 4,
+    Opcode.FMA: 4,
+    Opcode.FDIV: 12,
+    Opcode.FSQRT: 16,
+    Opcode.MOV: 1,
+    Opcode.COPY: 1,
+    Opcode.LOAD: 3,
+    Opcode.STORE: 1,
+    Opcode.CMPLT: 1,
+    Opcode.CMPLE: 1,
+    Opcode.CMPEQ: 1,
+    Opcode.CMPNE: 1,
+    Opcode.SELECT: 1,
+    Opcode.SEND: 1,
+    Opcode.RECV: 1,
+    Opcode.SPAWN: 1,
+    Opcode.NOP: 1,
+}
+
+_NUM_SRCS: dict[Opcode, int] = {
+    Opcode.IADD: 2, Opcode.ISUB: 2, Opcode.IMUL: 2, Opcode.IDIV: 2,
+    Opcode.AND: 2, Opcode.OR: 2, Opcode.XOR: 2, Opcode.SHL: 2, Opcode.SHR: 2,
+    Opcode.FADD: 2, Opcode.FSUB: 2, Opcode.FMUL: 2, Opcode.FDIV: 2,
+    Opcode.FMIN: 2, Opcode.FMAX: 2,
+    Opcode.FNEG: 1, Opcode.FABS: 1, Opcode.FSQRT: 1,
+    Opcode.FMA: 3,
+    Opcode.MOV: 1, Opcode.COPY: 1,
+    Opcode.LOAD: 0, Opcode.STORE: 1,
+    Opcode.CMPLT: 2, Opcode.CMPLE: 2, Opcode.CMPEQ: 2, Opcode.CMPNE: 2,
+    Opcode.SELECT: 3,
+    Opcode.SEND: 1, Opcode.RECV: 0, Opcode.SPAWN: 0, Opcode.NOP: 0,
+}

@@ -1,0 +1,110 @@
+"""Instruction operands and memory references.
+
+Register operands can read values from earlier iterations: ``Reg("s", back=1)``
+denotes the value the register ``s`` held one definition *before* the most
+recent one at the point of use.  Because each register is defined at most once
+per iteration (enforced by :mod:`repro.ir.validate`), ``back`` translates
+directly into a loop-carried dependence distance (see
+:func:`repro.graph.ddg.build_ddg`).
+
+Memory references index 1-D arrays either affinely in the normalised
+induction variable (``A[2*i + 3]``) or indirectly through a register
+(``A[idx]``) — the latter is what makes a loop DOACROSS-with-unknown-deps and
+is where the paper's speculation support earns its keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import IRError
+
+__all__ = ["Reg", "Imm", "Operand", "AffineIndex", "IndirectIndex", "MemRef"]
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A read of virtual register ``name`` from ``back`` definitions ago.
+
+    ``back=0`` reads the most recent definition in sequential program order
+    (which is the *previous* iteration's value when the use textually
+    precedes the definition).
+    """
+
+    name: str
+    back: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRError("register name must be non-empty")
+        if self.back < 0:
+            raise IRError(f"register back-reference must be >= 0, got {self.back}")
+
+    def __str__(self) -> str:
+        return self.name if self.back == 0 else f"{self.name}@-{self.back}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate (constant) operand."""
+
+    value: float
+
+    def __str__(self) -> str:
+        v = self.value
+        if isinstance(v, float) and v.is_integer():
+            return str(int(v))
+        return str(v)
+
+
+Operand = Union[Reg, Imm]
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """Array subscript ``coeff * i + offset`` in the induction variable."""
+
+    coeff: int = 1
+    offset: int = 0
+
+    def __str__(self) -> str:
+        if self.coeff == 0:
+            return str(self.offset)
+        base = "i" if self.coeff == 1 else f"{self.coeff}*i"
+        if self.offset == 0:
+            return base
+        sign = "+" if self.offset > 0 else "-"
+        return f"{base}{sign}{abs(self.offset)}"
+
+    def at(self, i: int) -> int:
+        return self.coeff * i + self.offset
+
+
+@dataclass(frozen=True)
+class IndirectIndex:
+    """Array subscript taken from a register value (``A[idx]``)."""
+
+    reg: Reg
+
+    def __str__(self) -> str:
+        return str(self.reg)
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A reference to element ``index`` of array ``array``."""
+
+    array: str
+    index: Union[AffineIndex, IndirectIndex]
+
+    def __post_init__(self) -> None:
+        if not self.array:
+            raise IRError("array name must be non-empty")
+
+    @property
+    def is_affine(self) -> bool:
+        return isinstance(self.index, AffineIndex)
+
+    def __str__(self) -> str:
+        return f"{self.array}[{self.index}]"

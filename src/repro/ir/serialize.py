@@ -1,0 +1,142 @@
+"""JSON (de)serialisation for loops and schedules.
+
+Lets users persist compiled artefacts — a loop written with the builder, a
+schedule that took a long search to find — and reload them in another
+session.  The format is a plain JSON document, stable across versions of
+this library (``"format"`` is bumped on breaking changes).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import IRError
+from .instruction import AliasHint, Instruction
+from .loop import Loop
+from .opcode import Opcode
+from .operand import AffineIndex, Imm, IndirectIndex, MemRef, Reg
+
+__all__ = ["loop_to_dict", "loop_from_dict", "dumps_loop", "loads_loop",
+           "schedule_to_dict", "schedule_from_dict"]
+
+_FORMAT = 1
+
+
+def _operand_to_dict(op) -> dict:
+    if isinstance(op, Reg):
+        return {"reg": op.name, "back": op.back}
+    return {"imm": op.value}
+
+
+def _operand_from_dict(d: dict):
+    if "reg" in d:
+        return Reg(d["reg"], back=d.get("back", 0))
+    return Imm(d["imm"])
+
+
+def _memref_to_dict(mem: MemRef) -> dict:
+    if mem.is_affine:
+        return {"array": mem.array, "coeff": mem.index.coeff,
+                "offset": mem.index.offset}
+    return {"array": mem.array, "index_reg": _operand_to_dict(mem.index.reg)}
+
+
+def _memref_from_dict(d: dict) -> MemRef:
+    if "index_reg" in d:
+        return MemRef(d["array"], IndirectIndex(_operand_from_dict(d["index_reg"])))
+    return MemRef(d["array"], AffineIndex(d.get("coeff", 1), d.get("offset", 0)))
+
+
+def loop_to_dict(loop: Loop) -> dict:
+    """Serialise ``loop`` to a JSON-able dict."""
+    return {
+        "format": _FORMAT,
+        "name": loop.name,
+        "coverage": loop.coverage,
+        "live_ins": dict(loop.live_ins),
+        "arrays": dict(loop.arrays),
+        "body": [
+            {
+                "name": ins.name,
+                "opcode": ins.opcode.value,
+                "dest": ins.dest,
+                "srcs": [_operand_to_dict(s) for s in ins.srcs],
+                "mem": _memref_to_dict(ins.mem) if ins.mem else None,
+                "alias_hints": [
+                    {"producer": h.producer, "distance": h.distance,
+                     "probability": h.probability}
+                    for h in ins.alias_hints
+                ],
+            }
+            for ins in loop.body
+        ],
+    }
+
+
+def loop_from_dict(data: dict) -> Loop:
+    """Rebuild a loop from :func:`loop_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise IRError(f"unsupported loop format {data.get('format')!r}")
+    body = []
+    for entry in data["body"]:
+        body.append(Instruction(
+            name=entry["name"],
+            opcode=Opcode(entry["opcode"]),
+            dest=entry.get("dest"),
+            srcs=tuple(_operand_from_dict(s) for s in entry.get("srcs", [])),
+            mem=_memref_from_dict(entry["mem"]) if entry.get("mem") else None,
+            alias_hints=tuple(
+                AliasHint(h["producer"], h["distance"], h["probability"])
+                for h in entry.get("alias_hints", [])),
+        ))
+    return Loop(
+        name=data["name"],
+        body=tuple(body),
+        live_ins=data.get("live_ins", {}),
+        arrays=data.get("arrays", {}),
+        coverage=data.get("coverage"),
+    )
+
+
+def dumps_loop(loop: Loop, **json_kwargs: Any) -> str:
+    return json.dumps(loop_to_dict(loop), **json_kwargs)
+
+
+def loads_loop(text: str) -> Loop:
+    return loop_from_dict(json.loads(text))
+
+
+def schedule_to_dict(schedule) -> dict:
+    """Serialise a schedule (slots + metadata; the DDG is reconstructed
+    from the loop on load)."""
+    return {
+        "format": _FORMAT,
+        "loop": loop_to_dict(schedule.ddg.loop) if schedule.ddg.loop else None,
+        "ddg_name": schedule.ddg.name,
+        "ii": schedule.ii,
+        "algorithm": schedule.algorithm,
+        "slots": dict(schedule.slots),
+        "meta": {k: v for k, v in schedule.meta.items()
+                 if isinstance(v, (int, float, str, bool, type(None)))},
+    }
+
+
+def schedule_from_dict(data: dict, *, latency=None):
+    """Rebuild a schedule.  Requires the loop to have been embedded (i.e.
+    the schedule was built from concrete IR, not a synthetic DDG)."""
+    from ..graph.ddg import build_ddg
+    from ..machine.latency import LatencyModel
+    from ..sched.schedule import Schedule
+
+    if data.get("format") != _FORMAT:
+        raise IRError(f"unsupported schedule format {data.get('format')!r}")
+    if not data.get("loop"):
+        raise IRError(
+            "schedule was serialised without its loop; cannot reconstruct "
+            "the DDG")
+    loop = loop_from_dict(data["loop"])
+    ddg = build_ddg(loop, latency or LatencyModel())
+    return Schedule(ddg, data["ii"], data["slots"],
+                    algorithm=data.get("algorithm", "unknown"),
+                    meta=dict(data.get("meta", {})))

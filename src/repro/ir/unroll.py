@@ -1,0 +1,190 @@
+"""Loop unrolling — the paper's stated future work.
+
+    "We are working on incorporating loop unrolling into TMS to allow us
+    to tradeoff between communication and parallelism by varying thread
+    granularities."  (Section 6)
+
+Unrolling by ``factor`` makes each SpMT thread execute ``factor`` original
+iterations: synchronised values cross the ring ``factor`` times less often
+(amortising ``C_spn``/``C_ci``/``C_reg_com``), at the cost of a larger II
+and coarser speculation granularity.  Table 3's two small art loops are
+"unrolled four times" with exactly this motivation.
+
+The transform is a pure IR-to-IR rewrite:
+
+* copy ``k`` of instruction ``n`` is named ``n__uk``; registers defined in
+  the loop are renamed per copy (``r`` -> ``r__uk``);
+* a register use referencing definition instance ``b_eff`` steps back (in
+  original-iteration space) is rewired to the producing copy, with the
+  back-reference count recomputed in unrolled-iteration space;
+* affine subscripts ``c*i + o`` become ``(c*factor)*i + (c*k + o)``;
+* alias hints are re-targeted at each producing copy with the unrolled
+  distance.
+
+``check_unroll_equivalence`` verifies the rewrite: running the unrolled
+loop ``N`` times must leave the same array state as running the original
+``N * factor`` times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import IRError
+from .instruction import AliasHint, Instruction
+from .interp import run_sequential
+from .loop import INDUCTION_VAR, Loop
+from .operand import AffineIndex, Imm, IndirectIndex, MemRef, Reg
+from .validate import validate_loop
+
+__all__ = ["unroll_loop", "check_unroll_equivalence"]
+
+
+def _copy_name(name: str, k: int) -> str:
+    return f"{name}__u{k}"
+
+
+def unroll_loop(loop: Loop, factor: int) -> Loop:
+    """Return ``loop`` unrolled by ``factor`` (factor 1 returns a copy)."""
+    if factor < 1:
+        raise IRError(f"unroll factor must be >= 1, got {factor}")
+    if factor == 1:
+        return loop
+
+    definers = loop.definers()
+    positions = {ins.name: idx for idx, ins in enumerate(loop.body)}
+
+    def rewritten_reg(reg: Reg, k: int, use_pos: int) -> Reg:
+        """Rewire one register read from copy ``k``."""
+        if reg.name == INDUCTION_VAR:
+            # handled by the caller (affine rewrite or the per-copy
+            # materialised index temporaries)
+            return reg
+        producer = definers.get(reg.name)
+        if producer is None:
+            return reg  # pure live-in / loop invariant
+        def_pos = positions[producer.name]
+        b_eff = reg.back + (0 if def_pos < use_pos else 1)
+        q = k - b_eff                      # producing copy, original space
+        m = q % factor
+        iters_back = (m - q) // factor     # full unrolled iterations back
+        new_name = _copy_name(reg.name, m)
+        if iters_back == 0:
+            return Reg(new_name, back=0)
+        # copy m's definition textually precedes the use iff m < k, or
+        # m == k with the definition before the use.
+        textually_before = m < k or (m == k and def_pos < use_pos)
+        back = iters_back if textually_before else iters_back - 1
+        return Reg(new_name, back=back)
+
+    def rewritten_hint(hint: AliasHint, k: int) -> list[AliasHint]:
+        q = k - hint.distance
+        m = q % factor
+        new_distance = (m - q) // factor
+        return [AliasHint(_copy_name(hint.producer, m), new_distance,
+                          hint.probability)]
+
+    body: list[Instruction] = []
+    iv_temps: dict[int, str] = {}
+
+    for k in range(factor):
+        # copies that read the induction variable arithmetically (as an
+        # operand or as an indirect subscript) need the original index
+        # value factor*I + k; materialise it once per copy.
+        needs_iv = any(
+            (isinstance(s, Reg) and s.name == INDUCTION_VAR)
+            for ins in loop.body for s in ins.srcs
+        ) or any(
+            ins.mem is not None and not ins.mem.is_affine
+            and ins.mem.index.reg.name == INDUCTION_VAR
+            for ins in loop.body
+        )
+        if needs_iv and k not in iv_temps:
+            from .opcode import Opcode
+            tmp = f"__iv{k}"
+            body.append(Instruction(
+                name=f"__ivdef{k}", opcode=Opcode.IMUL, dest=tmp,
+                srcs=(Reg(INDUCTION_VAR), Imm(float(factor)))))
+            body.append(Instruction(
+                name=f"__ivadd{k}", opcode=Opcode.IADD, dest=f"{tmp}k",
+                srcs=(Reg(tmp), Imm(float(k)))))
+            iv_temps[k] = f"{tmp}k"
+        for ins in loop.body:
+            use_pos = positions[ins.name]
+            srcs = []
+            for s in ins.srcs:
+                if isinstance(s, Imm):
+                    srcs.append(s)
+                elif s.name == INDUCTION_VAR:
+                    srcs.append(Reg(iv_temps[k]))
+                else:
+                    srcs.append(rewritten_reg(s, k, use_pos))
+            mem: MemRef | None = None
+            if ins.mem is not None:
+                idx = ins.mem.index
+                if isinstance(idx, AffineIndex):
+                    mem = MemRef(ins.mem.array,
+                                 AffineIndex(idx.coeff * factor,
+                                             idx.coeff * k + idx.offset))
+                elif idx.reg.name == INDUCTION_VAR:
+                    mem = MemRef(ins.mem.array,
+                                 IndirectIndex(Reg(iv_temps[k])))
+                else:
+                    mem = MemRef(ins.mem.array, IndirectIndex(
+                        rewritten_reg(idx.reg, k, use_pos)))
+            hints: list[AliasHint] = []
+            for h in ins.alias_hints:
+                hints.extend(rewritten_hint(h, k))
+            body.append(Instruction(
+                name=_copy_name(ins.name, k),
+                opcode=ins.opcode,
+                dest=_copy_name(ins.dest, k) if ins.dest is not None else None,
+                srcs=tuple(srcs),
+                mem=mem,
+                alias_hints=tuple(hints),
+            ))
+
+    live_ins: dict[str, float] = {}
+    for reg, value in loop.live_ins.items():
+        if reg in definers:  # defined in the loop (loop-carried scalar)
+            for k in range(factor):
+                live_ins[_copy_name(reg, k)] = value
+        else:
+            live_ins[reg] = value
+    unrolled = Loop(
+        name=f"{loop.name}_u{factor}",
+        body=tuple(body),
+        live_ins=live_ins,
+        arrays=dict(loop.arrays),
+        coverage=loop.coverage,
+    )
+    validate_loop(unrolled)
+    return unrolled
+
+
+def check_unroll_equivalence(loop: Loop, factor: int, iterations: int = 24,
+                             *, array_init: dict[str, np.ndarray] | None = None
+                             ) -> bool:
+    """Array state after ``iterations`` unrolled iterations must equal the
+    original loop's after ``iterations * factor``.  Raises on divergence."""
+    unrolled = unroll_loop(loop, factor)
+    ref = run_sequential(loop, iterations * factor, array_init=array_init)
+    got = run_sequential(unrolled, iterations, array_init=array_init)
+    for name, arr in ref.arrays.items():
+        if not np.allclose(arr, got.arrays[name], rtol=1e-9, atol=1e-9):
+            idx = int(np.argmax(~np.isclose(arr, got.arrays[name])))
+            raise IRError(
+                f"unroll({loop.name}, {factor}) diverges in array "
+                f"{name!r} at index {idx}: {arr[idx]} vs "
+                f"{got.arrays[name][idx]}")
+    # loop-carried scalars: copy factor-1 holds the final value
+    definers = loop.definers()
+    for reg in definers:
+        ref_v = ref.registers.get(reg)
+        got_v = got.registers.get(_copy_name(reg, factor - 1))
+        if ref_v is not None and got_v is not None and \
+                not np.isclose(ref_v, got_v, rtol=1e-9, atol=1e-9):
+            raise IRError(
+                f"unroll({loop.name}, {factor}) diverges in register "
+                f"{reg!r}: {ref_v} vs {got_v}")
+    return True

@@ -1,0 +1,93 @@
+"""Static checks on loop IR.
+
+The schedulers and the interpreter both assume a well-formed loop:
+
+* instruction names are unique;
+* each register is defined at most once per iteration (SSA-per-iteration);
+* every register read is reachable — it has a definition in the body or a
+  live-in value (the induction variable ``i`` is implicitly available);
+* memory references name declared arrays, affine subscripts stay in bounds
+  for a probe iteration range;
+* alias hints refer to existing store instructions.
+"""
+
+from __future__ import annotations
+
+from ..errors import IRError
+from .loop import INDUCTION_VAR, Loop
+from .opcode import Opcode
+
+__all__ = ["validate_loop"]
+
+
+def validate_loop(loop: Loop, *, probe_iterations: int = 4) -> None:
+    """Raise :class:`~repro.errors.IRError` if ``loop`` is malformed."""
+    seen: set[str] = set()
+    for ins in loop.body:
+        if ins.name in seen:
+            raise IRError(f"loop {loop.name!r}: duplicate instruction name {ins.name!r}")
+        seen.add(ins.name)
+
+    definers = loop.definers()  # raises on double definition
+
+    if INDUCTION_VAR in definers:
+        raise IRError(
+            f"loop {loop.name!r}: the induction variable {INDUCTION_VAR!r} "
+            f"cannot be redefined in the body")
+    if INDUCTION_VAR in loop.live_ins:
+        raise IRError(
+            f"loop {loop.name!r}: the induction variable {INDUCTION_VAR!r} "
+            f"cannot be a live-in")
+
+    available = set(definers) | set(loop.live_ins) | {INDUCTION_VAR}
+    store_names = {ins.name for ins in loop.stores}
+
+    for ins in loop.body:
+        for reg in ins.reg_reads:
+            if reg.name not in available:
+                raise IRError(
+                    f"loop {loop.name!r}: instruction {ins.name!r} reads undefined "
+                    f"register {reg.name!r} (no definition and no live-in)")
+            if reg.back > 0 and reg.name not in definers:
+                raise IRError(
+                    f"loop {loop.name!r}: {ins.name!r} reads {reg} but "
+                    f"{reg.name!r} is never redefined in the loop, so a "
+                    f"back-reference is meaningless")
+            if reg.name == INDUCTION_VAR and reg.back > 0:
+                raise IRError(
+                    f"loop {loop.name!r}: {ins.name!r} uses a back-reference on "
+                    f"the induction variable")
+        if ins.mem is not None:
+            _check_memref(loop, ins, probe_iterations)
+        for hint in ins.alias_hints:
+            if hint.producer not in store_names:
+                raise IRError(
+                    f"loop {loop.name!r}: {ins.name!r} alias hint names "
+                    f"{hint.producer!r}, which is not a store in this loop")
+        if ins.opcode in (Opcode.SEND, Opcode.RECV, Opcode.SPAWN):
+            raise IRError(
+                f"loop {loop.name!r}: {ins.name!r} uses the post-pass pseudo-op "
+                f"{ins.opcode.name}; these are inserted by the compiler, not "
+                f"written in source loops")
+
+
+def _check_memref(loop: Loop, ins, probe_iterations: int) -> None:
+    mem = ins.mem
+    if mem.array not in loop.arrays:
+        raise IRError(
+            f"loop {loop.name!r}: {ins.name!r} references undeclared array "
+            f"{mem.array!r}")
+    if mem.is_affine:
+        size = loop.arrays[mem.array]
+        for i in range(probe_iterations):
+            idx = mem.index.at(i)
+            if idx < 0:
+                raise IRError(
+                    f"loop {loop.name!r}: {ins.name!r} index {mem.index} is "
+                    f"negative at iteration {i}")
+        # the interpreter wraps indices modulo the array size, so large
+        # subscripts are legal; a zero-size array is not.
+        if size <= 0:
+            raise IRError(
+                f"loop {loop.name!r}: array {mem.array!r} has non-positive "
+                f"size {size}")

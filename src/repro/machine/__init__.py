@@ -1,0 +1,23 @@
+"""Per-core machine model: functional units, latencies, reservation tables.
+
+The scheduler-visible machine is a per-core issue machine: ``issue_width``
+total issue slots per cycle, functional-unit classes with instance counts and
+occupancy (non-pipelined units occupy their FU for several cycles, which is
+how the motivating example's ``ResII = 4`` multiplier arises).
+
+The simulator-visible additions (probabilistic cache latencies) live in
+:mod:`repro.machine.cache`.
+"""
+
+from .resources import FUSpec, ResourceModel
+from .latency import LatencyModel
+from .reservation import ModuloReservationTable
+from .cache import CacheModel
+
+__all__ = [
+    "CacheModel",
+    "FUSpec",
+    "LatencyModel",
+    "ModuloReservationTable",
+    "ResourceModel",
+]

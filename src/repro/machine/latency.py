@@ -1,0 +1,55 @@
+"""Compile-time latency model.
+
+The scheduler plans with *assumed* latencies: the opcode defaults from
+:mod:`repro.ir.opcode`, with loads pinned to the L1 hit latency of the
+architecture, plus arbitrary per-opcode overrides (the motivating example
+pins its multiply to 4 cycles to reproduce the paper's numbers).
+
+Actual run-time load latencies may differ (cache misses) — that is the
+simulator's business (:mod:`repro.machine.cache`)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..config import ArchConfig
+from ..errors import MachineError
+from ..ir.instruction import Instruction
+from ..ir.opcode import DEFAULT_LATENCY, Opcode
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel:
+    """Maps opcodes (and instructions) to assumed latencies in cycles."""
+
+    def __init__(self, overrides: Mapping[Opcode, int] | None = None,
+                 *, l1_hit_latency: int | None = None) -> None:
+        self._lat = dict(DEFAULT_LATENCY)
+        if l1_hit_latency is not None:
+            if l1_hit_latency < 1:
+                raise MachineError("l1_hit_latency must be >= 1")
+            self._lat[Opcode.LOAD] = l1_hit_latency
+        if overrides:
+            for op, lat in overrides.items():
+                if lat < 1:
+                    raise MachineError(f"latency for {op.name} must be >= 1, got {lat}")
+                self._lat[op] = lat
+
+    @classmethod
+    def for_arch(cls, arch: ArchConfig,
+                 overrides: Mapping[Opcode, int] | None = None) -> "LatencyModel":
+        return cls(overrides, l1_hit_latency=arch.l1_hit_latency)
+
+    def of(self, op: Opcode | Instruction) -> int:
+        if isinstance(op, Instruction):
+            op = op.opcode
+        return self._lat[op]
+
+    def max_latency(self) -> int:
+        return max(self._lat.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        diffs = {op.name: lat for op, lat in self._lat.items()
+                 if DEFAULT_LATENCY[op] != lat}
+        return f"LatencyModel(overrides={diffs})"

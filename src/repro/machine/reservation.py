@@ -1,0 +1,101 @@
+"""Modulo Reservation Table (MRT).
+
+The classic structure at the heart of every modulo scheduler: a table of
+``II`` rows; placing an instruction at absolute cycle ``c`` consumes one
+instance of its functional-unit class in rows ``c % II .. (c+occ-1) % II``
+(non-pipelined units reserve several consecutive rows) and one of the
+``issue_width`` issue slots in row ``c % II``.
+
+Placements are tracked per instruction so they can be removed — both SMS
+(ejection-free but restart-based) and IMS (with backtracking/unscheduling)
+use the same table.
+"""
+
+from __future__ import annotations
+
+from ..errors import MachineError
+from ..ir.opcode import FUClass, Opcode
+from .resources import ResourceModel
+
+__all__ = ["ModuloReservationTable"]
+
+
+class ModuloReservationTable:
+    """Resource bookkeeping for one candidate II."""
+
+    def __init__(self, ii: int, resources: ResourceModel) -> None:
+        if ii < 1:
+            raise MachineError(f"II must be >= 1, got {ii}")
+        self.ii = ii
+        self.resources = resources
+        # per-row FU usage counters: _fu_use[row][fu_class]
+        self._fu_use: list[dict[FUClass, int]] = [dict() for _ in range(ii)]
+        # per-row issue-slot usage
+        self._issue_use: list[int] = [0] * ii
+        # instruction name -> (cycle, opcode)
+        self._placed: dict[str, tuple[int, Opcode]] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def fits(self, name: str, opcode: Opcode, cycle: int) -> bool:
+        """Can ``name`` be placed at absolute ``cycle`` without conflicts?"""
+        if name in self._placed:
+            raise MachineError(f"instruction {name!r} already placed")
+        fu = opcode.fu_class
+        spec = self.resources.spec(fu)
+        row0 = cycle % self.ii
+        if self._issue_use[row0] >= self.resources.issue_width:
+            return False
+        if spec.occupancy >= self.ii:
+            # a single op monopolises every row of this class; it fits only
+            # if no other op of the class is present anywhere.
+            if any(u.get(fu, 0) >= spec.count for u in self._fu_use):
+                return False
+            return True
+        for k in range(spec.occupancy):
+            row = (cycle + k) % self.ii
+            if self._fu_use[row].get(fu, 0) >= spec.count:
+                return False
+        return True
+
+    def occupancy_rows(self, opcode: Opcode, cycle: int) -> list[int]:
+        spec = self.resources.spec(opcode.fu_class)
+        occ = min(spec.occupancy, self.ii)
+        return [(cycle + k) % self.ii for k in range(occ)]
+
+    # -- mutation ------------------------------------------------------------
+
+    def place(self, name: str, opcode: Opcode, cycle: int) -> None:
+        if not self.fits(name, opcode, cycle):
+            raise MachineError(
+                f"cannot place {name!r} ({opcode.name}) at cycle {cycle} "
+                f"(II={self.ii}): resource conflict")
+        fu = opcode.fu_class
+        for row in self.occupancy_rows(opcode, cycle):
+            self._fu_use[row][fu] = self._fu_use[row].get(fu, 0) + 1
+        self._issue_use[cycle % self.ii] += 1
+        self._placed[name] = (cycle, opcode)
+
+    def remove(self, name: str) -> None:
+        if name not in self._placed:
+            raise MachineError(f"instruction {name!r} is not placed")
+        cycle, opcode = self._placed.pop(name)
+        fu = opcode.fu_class
+        for row in self.occupancy_rows(opcode, cycle):
+            self._fu_use[row][fu] -= 1
+        self._issue_use[cycle % self.ii] -= 1
+
+    def placed_cycle(self, name: str) -> int | None:
+        entry = self._placed.get(name)
+        return entry[0] if entry else None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._placed
+
+    def __len__(self) -> int:
+        return len(self._placed)
+
+    def utilisation(self) -> float:
+        """Fraction of issue slots used across the kernel (0..1)."""
+        total = self.ii * self.resources.issue_width
+        return sum(self._issue_use) / total if total else 0.0

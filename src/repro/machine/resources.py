@@ -1,0 +1,96 @@
+"""Functional-unit resource model.
+
+Each :class:`FUSpec` describes one functional-unit class: how many instances
+a core has and how many consecutive cycles one operation *occupies* an
+instance (1 for fully pipelined units).  ``ResMII`` — the resource-constrained
+lower bound on the initiation interval — falls out of these occupancies:
+
+    ResMII = max over classes of ceil(uses(class) * occupancy / count)
+
+and is also bounded below by ``ceil(n_instructions / issue_width)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..errors import MachineError
+from ..ir.opcode import FUClass, Opcode
+
+__all__ = ["FUSpec", "ResourceModel"]
+
+
+@dataclass(frozen=True)
+class FUSpec:
+    """One functional-unit class of a core."""
+
+    count: int = 1
+    occupancy: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise MachineError(f"FU count must be >= 1, got {self.count}")
+        if self.occupancy < 1:
+            raise MachineError(f"FU occupancy must be >= 1, got {self.occupancy}")
+
+
+#: Default 4-wide core: 2 ALUs, 2 FP adders, 2 FP multipliers (SPECfp-heavy
+#: mixes saturate issue width before FP units, matching Table 2's
+#: MII ~= #Inst/4), 1 (heavily non-pipelined) FP divider, 2 memory ports,
+#: 1 operand-network port.
+_DEFAULT_UNITS: dict[FUClass, FUSpec] = {
+    FUClass.ALU: FUSpec(count=2),
+    FUClass.FPADD: FUSpec(count=2),
+    FUClass.FPMUL: FUSpec(count=2),
+    FUClass.FPDIV: FUSpec(count=1, occupancy=8),
+    FUClass.MEM: FUSpec(count=2),
+    FUClass.COMM: FUSpec(count=1),
+}
+
+
+class ResourceModel:
+    """Per-core functional units plus the issue-width constraint."""
+
+    def __init__(self, units: Mapping[FUClass, FUSpec] | None = None,
+                 *, issue_width: int = 4) -> None:
+        if issue_width < 1:
+            raise MachineError(f"issue_width must be >= 1, got {issue_width}")
+        self.issue_width = issue_width
+        self.units: dict[FUClass, FUSpec] = dict(_DEFAULT_UNITS)
+        if units:
+            self.units.update(units)
+        for cls in FUClass:
+            if cls not in self.units:
+                raise MachineError(f"no FU spec for class {cls}")
+
+    @classmethod
+    def default(cls, issue_width: int = 4) -> "ResourceModel":
+        return cls(issue_width=issue_width)
+
+    def spec(self, fu: FUClass) -> FUSpec:
+        return self.units[fu]
+
+    def occupancy(self, opcode: Opcode) -> int:
+        return self.units[opcode.fu_class].occupancy
+
+    def res_mii(self, opcodes: Iterable[Opcode]) -> int:
+        """Resource-constrained minimum II for a loop body's opcodes."""
+        uses: dict[FUClass, int] = {}
+        total = 0
+        for op in opcodes:
+            uses[op.fu_class] = uses.get(op.fu_class, 0) + 1
+            total += 1
+        bound = math.ceil(total / self.issue_width) if total else 1
+        for fu, n in uses.items():
+            spec = self.units[fu]
+            bound = max(bound, math.ceil(n * spec.occupancy / spec.count))
+        return max(bound, 1)
+
+    def describe(self) -> str:
+        rows = [f"issue width {self.issue_width}"]
+        for fu, spec in sorted(self.units.items(), key=lambda kv: kv[0].value):
+            pipe = "pipelined" if spec.occupancy == 1 else f"occupancy {spec.occupancy}"
+            rows.append(f"{fu.value}: x{spec.count}, {pipe}")
+        return "; ".join(rows)

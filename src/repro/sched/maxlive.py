@@ -1,0 +1,50 @@
+"""MaxLive: simultaneously live scalar values in the kernel.
+
+The paper's Table 2 metric: "the number of scalar live ranges that are
+simultaneously live at a program point".  In an II-periodic schedule a value
+born at flat cycle ``b`` and last used at flat cycle ``d`` has
+``ceil((d - b) / II)``-ish instances live at once; we count exactly, per
+kernel row:
+
+    live(r) = sum over values of |{k >= 0 : b <= r + k*II < d}|
+    MaxLive = max over rows r of live(r)
+
+Births are producer issue slots; deaths are the latest consumer issue slot
+in flat time (``slot(y) + distance * II``).  TMS's aggressive stage
+stretching lengthens lifetimes, which is why the paper reports slightly
+larger MaxLive for TMS than SMS.
+"""
+
+from __future__ import annotations
+
+from .schedule import Schedule
+
+__all__ = ["max_live"]
+
+
+def max_live(schedule: Schedule) -> int:
+    """MaxLive of ``schedule`` (0 for a kernel producing no register
+    values)."""
+    ii = schedule.ii
+    intervals: list[tuple[int, int]] = []
+    for node in schedule.ddg.nodes:
+        uses = [e for e in schedule.ddg.succs(node.name) if e.is_register_flow]
+        if not uses:
+            continue
+        birth = schedule.slot(node.name)
+        death = max(schedule.slot(e.dst) + e.distance * ii for e in uses)
+        if death <= birth:
+            death = birth + 1  # zero-length lifetimes still occupy a register
+        intervals.append((birth, death))
+    if not intervals:
+        return 0
+    best = 0
+    for r in range(ii):
+        live = 0
+        for birth, death in intervals:
+            k0 = max(0, -(-(birth - r) // ii))  # ceil((birth - r) / ii)
+            k1 = (death - 1 - r) // ii          # floor((death - 1 - r) / ii)
+            if k1 >= k0:
+                live += k1 - k0 + 1
+        best = max(best, live)
+    return best

@@ -1,0 +1,263 @@
+"""Software-pipelined execution checker.
+
+Replays a modulo schedule as real dataflow and compares the outcome against
+the sequential reference interpreter.  This is the library's end-to-end
+guarantee that a schedule (plus the post-pass's modulo variable expansion)
+preserves the loop's semantics.
+
+Model
+-----
+Instance ``(j, v)`` — iteration ``j`` of instruction ``v`` — *issues* (reads
+operands, computes) at flat cycle ``slot(v) + j * II`` and *commits* its
+register result at ``slot(v) + lat(v) + j * II``.  Register values live in a
+rotating file with ``floor(lifetime / II) + 1`` physical copies per producer,
+as modulo variable expansion provides; a consumer reading distance ``d`` back
+fetches copy ``(j - d) mod R``.  Events are replayed in global time order,
+so an under-provisioned rotation (missing copies) or a violated register
+dependence clobbers a value and the final state diverges — which the checker
+reports.
+
+Memory is an *oracle*: loads return the value the sequential reference
+execution observed for that same dynamic instance.  This emulates the SpMT
+machine's MDT + rollback guarantee — a load that raced ahead of the store
+it depends on is squashed and re-executed with the committed value, so
+memory can never break semantics; what the schedule (and the post-pass's
+register rotation) must get right on its own is the *register* dataflow,
+which this checker executes for real.  Stores write the values the
+pipelined register dataflow computed, so a register divergence still
+surfaces in the final arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..ir.interp import SequentialInterpreter, _BINOPS, _UNOPS, _default_array
+from ..ir.loop import INDUCTION_VAR, Loop
+from ..ir.opcode import Opcode
+from ..ir.operand import Imm, Reg
+from .schedule import Schedule
+
+__all__ = ["PipelineExecutionResult", "execute_pipelined", "check_equivalence"]
+
+
+@dataclass
+class PipelineExecutionResult:
+    """Final state of a pipelined execution."""
+
+    iterations: int
+    registers: dict[str, float]
+    arrays: dict[str, np.ndarray]
+
+    def state_fingerprint(self) -> tuple:
+        regs = tuple(sorted((k, round(v, 9)) for k, v in self.registers.items()))
+        arrays = tuple(
+            (name, tuple(np.round(arr, 9).tolist()))
+            for name, arr in sorted(self.arrays.items())
+        )
+        return (regs, arrays)
+
+
+class _OracleMemory:
+    """MDT + rollback emulation.
+
+    Loads return the value the sequential reference observed for the same
+    dynamic instance (hardware squashes and re-executes any load that read
+    too early, so the committed value is always the sequential one).
+    Stores record the values computed by the *pipelined register dataflow*
+    at their sequential addresses; the final arrays therefore reflect any
+    register-side divergence.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray],
+                 load_values: dict[str, list[float]],
+                 store_addresses: dict[str, list[tuple[int, int]]]) -> None:
+        self.base = arrays
+        self._load_values = load_values
+        self._store_addr = {
+            name: dict(entries) for name, entries in store_addresses.items()
+        }
+        # (array, addr) -> list of ((iteration, position), value)
+        self.writes: dict[tuple[str, int], list[tuple[tuple[int, int], float]]] = {}
+
+    def read(self, ins_name: str, j: int) -> float:
+        return self._load_values[ins_name][j]
+
+    def write(self, ins_name: str, array: str, j: int, pos: int,
+              value: float) -> None:
+        addr = self._store_addr[ins_name][j]
+        self.writes.setdefault((array, addr), []).append(((j, pos), value))
+
+    def final_arrays(self) -> dict[str, np.ndarray]:
+        out = {k: v.copy() for k, v in self.base.items()}
+        for (array, addr), entries in self.writes.items():
+            _key, val = max(entries)
+            out[array][addr] = val
+        return out
+
+
+def execute_pipelined(loop: Loop, schedule: Schedule, iterations: int,
+                      *, array_init: dict[str, np.ndarray] | None = None
+                      ) -> PipelineExecutionResult:
+    """Execute ``iterations`` iterations of ``loop`` as pipelined by
+    ``schedule``."""
+    if schedule.ddg.loop is not loop and set(schedule.ddg.node_names) != set(
+            loop.instruction_names):
+        raise SimulationError("schedule does not cover this loop")
+    ii = schedule.ii
+    positions = {ins.name: idx for idx, ins in enumerate(loop.body)}
+    definers = loop.definers()
+
+    # rotation depth per producer: standard modulo-variable-expansion
+    # sizing, floor(lifetime / II) + 1 physical copies, where the lifetime
+    # runs from the producer's issue to the latest consumer's issue in
+    # flat-schedule time.  (Kernel-distance-based sizing is one short when
+    # a value's last read coincides with the next rotation's write.)
+    lifetime: dict[str, int] = {}
+    for e in schedule.ddg.edges:
+        if e.is_register_flow:
+            span = (schedule.slot(e.dst) + e.distance * ii
+                    - schedule.slot(e.src))
+            lifetime[e.src] = max(lifetime.get(e.src, 0), span)
+    depth = {name: span // ii + 1 for name, span in lifetime.items()}
+
+    # regfile[(producer, j mod depth)] = value
+    regfile: dict[tuple[str, int], float] = {}
+
+    arrays = {}
+    for name, size in loop.arrays.items():
+        if array_init is not None and name in array_init:
+            arrays[name] = np.asarray(array_init[name], dtype=np.float64).copy()
+        else:
+            arrays[name] = _default_array(name, size)
+
+    # sequential oracle: per-instance load values and store addresses
+    oracle = SequentialInterpreter(
+        loop, trace=True,
+        array_init={k: v.copy() for k, v in arrays.items()}).run(iterations)
+    load_values = {ins.name: oracle.value_trace.get(ins.name, [])
+                   for ins in loop.loads}
+    store_addresses = {ins.name: oracle.address_trace.get(ins.name, [])
+                       for ins in loop.stores}
+    memory = _OracleMemory(arrays, load_values, store_addresses)
+
+    def read_reg(reg: Reg, j: int, pos: int) -> float:
+        if reg.name == INDUCTION_VAR:
+            return float(j)
+        u = definers.get(reg.name)
+        if u is None:
+            return float(loop.live_ins.get(reg.name, 0.0))
+        dist = reg.back + (0 if positions[u.name] < pos else 1)
+        src_iter = j - dist
+        if src_iter < 0:
+            return float(loop.live_ins.get(reg.name, 0.0))
+        d = depth.get(u.name, 1)
+        key = (u.name, src_iter % d)
+        if key not in regfile:
+            raise SimulationError(
+                f"pipelined execution of {loop.name!r}: value of "
+                f"{reg.name!r} (producer {u.name!r}, iteration {src_iter}) "
+                f"not available — rotation depth {d} too small or schedule "
+                f"violates the dependence")
+        return regfile[key]
+
+    def operand(op, j: int, pos: int) -> float:
+        return float(op.value) if isinstance(op, Imm) else read_reg(op, j, pos)
+
+    # event list: (time, phase, j, position); commits (phase 1) after issues
+    # (phase 0) at the same cycle — a consumer issuing exactly at the
+    # producer's completion cycle must see the new value, so commits at t
+    # precede issues at t: use phase 0 = commit, 1 = issue.
+    events: list[tuple[int, int, int, int]] = []
+    for j in range(iterations):
+        for ins in loop.body:
+            t_issue = schedule.slot(ins.name) + j * ii
+            node = schedule.ddg.node(ins.name)
+            events.append((t_issue, 1, j, positions[ins.name]))
+            if ins.dest is not None:
+                events.append((t_issue + node.latency, 0, j, positions[ins.name]))
+    events.sort()
+
+    pending: dict[tuple[int, int], float] = {}  # (j, pos) -> computed value
+
+    for time, phase, j, pos in events:
+        ins = loop.body[pos]
+        if phase == 1:  # issue: read operands, compute
+            value = _compute(ins, j, pos, operand, memory, arrays)
+            if ins.dest is not None:
+                pending[(j, pos)] = value
+        else:  # commit register result
+            value = pending.pop((j, pos))
+            d = depth.get(ins.name, 1)
+            regfile[(ins.name, j % d)] = value
+
+    # final register values: last committed instance of each definer
+    registers = dict(loop.live_ins)
+    for reg_name, u in definers.items():
+        j = iterations - 1
+        if j < 0:
+            continue
+        d = depth.get(u.name, 1)
+        key = (u.name, j % d)
+        if key in regfile:
+            registers[reg_name] = regfile[key]
+    return PipelineExecutionResult(
+        iterations=iterations,
+        registers=registers,
+        arrays=memory.final_arrays(),
+    )
+
+
+def _compute(ins, j: int, pos: int, operand, memory: _OracleMemory,
+             arrays: dict[str, np.ndarray]) -> float:
+    op = ins.opcode
+    if op.is_load:
+        return memory.read(ins.name, j)
+    if op.is_store:
+        value = operand(ins.srcs[0], j, pos)
+        memory.write(ins.name, ins.mem.array, j, pos, value)
+        return value
+    if op in _BINOPS:
+        return _BINOPS[op](operand(ins.srcs[0], j, pos),
+                           operand(ins.srcs[1], j, pos))
+    if op in _UNOPS:
+        return _UNOPS[op](operand(ins.srcs[0], j, pos))
+    if op is Opcode.SELECT:
+        cond = operand(ins.srcs[0], j, pos)
+        return (operand(ins.srcs[1], j, pos) if cond != 0.0
+                else operand(ins.srcs[2], j, pos))
+    if op is Opcode.FMA:
+        return (operand(ins.srcs[0], j, pos) * operand(ins.srcs[1], j, pos)
+                + operand(ins.srcs[2], j, pos))
+    raise SimulationError(f"pipelined executor cannot execute {op.name}")
+
+
+def check_equivalence(loop: Loop, schedule: Schedule, iterations: int = 32,
+                      *, array_init: dict[str, np.ndarray] | None = None) -> bool:
+    """True iff pipelined execution matches the sequential interpreter.
+
+    Raises :class:`~repro.errors.SimulationError` on divergence with a
+    description of the first mismatching piece of state.
+    """
+    seq = SequentialInterpreter(loop, array_init=array_init).run(iterations)
+    pipe = execute_pipelined(loop, schedule, iterations, array_init=array_init)
+    # compare arrays
+    for name, ref in seq.arrays.items():
+        got = pipe.arrays[name]
+        if not np.allclose(ref, got, rtol=1e-9, atol=1e-9):
+            idx = int(np.argmax(~np.isclose(ref, got, rtol=1e-9, atol=1e-9)))
+            raise SimulationError(
+                f"{loop.name!r}: array {name!r} diverges at index {idx}: "
+                f"sequential={ref[idx]!r} pipelined={got[idx]!r}")
+    # compare loop-defined registers
+    for reg, value in seq.registers.items():
+        if reg in pipe.registers and not math.isclose(
+                value, pipe.registers[reg], rel_tol=1e-9, abs_tol=1e-9):
+            raise SimulationError(
+                f"{loop.name!r}: register {reg!r} diverges: "
+                f"sequential={value!r} pipelined={pipe.registers[reg]!r}")
+    return True

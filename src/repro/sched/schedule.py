@@ -1,0 +1,150 @@
+"""Schedule representation shared by all modulo schedulers.
+
+A schedule maps every DDG node to an absolute issue slot under a fixed II.
+Derived quantities follow the paper:
+
+* ``row(v) = slot(v) % II`` — issue cycle within the kernel;
+* ``stage(v) = slot(v) // II`` — the stage number ``s_v``;
+* ``d_ker(u, v) = d(u, v) + s_v - s_u`` — Definition 1, the dependence
+  distance *in the kernel*; inter-iteration (= inter-thread on the SpMT
+  machine) dependences are those with ``d_ker >= 1``.
+
+Slots are normalised so the minimum stage is 0 (shifting by a multiple of II
+keeps every row, and therefore every sync delay, unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import ScheduleValidationError
+from ..graph.ddg import DDG
+from ..graph.dependence import Dependence, DepType
+from ..machine.reservation import ModuloReservationTable
+from ..machine.resources import ResourceModel
+
+__all__ = ["Schedule", "validate_schedule"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An II-periodic schedule of ``ddg``.
+
+    ``meta`` carries algorithm-specific data (e.g. TMS's chosen ``C_delay``
+    threshold and ``P_max``).
+    """
+
+    ddg: DDG
+    ii: int
+    slots: Mapping[str, int]
+    algorithm: str = "unknown"
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.ii < 1:
+            raise ScheduleValidationError(f"II must be >= 1, got {self.ii}")
+        missing = set(self.ddg.node_names) - set(self.slots)
+        if missing:
+            raise ScheduleValidationError(
+                f"schedule for {self.ddg.name!r} misses nodes {sorted(missing)}")
+        extra = set(self.slots) - set(self.ddg.node_names)
+        if extra:
+            raise ScheduleValidationError(
+                f"schedule for {self.ddg.name!r} has unknown nodes {sorted(extra)}")
+        object.__setattr__(self, "slots", dict(self.slots))
+        self._normalise()
+
+    def _normalise(self) -> None:
+        """Shift all slots by a multiple of II so the minimum stage is 0."""
+        slots = self.slots
+        min_slot = min(slots.values())
+        shift = (-min_slot + self.ii - 1) // self.ii * self.ii if min_slot < 0 else \
+            -(min_slot // self.ii) * self.ii
+        if shift:
+            object.__setattr__(
+                self, "slots", {k: v + shift for k, v in slots.items()})
+
+    # -- basic accessors -----------------------------------------------------
+
+    def slot(self, name: str) -> int:
+        return self.slots[name]
+
+    def row(self, name: str) -> int:
+        """Issue cycle within the kernel (``issue_slot % II``)."""
+        return self.slots[name] % self.ii
+
+    def stage(self, name: str) -> int:
+        """Stage number ``s_v``."""
+        return self.slots[name] // self.ii
+
+    @property
+    def num_stages(self) -> int:
+        return max(self.stage(n) for n in self.slots) + 1
+
+    @property
+    def span(self) -> int:
+        """Completion time of the flat one-iteration schedule."""
+        return max(self.slots[n.name] + n.latency for n in self.ddg.nodes)
+
+    def d_ker(self, edge: Dependence) -> int:
+        """Definition 1: kernel distance of a dependence."""
+        return edge.distance + self.stage(edge.dst) - self.stage(edge.src)
+
+    # -- kernel structure ------------------------------------------------------
+
+    def kernel_rows(self) -> list[list[str]]:
+        """Instructions grouped by kernel row, each row sorted by stage then
+        position (a readable kernel listing)."""
+        rows: list[list[str]] = [[] for _ in range(self.ii)]
+        for node in self.ddg.nodes:
+            rows[self.row(node.name)].append(node.name)
+        for row in rows:
+            row.sort(key=lambda n: (self.stage(n), self.ddg.node(n).position))
+        return rows
+
+    def kernel_listing(self) -> str:
+        lines = [f"kernel of {self.ddg.name} (II={self.ii}, "
+                 f"stages={self.num_stages}, alg={self.algorithm})"]
+        for r, names in enumerate(self.kernel_rows()):
+            cells = ", ".join(f"{n}(s{self.stage(n)})" for n in names)
+            lines.append(f"  row {r:3d}: {cells}")
+        return "\n".join(lines)
+
+    # -- dependence classification (Definition 4) ---------------------------
+
+    def inter_iteration_register_deps(self) -> list[Dependence]:
+        """``RegDep`` over all nodes: inter-iteration register flow
+        dependences that appear in the kernel (``d_ker >= 1``)."""
+        return [e for e in self.ddg.edges
+                if e.is_register_flow and self.d_ker(e) >= 1]
+
+    def inter_iteration_memory_deps(self) -> list[Dependence]:
+        """``MemDep`` over all nodes: inter-iteration memory flow
+        dependences (``d_ker >= 1``) — the speculated dependences."""
+        return [e for e in self.ddg.edges
+                if e.is_memory_flow and self.d_ker(e) >= 1]
+
+
+def validate_schedule(schedule: Schedule, resources: ResourceModel) -> None:
+    """Check every dependence and resource constraint; raise on violation.
+
+    For every edge: ``slot(dst) >= slot(src) + delay - II * distance``.
+    Resource usage is replayed into a fresh modulo reservation table.
+    """
+    ii = schedule.ii
+    for e in schedule.ddg.edges:
+        lhs = schedule.slot(e.dst)
+        rhs = schedule.slot(e.src) + e.delay - ii * e.distance
+        if lhs < rhs:
+            raise ScheduleValidationError(
+                f"{schedule.ddg.name}: dependence {e} violated: "
+                f"slot({e.dst})={lhs} < slot({e.src})+delay-II*d={rhs} (II={ii})")
+    mrt = ModuloReservationTable(ii, resources)
+    for node in schedule.ddg.nodes:
+        cycle = schedule.slot(node.name)
+        if not mrt.fits(node.name, node.opcode, cycle):
+            raise ScheduleValidationError(
+                f"{schedule.ddg.name}: resource conflict placing {node.name} "
+                f"({node.opcode.name}) at cycle {cycle} (row {cycle % ii}, II={ii})")
+        mrt.place(node.name, node.opcode, cycle)

@@ -1,0 +1,139 @@
+"""Swing Modulo Scheduling (Llosa, PACT'96) — the baseline.
+
+The algorithm the paper implements in GCC 4.1.1 and extends into TMS:
+
+1. compute ``MII = max(ResMII, RecMII)``;
+2. order nodes with the SCC-prioritised swing ordering;
+3. for each candidate II starting at MII: place each node at the first
+   conflict-free slot of its scheduling window (scanned toward its already
+   scheduled neighbours, minimising value lifetimes — the
+   "lifetime-minimal" strategy the paper's Section 4.1 critiques);
+4. if any node cannot be placed, give up on this II and restart with
+   ``II + 1``.
+
+The scheduling loop exposes an ``accept`` hook so TMS can reuse it verbatim
+with its extra slot-acceptance conditions (Figure 3's boxed lines).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..config import SchedulerConfig
+from ..errors import SchedulingError
+from ..graph.ddg import DDG
+from ..graph.mii import compute_mii
+from ..graph.paths import compute_metrics, longest_dependence_path
+from ..machine.reservation import ModuloReservationTable
+from ..machine.resources import ResourceModel
+from .ordering import compute_node_order_with_directions
+from .schedule import Schedule, validate_schedule
+from .window import compute_window
+
+__all__ = ["SwingModuloScheduler", "schedule_sms"]
+
+#: extra II headroom beyond max(MII, LDP) before declaring failure.
+_II_SLACK = 16
+
+AcceptHook = Callable[[str, int, Mapping[str, int]], bool]
+PlaceHook = Callable[[str, int, Mapping[str, int]], None]
+ScoreHook = Callable[[str, int, Mapping[str, int]], float]
+
+
+class SwingModuloScheduler:
+    """SMS over one DDG + resource model."""
+
+    algorithm_name = "SMS"
+
+    def __init__(self, ddg: DDG, resources: ResourceModel,
+                 config: SchedulerConfig | None = None) -> None:
+        self.ddg = ddg
+        self.resources = resources
+        self.config = config or SchedulerConfig()
+        self.metrics = compute_metrics(ddg)
+        self.order, self.order_directions = compute_node_order_with_directions(
+            ddg, self.metrics)
+        self.mii = compute_mii(ddg, resources)
+        self.ldp = longest_dependence_path(ddg)
+        #: anchor unconstrained seeds at the top of their II range (TMS
+        #: sets this; see compute_window's seed_high).
+        self.seed_high = False
+
+    # -- public API -----------------------------------------------------------
+
+    def max_ii(self) -> int:
+        """Search bound: the paper bounds II by the longest dependence
+        path; we add slack for resource-bound corner cases."""
+        base = max(self.mii, self.ldp)
+        return int(base * self.config.max_ii_factor) + _II_SLACK
+
+    def schedule(self) -> Schedule:
+        """Find the lowest-II valid schedule (validated before return)."""
+        for ii in range(self.mii, self.max_ii() + 1):
+            slots = self.try_ii(ii)
+            if slots is not None:
+                sched = Schedule(self.ddg, ii, slots,
+                                 algorithm=self.algorithm_name,
+                                 meta={"mii": self.mii, "ldp": self.ldp})
+                validate_schedule(sched, self.resources)
+                return sched
+        raise SchedulingError(
+            f"{self.algorithm_name} failed on {self.ddg.name!r}: no valid "
+            f"schedule with II <= {self.max_ii()} (MII={self.mii})")
+
+    # -- one scheduling attempt ------------------------------------------------
+
+    def try_ii(self, ii: int, accept: AcceptHook | None = None,
+               on_place: PlaceHook | None = None,
+               score: ScoreHook | None = None) -> dict[str, int] | None:
+        """Attempt a schedule at the given II.
+
+        ``accept(v, cycle, partial)`` may veto an otherwise conflict-free
+        slot (TMS's C1/C2 conditions); ``on_place`` is notified after each
+        successful placement (with ``partial`` already updated) so callers
+        can maintain incremental state.
+
+        Without ``score``, the first acceptable slot in window order is
+        taken — SMS's lifetime-minimal strategy.  With ``score``, every
+        acceptable slot in the window is evaluated and the minimum-score
+        one wins (ties resolved by window order) — this is how TMS "finds
+        the time slot ... that leads to the shortest synchronisation
+        delay" (paper Section 4.1).
+
+        Returns the slot map, or None on failure.
+        """
+        mrt = ModuloReservationTable(ii, self.resources)
+        partial: dict[str, int] = {}
+        for v in self.order:
+            node = self.ddg.node(v)
+            window = compute_window(self.ddg, v, partial, ii, self.metrics,
+                                    self.order_directions.get(v, "top-down"),
+                                    seed_high=self.seed_high)
+            best_cycle: int | None = None
+            best_score = 0.0
+            for cycle in window.candidates():
+                if not mrt.fits(v, node.opcode, cycle):
+                    continue
+                if accept is not None and not accept(v, cycle, partial):
+                    continue
+                if score is None:
+                    best_cycle = cycle
+                    break
+                s = score(v, cycle, partial)
+                if best_cycle is None or s < best_score:
+                    best_cycle, best_score = cycle, s
+                    if s <= 0.0:
+                        break  # cannot do better than "no new sync at all"
+            if best_cycle is None:
+                return None
+            mrt.place(v, node.opcode, best_cycle)
+            partial[v] = best_cycle
+            if on_place is not None:
+                on_place(v, best_cycle, partial)
+        return partial
+
+
+def schedule_sms(ddg: DDG, resources: ResourceModel,
+                 config: SchedulerConfig | None = None) -> Schedule:
+    """Convenience wrapper: SMS-schedule ``ddg``."""
+    return SwingModuloScheduler(ddg, resources, config).schedule()

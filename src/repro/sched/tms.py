@@ -1,0 +1,331 @@
+"""Thread-sensitive Modulo Scheduling (the paper's contribution, Figure 3).
+
+TMS keeps SMS's machinery (same node order, same windows, same restart-on-
+failure discipline) and changes two things:
+
+1. **Objective.**  Instead of minimising II alone, TMS minimises
+   ``F(II, C_delay) = T_nomiss / N`` (Section 4.2).  It enumerates
+   ``(II, C_delay)`` pairs in increasing order of ``F`` — the exact analogue
+   of Figure 3's ``F_min++`` loop, with exact ``F`` granularity — and
+   returns the first pair admitting a valid schedule.
+
+2. **Issue-slot selection.**  A conflict-free slot is accepted only if
+   (C1) every *new* inter-iteration register dependence it creates has a
+   sync delay at most the current ``C_delay`` threshold, and (C2) whenever
+   it introduces new inter-iteration memory dependences, the misspeculation
+   frequency ``1 - prod(1 - p_e)`` over all *non-preserved* memory
+   dependences among the scheduled instructions stays at most ``P_max``.
+
+Pruning (documented divergence): a failure at ``(II, C)`` is taken to imply
+failure at ``(II, C' < C)`` — C1 with a smaller threshold only rejects more
+slots.  This is how GCC-style implementations keep the restart loop
+tractable and never triggered a false negative on our workloads.
+
+The ``speculation=False`` mode (Section 5.2's ablation) treats memory flow
+dependences as synchronised: they join C1 and never misspeculate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from ..config import ArchConfig, SchedulerConfig
+from ..costmodel.exectime import (
+    achieved_c_delay,
+    estimate_execution_time,
+    kernel_misspec_probability,
+    objective_f,
+)
+from ..errors import SchedulingError
+from ..graph.ddg import DDG
+from ..graph.dependence import Dependence
+from ..machine.resources import ResourceModel
+from .schedule import Schedule, validate_schedule
+from .sms import SwingModuloScheduler
+
+__all__ = ["ThreadSensitiveScheduler", "schedule_tms"]
+
+#: hard cap on scheduling attempts per P_max value (safety net).
+_MAX_ATTEMPTS = 4000
+
+
+class ThreadSensitiveScheduler(SwingModuloScheduler):
+    """TMS over one DDG, resource model and SpMT architecture."""
+
+    algorithm_name = "TMS"
+
+    def __init__(self, ddg: DDG, resources: ResourceModel, arch: ArchConfig,
+                 config: SchedulerConfig | None = None) -> None:
+        super().__init__(ddg, resources, config)
+        self.arch = arch
+        self.seed_high = True
+        self._max_lat = max((n.latency for n in ddg.nodes), default=1)
+
+    # -- public API -----------------------------------------------------------
+
+    def schedule(self) -> Schedule:
+        cfg = self.config
+        if not cfg.try_p_max_values:
+            return self._schedule_with_pmax(cfg.p_max)
+        # Paper: "several values for P_max can be tried so that the best
+        # schedule for a loop can be picked" — pick by modelled total time.
+        best: Schedule | None = None
+        best_cost = math.inf
+        for p_max in cfg.p_max_candidates:
+            try:
+                sched = self._schedule_with_pmax(p_max)
+            except SchedulingError:
+                continue
+            cost = estimate_execution_time(
+                sched, self.arch, iterations=1000,
+                synchronize_memory=not cfg.speculation).total
+            if cost < best_cost:
+                best, best_cost = sched, cost
+        if best is None:
+            raise SchedulingError(
+                f"TMS failed on {self.ddg.name!r} for every P_max candidate")
+        return best
+
+    # -- candidate enumeration ---------------------------------------------
+
+    def _c_delay_min(self) -> int:
+        """Smallest meaningful C_delay threshold: ``1 + C_reg_com``
+        (Definition 2 with a unit-latency producer issuing in the
+        consumer's row)."""
+        return 1 + self.arch.reg_comm_latency
+
+    def _c_delay_cap(self, ii: int) -> int:
+        """Largest sync delay any single-hop dependence can exhibit at this
+        II; beyond it C1 never binds."""
+        return ii - 1 + self._max_lat + self.arch.reg_comm_latency
+
+    def _candidates(self) -> list[tuple[float, int, int]]:
+        """(F, C_delay, II) triples sorted by increasing F, then C_delay
+        (prefer TLP), then II."""
+        out: list[tuple[float, int, int]] = []
+        cd_min = self._c_delay_min()
+        for ii in range(self.mii, self.max_ii() + 1):
+            for cd in range(cd_min, self._c_delay_cap(ii) + 1):
+                out.append((objective_f(ii, cd, self.arch), cd, ii))
+        out.sort()
+        return out
+
+    # -- main search ----------------------------------------------------------
+
+    def _schedule_with_pmax(self, p_max: float) -> Schedule:
+        attempts = 0
+        highest_failed_cd: dict[int, int] = {}
+        for f_value, cd, ii in self._candidates():
+            if cd <= highest_failed_cd.get(ii, -1):
+                continue
+            attempts += 1
+            if attempts > min(_MAX_ATTEMPTS, self.config.max_candidates):
+                break
+            slots = self._try_tms(ii, cd, p_max)
+            if slots is None:
+                highest_failed_cd[ii] = cd
+                continue
+            return self._finish(ii, slots, cd, p_max, f_value, fallback=False)
+        # Fallback: unconstrained C1 (threshold at cap) and C2 disabled —
+        # degenerates to SMS placement; keeps suite runs robust on
+        # pathological DDGs.  Recorded in meta.
+        for ii in range(self.mii, self.max_ii() + 1):
+            cd = self._c_delay_cap(ii)
+            slots = self.try_ii(ii)
+            if slots is not None:
+                return self._finish(ii, slots, cd, 1.0,
+                                    objective_f(ii, cd, self.arch), fallback=True)
+        raise SchedulingError(
+            f"TMS failed on {self.ddg.name!r}: no schedule up to II "
+            f"{self.max_ii()} even without thread-sensitivity constraints")
+
+    def _finish(self, ii: int, slots: Mapping[str, int], cd: int, p_max: float,
+                f_value: float, *, fallback: bool) -> Schedule:
+        sched = Schedule(self.ddg, ii, slots, algorithm=self.algorithm_name,
+                         meta={"mii": self.mii, "ldp": self.ldp,
+                               "c_delay_threshold": cd, "p_max": p_max,
+                               "objective_f": f_value, "fallback": fallback})
+        validate_schedule(sched, self.resources)
+        sched.meta["achieved_c_delay"] = achieved_c_delay(
+            sched, self.arch, include_memory=not self.config.speculation)
+        sched.meta["p_m"] = kernel_misspec_probability(sched, self.arch)
+        return sched
+
+    # -- one TMS scheduling attempt ---------------------------------------------
+
+    def _try_tms(self, ii: int, c_delay: int, p_max: float
+                 ) -> dict[str, int] | None:
+        """SMS placement with Figure 3's C1/C2 acceptance conditions."""
+        ccom = self.arch.reg_comm_latency
+        speculation = self.config.speculation
+        ddg = self.ddg
+        lat = {n.name: n.latency for n in ddg.nodes}
+
+        # incident flow edges, precomputed once per attempt
+        reg_in = {n.name: [e for e in ddg.preds(n.name) if e.is_register_flow]
+                  for n in ddg.nodes}
+        reg_out = {n.name: [e for e in ddg.succs(n.name) if e.is_register_flow]
+                   for n in ddg.nodes}
+        mem_in = {n.name: [e for e in ddg.preds(n.name) if e.is_memory_flow]
+                  for n in ddg.nodes}
+        mem_out = {n.name: [e for e in ddg.succs(n.name) if e.is_memory_flow]
+                   for n in ddg.nodes}
+
+        # Intra-thread ancestors (distance-0 flow closure) per node.  Our
+        # cores issue out of order, so a synchronisation wait only delays
+        # the RECV's *dependents*; a memory dependence is preserved by a
+        # synchronised dependence u -> v (Definition 3) only when v feeds
+        # the memory consumer within the same iteration — otherwise the
+        # consumer issues regardless of the wait and the "preserved"
+        # dependence can still be violated at run time.
+        ancestors: dict[str, frozenset[str]] = {}
+        order_by_pos = sorted(ddg.nodes, key=lambda n: n.position)
+        for node in order_by_pos:
+            anc: set[str] = {node.name}
+            for e in ddg.preds(node.name):
+                if e.distance == 0 and e.dtype.value == "flow" \
+                        and e.src in ancestors:
+                    anc |= ancestors[e.src]
+            ancestors[node.name] = frozenset(anc)
+
+        # incremental Definition-4 sets over the scheduled prefix:
+        #   scheduled register deps as (row_of_src, sync_delay, consumer)
+        #   scheduled memory deps as (row_of_src, required_skew,
+        #                             probability, consumer)
+        sched_reg: list[tuple[int, float, str]] = []
+        sched_mem: list[tuple[int, float, float, str]] = []
+
+        def dep_values(e: Dependence, slot_src: int, slot_dst: int
+                       ) -> tuple[int, float, float] | None:
+            """(row_src, sync_delay, required_skew) of edge ``e`` under the
+            tentative slots, or None when it stays intra-iteration."""
+            k = e.distance + (slot_dst // ii) - (slot_src // ii)
+            if k < 1:
+                return None
+            row_s, row_d = slot_src % ii, slot_dst % ii
+            span = row_s - row_d + lat[e.src]
+            return (row_s, span / k + ccom, span / k)
+
+        def new_deps(edges_in, edges_out, v: str, cycle: int,
+                     partial: Mapping[str, int]):
+            out = []
+            for e in edges_in[v]:
+                src_slot = cycle if e.src == v else partial.get(e.src)
+                if src_slot is None:
+                    continue
+                vals = dep_values(e, src_slot, cycle)
+                if vals is not None:
+                    out.append((e, vals))
+            for e in edges_out[v]:
+                if e.dst == v:
+                    continue  # self edge already covered above
+                dst_slot = partial.get(e.dst)
+                if dst_slot is None:
+                    continue
+                vals = dep_values(e, cycle, dst_slot)
+                if vals is not None:
+                    out.append((e, vals))
+            return out
+
+        def accept(v: str, cycle: int, partial: Mapping[str, int]) -> bool:
+            r_v = new_deps(reg_in, reg_out, v, cycle, partial)
+            m_v = new_deps(mem_in, mem_out, v, cycle, partial)
+            # C1: every new synchronised dependence within threshold
+            for _e, (_row, sync, _req) in r_v:
+                if sync > c_delay:
+                    return False
+            if not speculation:
+                # no-speculation mode: memory deps are synchronised too
+                for _e, (_row, sync, _req) in m_v:
+                    if sync > c_delay:
+                        return False
+                return True
+            if not m_v:
+                return True
+            # C2: misspeculation frequency of non-preserved memory deps
+            reg_all = sched_reg + [(row, sync, e.dst)
+                                   for e, (row, sync, _r) in r_v]
+            mem_all = sched_mem + [(row, req, e.probability, e.dst)
+                                   for e, (row, _s, req) in m_v]
+            prod = 1.0
+            for row_x, req, prob, y in mem_all:
+                anc_y = ancestors[y]
+                if req <= 0 or any(
+                        row_u < row_x and sync >= req and dst in anc_y
+                        for row_u, sync, dst in reg_all):
+                    continue  # preserved (Definition 3, ancestor-refined)
+                prod *= (1.0 - prob)
+            if 1.0 - prod > p_max:
+                return False
+            return True
+
+        def on_place(v: str, cycle: int, partial: Mapping[str, int]) -> None:
+            for e, (row, sync, _req) in new_deps(reg_in, reg_out, v, cycle, partial):
+                sched_reg.append((row, sync, e.dst))
+            if speculation:
+                for e, (row, _s, req) in new_deps(mem_in, mem_out, v, cycle, partial):
+                    sched_mem.append((row, req, e.probability, e.dst))
+
+        pred0 = {n.name: [e.src for e in ddg.preds(n.name)
+                          if e.distance == 0 and e.src != n.name]
+                 for n in ddg.nodes}
+        succ0 = {n.name: [e.dst for e in ddg.succs(n.name)
+                          if e.distance == 0 and e.dst != n.name]
+                 for n in ddg.nodes}
+        depth = {n.name: self.metrics[n.name].depth for n in ddg.nodes}
+        height = {n.name: self.metrics[n.name].height for n in ddg.nodes}
+
+        def slot_score(v: str, cycle: int, partial: Mapping[str, int]) -> float:
+            """The largest sync delay this placement would introduce (0 if
+            none): TMS picks the slot with the shortest synchronisation
+            delay among the acceptable ones (Section 4.1).
+
+            A sub-unit tiebreak prefers slots whose kernel row leaves
+            same-stage room for the node's still-unplaced same-iteration
+            neighbours — *below* for its feeder chain (depth), *above* for
+            its consumer chain (height).  Placing a node flush against a
+            stage boundary forces that chain across the boundary and turns
+            intra-thread dependences into synchronised ones.
+            """
+            worst = 0.0
+            for _e, (_row, sync, _req) in new_deps(reg_in, reg_out, v, cycle,
+                                                   partial):
+                worst = max(worst, sync)
+            if not speculation:
+                for _e, (_row, sync, _req) in new_deps(mem_in, mem_out, v,
+                                                       cycle, partial):
+                    worst = max(worst, sync)
+            row = cycle % ii
+            need_below = depth[v]
+            if need_below > 0 and any(p not in partial for p in pred0[v]):
+                shortfall = need_below - row
+                if shortfall > 0:
+                    worst += min(0.45, 0.45 * shortfall / need_below)
+            need_above = height[v]
+            if need_above > 0 and any(s not in partial for s in succ0[v]):
+                shortfall = need_above - (ii - 1 - row)
+                if shortfall > 0:
+                    worst += min(0.45, 0.45 * shortfall / need_above)
+            return worst
+
+        # two placement passes: seeds anchored at their ASAP first (best
+        # for small bodies), then anchored at the top of their II range
+        # (gives deep sink-seeded chains slack against resource conflicts,
+        # e.g. equake's smvp strands).  Incremental Definition-4 state must
+        # reset between passes.
+        for seed_high in (False, True):
+            sched_reg.clear()
+            sched_mem.clear()
+            self.seed_high = seed_high
+            slots = self.try_ii(ii, accept=accept, on_place=on_place,
+                                score=slot_score)
+            if slots is not None:
+                return slots
+        return None
+
+
+def schedule_tms(ddg: DDG, resources: ResourceModel, arch: ArchConfig,
+                 config: SchedulerConfig | None = None) -> Schedule:
+    """Convenience wrapper: TMS-schedule ``ddg``."""
+    return ThreadSensitiveScheduler(ddg, resources, arch, config).schedule()

@@ -1,0 +1,98 @@
+"""ASCII visualisation of schedules and thread timelines.
+
+Terminal-friendly renderings for inspection, docs and the compile CLI:
+
+* ``kernel_gantt`` — the kernel as a row × functional-unit grid, one cell
+  per placed instruction, stage numbers marked;
+* ``flat_schedule_chart`` — the one-iteration flat schedule as horizontal
+  issue/latency bars, stage boundaries ruled;
+* ``thread_timeline`` — SpMT threads (from a traced simulation) as
+  per-core occupancy bars, showing spawn cascade, stalls and commit
+  serialisation.
+"""
+
+from __future__ import annotations
+
+from ..ir.opcode import FUClass
+from ..spmt.trace import ThreadRecord
+from .schedule import Schedule
+
+__all__ = ["kernel_gantt", "flat_schedule_chart", "thread_timeline"]
+
+
+def kernel_gantt(schedule: Schedule) -> str:
+    """Kernel rows × FU classes, each cell listing the instructions the
+    row issues on that class."""
+    ddg = schedule.ddg
+    classes = [fu for fu in FUClass
+               if any(n.opcode.fu_class is fu for n in ddg.nodes)]
+    grid: dict[tuple[int, FUClass], list[str]] = {}
+    for node in ddg.nodes:
+        key = (schedule.row(node.name), node.opcode.fu_class)
+        grid.setdefault(key, []).append(
+            f"{node.name}/s{schedule.stage(node.name)}")
+    col_width = {
+        fu: max([len(fu.value)] + [len(" ".join(grid.get((r, fu), [])))
+                                   for r in range(schedule.ii)]) + 1
+        for fu in classes
+    }
+    header = "row | " + " | ".join(fu.value.ljust(col_width[fu])
+                                   for fu in classes)
+    lines = [f"kernel gantt: {ddg.name} (II={schedule.ii}, "
+             f"stages={schedule.num_stages})", header,
+             "-" * len(header)]
+    for r in range(schedule.ii):
+        cells = [" ".join(grid.get((r, fu), [])).ljust(col_width[fu])
+                 for fu in classes]
+        lines.append(f"{r:3d} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def flat_schedule_chart(schedule: Schedule, width: int = 72) -> str:
+    """Horizontal bars: issue cycle to completion per instruction, with
+    stage boundaries marked by '|'."""
+    ddg = schedule.ddg
+    span = schedule.span
+    scale = max(1.0, span / width)
+    boundaries = {round(k * schedule.ii / scale)
+                  for k in range(1, schedule.num_stages)}
+    name_w = max(len(n.name) for n in ddg.nodes)
+    lines = [f"flat schedule: {ddg.name} (span={span}, II={schedule.ii})"]
+    for node in sorted(ddg.nodes, key=lambda n: (schedule.slot(n.name),
+                                                 n.position)):
+        start = int(schedule.slot(node.name) / scale)
+        length = max(1, int(node.latency / scale))
+        row = [" "] * (int(span / scale) + 1)
+        for b in boundaries:
+            if b < len(row):
+                row[b] = "|"
+        for i in range(start, min(start + length, len(row))):
+            row[i] = "#"
+        lines.append(f"{node.name.rjust(name_w)} "
+                     f"[{''.join(row)}] @{schedule.slot(node.name)}")
+    return "\n".join(lines)
+
+
+def thread_timeline(records: list[ThreadRecord], ncore: int,
+                    width: int = 72, limit: int = 16) -> str:
+    """Per-core occupancy bars for the first ``limit`` committed threads.
+
+    '=' marks execution, '.' the gap to commit; the left edge of each bar
+    is the thread's start time.
+    """
+    records = records[:limit]
+    if not records:
+        return "(no thread records; run with SimConfig(trace=True))"
+    t0 = min(r.start for r in records)
+    t1 = max(r.commit for r in records)
+    scale = max(1.0, (t1 - t0) / width)
+    lines = [f"thread timeline ({len(records)} threads, {ncore} cores, "
+             f"1 char ~ {scale:.1f} cycles)"]
+    for rec in records:
+        start = int((rec.start - t0) / scale)
+        run = max(1, int((rec.finish - rec.start) / scale))
+        wait = max(0, int((rec.commit - rec.finish) / scale))
+        bar = " " * start + "=" * run + "." * wait
+        flag = f" !{rec.restarts}" if rec.restarts else ""
+        lines.append(f"t{rec.index:<3} c{rec.core} |{bar[:width + 8]}{flag}")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Scheduling-window computation (SMS, Section 4.1 of the paper).
+
+For the node ``v`` being placed against a partial schedule:
+
+* ``Estart`` — earliest legal slot w.r.t. already scheduled *predecessors*:
+  ``max(slot(u) + delay(u,v) - II*d(u,v))``;
+* ``Lstart`` — latest legal slot w.r.t. already scheduled *successors*:
+  ``min(slot(w) - delay(v,w) + II*d(v,w))``.
+
+The window and its scan direction depend on which neighbours are already
+scheduled (this is the "swing"): predecessors only → ``[Estart,
+Estart+II-1]`` scanned upward (place close after producers); successors only
+→ ``[Lstart-II+1, Lstart]`` scanned *downward* (place close before
+consumers — the motivating example's ``[7, 0]`` window for ``n6``); both →
+``[Estart, min(Lstart, Estart+II-1)]`` upward; neither → ``[ASAP,
+ASAP+II-1]`` upward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..graph.ddg import DDG
+from ..graph.paths import NodeMetrics
+
+__all__ = ["SchedulingWindow", "compute_window"]
+
+
+@dataclass(frozen=True)
+class SchedulingWindow:
+    """An inclusive slot range plus the order in which slots are tried."""
+
+    start: int
+    end: int
+    direction: str  # "up" | "down"
+
+    def candidates(self) -> list[int]:
+        if self.start > self.end:
+            return []
+        slots = list(range(self.start, self.end + 1))
+        if self.direction == "down":
+            slots.reverse()
+        return slots
+
+    @property
+    def empty(self) -> bool:
+        return self.start > self.end
+
+
+def compute_window(ddg: DDG, v: str, partial: Mapping[str, int], ii: int,
+                   metrics: Mapping[str, NodeMetrics],
+                   order_direction: str = "top-down",
+                   seed_high: bool = False) -> SchedulingWindow:
+    """The scheduling window of ``v`` against ``partial`` under ``ii``.
+
+    ``order_direction`` is the sweep direction ``v`` was *ordered* in; it
+    decides the scan direction when both neighbours are scheduled (SMS
+    places bottom-up-ordered nodes as late as possible, near their
+    consumers, and top-down-ordered nodes as early as possible).
+
+    ``seed_high`` flips the scan of the unconstrained ("no scheduled
+    neighbours") window to descending: the seed anchors at the top of its
+    II range, maximising the same-stage headroom left for the feeder
+    chains scheduled after it.  TMS uses this — a seed glued to its ASAP
+    leaves zero slack, and any resource conflict then pushes a feeder
+    across a stage boundary, turning an intra-thread dependence into a
+    synchronised one.
+    """
+    estart: int | None = None
+    for e in ddg.preds(v):
+        if e.src in partial:
+            bound = partial[e.src] + e.delay - ii * e.distance
+            estart = bound if estart is None else max(estart, bound)
+    lstart: int | None = None
+    for e in ddg.succs(v):
+        if e.dst in partial:
+            bound = partial[e.dst] - e.delay + ii * e.distance
+            lstart = bound if lstart is None else min(lstart, bound)
+
+    if estart is not None and lstart is not None:
+        if order_direction == "bottom-up":
+            return SchedulingWindow(max(estart, lstart - ii + 1), lstart, "down")
+        return SchedulingWindow(estart, min(lstart, estart + ii - 1), "up")
+    if estart is not None:
+        return SchedulingWindow(estart, estart + ii - 1, "up")
+    if lstart is not None:
+        return SchedulingWindow(lstart - ii + 1, lstart, "down")
+    asap = metrics[v].depth
+    if seed_high:
+        return SchedulingWindow(asap, asap + ii - 1, "down")
+    return SchedulingWindow(asap, asap + ii - 1, "up")

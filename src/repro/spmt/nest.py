@@ -1,0 +1,80 @@
+"""Loop-nest execution: amortisation of per-entry overheads.
+
+The paper parallelises *innermost* loops only and names outer-loop support
+as future work (Section 6).  This module models why that matters: every
+entry into an SpMT-parallelised inner loop pays
+
+* a **live-in broadcast** — the registers holding the loop's live-ins are
+  copied to every participating core (Section 3: "this will happen only
+  once for a loop"), one ring hop per core: ``(ncore - 1) * C_reg_com``;
+* the **pipeline fill** — the first ``num_stages - 1`` kernel iterations
+  ramp up before all cores contribute;
+
+so short inner trip counts amortise poorly.  Two strategies are modelled
+for a two-level nest with independent outer iterations:
+
+* ``simulate_nest_inner_tms`` — the paper's approach: each outer iteration
+  runs the TMS-parallelised inner loop across all cores;
+* ``simulate_nest_outer_parallel`` — the classic alternative: outer
+  iterations are dealt round-robin to cores, each running the inner loop
+  single-threaded (no speculation hardware needed, no per-entry ramp, but
+  no help for a *single* traversal and no use for DOACROSS outer loops).
+
+Comparing them over inner trip counts reproduces the crossover that
+motivates the future work.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import ArchConfig, SimConfig
+from ..graph.ddg import DDG
+from ..machine.resources import ResourceModel
+from ..sched.postpass import PipelinedLoop
+from .sim import simulate
+from .single import simulate_sequential
+from .stats import SimStats
+
+__all__ = [
+    "loop_entry_overhead",
+    "simulate_nest_inner_tms",
+    "simulate_nest_outer_parallel",
+]
+
+
+def loop_entry_overhead(pipelined: PipelinedLoop, arch: ArchConfig) -> float:
+    """Cycles paid on every entry into the SpMT-parallelised loop."""
+    broadcast = (arch.ncore - 1) * arch.reg_comm_latency
+    fill = (pipelined.num_stages - 1) * pipelined.ii / arch.ncore
+    return broadcast + fill
+
+
+def simulate_nest_inner_tms(pipelined: PipelinedLoop, arch: ArchConfig,
+                            outer_trip: int, inner_trip: int,
+                            seed: int = 0xACE5) -> SimStats:
+    """Run ``outer_trip`` entries of the parallelised inner loop."""
+    inner = simulate(pipelined, arch,
+                     SimConfig(iterations=inner_trip, seed=seed))
+    per_entry = loop_entry_overhead(pipelined, arch) + inner.total_cycles
+    stats = SimStats(iterations=outer_trip * inner_trip, ncore=arch.ncore,
+                     reg_comm_latency=arch.reg_comm_latency)
+    stats.total_cycles = outer_trip * per_entry
+    stats.sync_stall_cycles = outer_trip * inner.sync_stall_cycles
+    stats.send_recv_pairs = outer_trip * inner.send_recv_pairs
+    stats.misspeculations = outer_trip * inner.misspeculations
+    return stats
+
+
+def simulate_nest_outer_parallel(ddg: DDG, resources: ResourceModel,
+                                 arch: ArchConfig,
+                                 outer_trip: int, inner_trip: int) -> SimStats:
+    """Independent outer iterations dealt round-robin to cores, each
+    running the inner loop single-threaded."""
+    single = simulate_sequential(ddg, resources, inner_trip)
+    waves = math.ceil(outer_trip / arch.ncore)
+    stats = SimStats(iterations=outer_trip * inner_trip, ncore=arch.ncore)
+    # one broadcast of the nest's live-ins at nest entry
+    stats.total_cycles = (waves * single.total_cycles
+                          + (arch.ncore - 1) * arch.reg_comm_latency)
+    return stats

@@ -1,0 +1,182 @@
+"""The SpMT multicore simulator's thread-level event loop.
+
+Thread lifecycle (paper Section 3):
+
+* thread ``j`` executes kernel iteration ``j`` on core ``j % ncore``;
+* its first instruction is the spawn of thread ``j+1``, so
+  ``start(j+1) >= start(j) + C_spn`` — spawns are sequential and never
+  overlap;
+* the thread may also wait for its core: the core is free once the thread
+  ``ncore`` iterations earlier has committed (the double-buffered write
+  buffer drains in the background, covered by ``C_ci``);
+* RECVs stall until the producing thread's SEND value crosses the ring
+  (:mod:`repro.spmt.channels`);
+* when a manifested speculated dependence is violated, the consuming
+  thread is squashed (``C_inv``) and re-executed on the same core; its
+  synchronised inputs have typically already arrived, so the re-execution
+  stalls less — the cost model's ``max(0, C_delay - C_spn)`` re-execution
+  gain emerges on its own;
+* threads commit in order behind the head thread, each paying ``C_ci``.
+
+Approximations vs. the paper's SimpleScalar machine are per-thread (the
+out-of-order dataflow stall model of :mod:`repro.spmt.channels`, the
+more-speculative-squash count estimate) and documented where they live;
+they do not affect the ordering or magnitude relationships the experiments
+measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ArchConfig, SimConfig
+from ..errors import SimulationError
+from ..sched.postpass import PipelinedLoop
+from .channels import KernelTimingTemplate, ThreadTiming
+from .stats import SimStats
+from .trace import ThreadRecord
+from .violations import RealisationTable, detect_violation
+
+__all__ = ["SpMTSimulator", "simulate"]
+
+#: restart attempts per thread before declaring the simulation wedged.
+_MAX_RESTARTS = 64
+
+
+class SpMTSimulator:
+    """Simulates one pipelined loop on the SpMT machine."""
+
+    def __init__(self, pipelined: PipelinedLoop, arch: ArchConfig,
+                 sim: SimConfig | None = None) -> None:
+        self.pipelined = pipelined
+        self.arch = arch
+        self.sim = sim or SimConfig()
+        self.template = KernelTimingTemplate(pipelined, arch.reg_comm_latency)
+        # per-thread cache perturbation: indices of the kernel's loads, for
+        # drawing miss latencies when the architecture's miss rates are on.
+        self._load_indices = [
+            i for i, name in enumerate(self.template.names)
+            if pipelined.schedule.ddg.node(name).opcode.is_load
+        ]
+        self._cache_rng = (np.random.default_rng(self.sim.seed ^ 0xCAC4E)
+                          if arch.l1_miss_rate > 0.0 else None)
+
+    def run(self) -> SimStats:
+        arch = self.arch
+        n = self.sim.iterations
+        template = self.template
+        realisations = RealisationTable(template, self.sim.seed)
+
+        stats = SimStats(iterations=n, ncore=arch.ncore,
+                         reg_comm_latency=arch.reg_comm_latency)
+        timings: dict[int, ThreadTiming] = {}
+        commit_done: dict[int, float] = {}
+        core_free = [0.0] * arch.ncore
+        prev_start = -float(arch.spawn_overhead)
+        prev_commit = 0.0
+        events = 0
+
+        trace = self.sim.trace
+        for j in range(n):
+            core = j % arch.ncore
+            start = max(prev_start + arch.spawn_overhead, core_free[core])
+            restarts = 0
+            while True:
+                events += 1
+                if events > self.sim.max_events:
+                    raise SimulationError(
+                        f"simulation exceeded max_events={self.sim.max_events}")
+                timing = self._execute(j, start, timings)
+                timings[j] = timing
+                violation = detect_violation(
+                    template, timings, realisations.realised(j), j)
+                if violation is None:
+                    break
+                restarts += 1
+                if restarts > _MAX_RESTARTS:
+                    raise SimulationError(
+                        f"thread {j} restarted more than {_MAX_RESTARTS} "
+                        f"times; violation cannot clear")
+                _idx, detected = violation
+                stats.misspeculations += 1
+                stats.wasted_execution_cycles += max(0.0, detected - start)
+                stats.invalidation_cycles += arch.invalidation_overhead
+                # the violated thread plus all more speculative started
+                # threads are squashed; more speculative threads have not
+                # been computed yet (we process in order), so estimate how
+                # many had started by detection time from the spawn chain.
+                started_after = int(
+                    max(0.0, detected - start) // max(arch.spawn_overhead, 1))
+                stats.squashed_threads += 1 + min(arch.ncore - 1, started_after)
+                # re-execute on the same core after invalidation
+                start = detected + arch.invalidation_overhead
+            # committed execution: account its stalls
+            stats.sync_stall_cycles += timings[j].total_stall
+            # in-order commit behind the head thread
+            commit = max(timings[j].finish, prev_commit) + arch.commit_overhead
+            commit_done[j] = commit
+            core_free[core] = commit
+            prev_commit = commit
+            prev_start = timings[j].start
+            if trace:
+                stats.thread_records.append(ThreadRecord(
+                    index=j, core=core, start=timings[j].start,
+                    finish=timings[j].finish, commit=commit,
+                    stall_cycles=timings[j].total_stall,
+                    restarts=restarts))
+            # bound memory: drop state no longer reachable by any kernel
+            # distance (communication hops or speculated distances)
+            max_hops = max(
+                max((ch.hops for ch in template.channels), default=1),
+                max((k for (_x, _y, k, _p) in template.speculated), default=1),
+            )
+            horizon = j - max_hops - arch.ncore - 1
+            if horizon in timings:
+                del timings[horizon]
+
+        stats.total_cycles = prev_commit
+        stats.send_recv_pairs = self.pipelined.comm.pairs_per_iteration * n
+        stats.spawn_cycles = arch.spawn_overhead * n
+        stats.commit_cycles = arch.commit_overhead * n
+        return stats
+
+    # -- one thread execution ---------------------------------------------------
+
+    def _execute(self, j: int, start: float,
+                 timings: dict[int, ThreadTiming]) -> ThreadTiming:
+        """Resolve thread ``j``'s timing given all earlier threads."""
+        template = self.template
+        arrivals: list[float] = []
+        for idx, ch in enumerate(template.channels):
+            producer_thread = j - ch.hops
+            if producer_thread < 0 or producer_thread not in timings:
+                # live-in values were broadcast to every core before the
+                # loop started (Section 3): available immediately.
+                arrivals.append(float("-inf"))
+            else:
+                arrivals.append(
+                    timings[producer_thread].value_arrival(template, idx))
+        return ThreadTiming.resolve(template, start, arrivals,
+                                    extra_latency=self._draw_cache_extra())
+
+    def _draw_cache_extra(self) -> list[int] | None:
+        """Per-load latency perturbation from the probabilistic cache
+        (None when miss rates are zero — the deterministic default)."""
+        if self._cache_rng is None:
+            return None
+        arch = self.arch
+        extra = [0] * len(self.template.names)
+        for i in self._load_indices:
+            if self._cache_rng.random() < arch.l1_miss_rate:
+                if arch.l2_miss_rate > 0.0 and \
+                        self._cache_rng.random() < arch.l2_miss_rate:
+                    extra[i] = arch.l2_miss_latency - arch.l1_hit_latency
+                else:
+                    extra[i] = arch.l2_hit_latency - arch.l1_hit_latency
+        return extra
+
+
+def simulate(pipelined: PipelinedLoop, arch: ArchConfig,
+             sim: SimConfig | None = None) -> SimStats:
+    """Convenience wrapper: simulate ``pipelined`` on ``arch``."""
+    return SpMTSimulator(pipelined, arch, sim).run()

@@ -1,0 +1,61 @@
+"""Single-core baselines.
+
+Two references the experiments compare against:
+
+* :func:`simulate_sequential` — the paper's "single-threaded code"
+  (Figure 5 baseline): the original, non-software-pipelined loop running on
+  one core, modelled by acyclic list scheduling of one iteration plus
+  ideal out-of-order overlap of successive iterations (see
+  :mod:`repro.sched.listsched`; deliberately generous to the baseline);
+
+* :func:`simulate_modulo_single_core` — a modulo-scheduled kernel executed
+  conventionally on a single core: iterations initiate every II cycles and
+  the pipeline drains over the epilogue, ``T = (N - 1) * II + span``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.ddg import DDG
+from ..machine.resources import ResourceModel
+from ..sched.listsched import list_schedule
+from ..sched.schedule import Schedule
+from .stats import SimStats
+
+__all__ = ["simulate_sequential", "simulate_modulo_single_core"]
+
+
+#: reorder-buffer capacity of the baseline core (ROB-class window of the
+#: paper's era).  Bodies larger than the window cannot overlap successive
+#: iterations at all; smaller bodies overlap up to ``window / n`` deep.
+DEFAULT_REORDER_WINDOW = 112
+
+
+def simulate_sequential(ddg: DDG, resources: ResourceModel,
+                        iterations: int,
+                        window: int = DEFAULT_REORDER_WINDOW) -> SimStats:
+    """Single-threaded execution time of the original loop.
+
+    The out-of-order core overlaps successive iterations only as far as its
+    reorder window allows: with ``n`` instructions per iteration at most
+    ``window / n`` iterations are in flight, bounding the initiation rate
+    by ``span / (window / n)`` on top of the resource and recurrence
+    bounds.  This is what makes software pipelining profitable on large
+    recurrence-bound bodies (lucas) even single-threaded.
+    """
+    ls = list_schedule(ddg, resources)
+    in_flight = max(1.0, window / max(1, len(ddg)))
+    delta = max(ls.delta, math.ceil(ls.span / in_flight))
+    stats = SimStats(iterations=iterations, ncore=1)
+    if iterations:
+        stats.total_cycles = float(ls.span + (iterations - 1) * delta)
+    return stats
+
+
+def simulate_modulo_single_core(schedule: Schedule, iterations: int) -> SimStats:
+    """A software-pipelined kernel on one conventional core."""
+    stats = SimStats(iterations=iterations, ncore=1)
+    if iterations:
+        stats.total_cycles = float((iterations - 1) * schedule.ii + schedule.span)
+    return stats

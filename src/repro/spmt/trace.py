@@ -1,0 +1,46 @@
+"""Per-thread execution trace records.
+
+Enabled with ``SimConfig(trace=True)``: the simulator appends one
+:class:`ThreadRecord` per *committed* thread (including how many times it
+was squashed and re-executed first), giving tests and notebooks visibility
+into the thread-level timeline the aggregate :class:`~repro.spmt.stats.
+SimStats` summarises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ThreadRecord", "format_trace"]
+
+
+@dataclass(frozen=True)
+class ThreadRecord:
+    """Timeline of one committed thread (= one kernel iteration)."""
+
+    index: int          # iteration number
+    core: int
+    start: float        # final (committed) execution's start time
+    finish: float
+    commit: float
+    stall_cycles: float
+    restarts: int       # squash + re-execute rounds before committing
+
+    @property
+    def occupancy(self) -> float:
+        """Cycles the thread held its core in its committed run."""
+        return self.finish - self.start
+
+
+def format_trace(records: list[ThreadRecord], limit: int = 20) -> str:
+    """Human-readable thread timeline (first ``limit`` threads)."""
+    lines = [f"{'thr':>4} {'core':>4} {'start':>9} {'finish':>9} "
+             f"{'commit':>9} {'stall':>7} {'restarts':>8}"]
+    for rec in records[:limit]:
+        lines.append(
+            f"{rec.index:>4} {rec.core:>4} {rec.start:>9.1f} "
+            f"{rec.finish:>9.1f} {rec.commit:>9.1f} "
+            f"{rec.stall_cycles:>7.1f} {rec.restarts:>8}")
+    if len(records) > limit:
+        lines.append(f"... ({len(records) - limit} more)")
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""A library of classic innermost-loop kernels.
+
+Recognisable numerical loops, written in the IR, for examples, tests and
+user experimentation.  Each comes with the dependence character that makes
+it interesting for software pipelining / SpMT:
+
+=================  ==========================================================
+kernel             loop-carried structure
+=================  ==========================================================
+``dot_product``    one reduction accumulator (pure DOALL but for the sum)
+``daxpy``          none (DOALL) — the pipelining best case
+``fir_filter``     none across iterations; deep intra-iteration chain
+``prefix_sum``     exact distance-1 memory recurrence (scan)
+``jacobi_1d``      reads neighbours, writes a second array (DOALL)
+``seidel_1d``      in-place stencil: exact distance-1 recurrence (DOACROSS)
+``histogram``      indirect scatter increments (speculated DOACROSS)
+``pointer_chase``  serial register recurrence through an index (worst case)
+``livermore_k5``   tri-diagonal elimination: distance-1 recurrence
+``complex_mac``    complex multiply-accumulate, two reduction chains
+=================  ==========================================================
+
+``all_kernels()`` returns every kernel; ``kernel_by_name`` looks one up.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..ir.builder import LoopBuilder
+from ..ir.instruction import AliasHint
+from ..ir.loop import Loop
+from ..ir.opcode import Opcode
+from ..ir.operand import Reg
+
+__all__ = ["all_kernels", "kernel_by_name", "KERNEL_NAMES"]
+
+_N = 256
+
+
+def dot_product() -> Loop:
+    """``s += x[i] * y[i]`` — single reduction accumulator."""
+    b = LoopBuilder("dot_product", arrays={"X": _N, "Y": _N},
+                    live_ins={"s": 0.0})
+    b.load("n0", "x", "X")
+    b.load("n1", "y", "Y")
+    b.op("n2", Opcode.FMUL, "m", "x", "y")
+    b.op("n3", Opcode.FADD, "s", "s", "m")
+    return b.build()
+
+
+def daxpy() -> Loop:
+    """``y[i] += a * x[i]`` — the DOALL best case."""
+    b = LoopBuilder("daxpy", arrays={"X": _N, "Y": _N}, live_ins={"a": 2.0})
+    b.load("n0", "x", "X")
+    b.op("n1", Opcode.FMUL, "ax", "x", "a")
+    b.load("n2", "y", "Y")
+    b.op("n3", Opcode.FADD, "r", "ax", "y")
+    b.store("n4", "Y", Reg("r"))
+    return b.build()
+
+
+def fir_filter(taps: int = 4) -> Loop:
+    """``y[i] = sum_k c_k * x[i+k]`` — deep intra-iteration tree, no
+    loop-carried dependence."""
+    if taps < 2:
+        raise WorkloadError("fir_filter needs at least 2 taps")
+    b = LoopBuilder("fir_filter", arrays={"X": _N, "Y": _N},
+                    live_ins={f"c{k}": 0.5 + 0.1 * k for k in range(taps)})
+    terms = []
+    for k in range(taps):
+        b.load(f"l{k}", f"x{k}", "X", offset=k)
+        b.op(f"m{k}", Opcode.FMUL, f"t{k}", f"x{k}", f"c{k}")
+        terms.append(f"t{k}")
+    acc = terms[0]
+    for k, term in enumerate(terms[1:], start=1):
+        b.op(f"a{k}", Opcode.FADD, f"s{k}", acc, term)
+        acc = f"s{k}"
+    b.store("st", "Y", Reg(acc))
+    return b.build()
+
+
+def prefix_sum() -> Loop:
+    """``p[i+1] = p[i] + x[i]`` — exact distance-1 memory recurrence."""
+    b = LoopBuilder("prefix_sum", arrays={"X": _N, "P": _N})
+    b.load("n0", "p", "P")
+    b.load("n1", "x", "X")
+    b.op("n2", Opcode.FADD, "n", "p", "x")
+    b.store("n3", "P", Reg("n"), offset=1)
+    return b.build()
+
+
+def jacobi_1d() -> Loop:
+    """``b[i] = (a[i] + a[i+1] + a[i+2]) / 3`` — DOALL stencil."""
+    b = LoopBuilder("jacobi_1d", arrays={"A": _N, "B": _N},
+                    live_ins={"third": 1.0 / 3.0})
+    b.load("n0", "a0", "A", offset=0)
+    b.load("n1", "a1", "A", offset=1)
+    b.load("n2", "a2", "A", offset=2)
+    b.op("n3", Opcode.FADD, "s0", "a0", "a1")
+    b.op("n4", Opcode.FADD, "s1", "s0", "a2")
+    b.op("n5", Opcode.FMUL, "r", "s1", "third")
+    b.store("n6", "B", Reg("r"))
+    return b.build()
+
+
+def seidel_1d() -> Loop:
+    """In-place stencil ``a[i+1] = (a[i] + a[i+1] + a[i+2]) / 3`` — the
+    write feeds the next iteration's reads (exact DOACROSS)."""
+    b = LoopBuilder("seidel_1d", arrays={"A": _N},
+                    live_ins={"third": 1.0 / 3.0})
+    b.load("n0", "a0", "A", offset=0)
+    b.load("n1", "a1", "A", offset=1)
+    b.load("n2", "a2", "A", offset=2)
+    b.op("n3", Opcode.FADD, "s0", "a0", "a1")
+    b.op("n4", Opcode.FADD, "s1", "s0", "a2")
+    b.op("n5", Opcode.FMUL, "r", "s1", "third")
+    b.store("n6", "A", Reg("r"), offset=1)
+    return b.build()
+
+
+def histogram() -> Loop:
+    """``h[bin(x[i])] += 1`` — indirect scatter; consecutive iterations
+    rarely hit the same bin (the speculated DOACROSS pattern)."""
+    b = LoopBuilder("histogram", arrays={"X": _N, "H": 64},
+                    live_ins={"one": 1.0})
+    hint = (AliasHint("n4", distance=1, probability=1.0 / 64),)
+    b.load("n0", "x", "X")
+    b.op("n1", Opcode.FMUL, "bin", "x", 42.0)
+    b.load("n2", "h", "H", index_reg=Reg("bin"), alias_hints=hint)
+    b.op("n3", Opcode.FADD, "hn", "h", "one")
+    b.store("n4", "H", Reg("hn"), index_reg=Reg("bin"))
+    return b.build()
+
+
+def pointer_chase() -> Loop:
+    """``p = next[p]; s += data[p]`` — a serial load-to-address recurrence:
+    nothing to pipeline, the SpMT worst case."""
+    b = LoopBuilder("pointer_chase", arrays={"NEXT": _N, "DATA": _N},
+                    live_ins={"p": 1.0, "s": 0.0})
+    b.load("n0", "pn", "NEXT", index_reg=Reg("p"))
+    b.op("n1", Opcode.FMUL, "p", "pn", 97.0)
+    b.load("n2", "d", "DATA", index_reg=Reg("p"))
+    b.op("n3", Opcode.FADD, "s", "s", "d")
+    return b.build()
+
+
+def livermore_k5() -> Loop:
+    """Livermore kernel 5 (tri-diagonal elimination):
+    ``x[i] = z[i] * (y[i] - x[i-1])`` — a multiply on the critical
+    recurrence."""
+    b = LoopBuilder("livermore_k5", arrays={"X": _N, "Y": _N, "Z": _N})
+    b.load("n0", "xp", "X", offset=0)
+    b.load("n1", "y", "Y", offset=1)
+    b.load("n2", "z", "Z", offset=1)
+    b.op("n3", Opcode.FSUB, "d", "y", "xp")
+    b.op("n4", Opcode.FMUL, "r", "z", "d")
+    b.store("n5", "X", Reg("r"), offset=1)
+    return b.build()
+
+
+def complex_mac() -> Loop:
+    """Complex multiply-accumulate: two interleaved reduction chains."""
+    b = LoopBuilder("complex_mac",
+                    arrays={"AR": _N, "AI": _N, "BR": _N, "BI": _N},
+                    live_ins={"sr": 0.0, "si": 0.0})
+    b.load("n0", "ar", "AR")
+    b.load("n1", "ai", "AI")
+    b.load("n2", "br", "BR")
+    b.load("n3", "bi", "BI")
+    b.op("n4", Opcode.FMUL, "rr", "ar", "br")
+    b.op("n5", Opcode.FMUL, "ii", "ai", "bi")
+    b.op("n6", Opcode.FMUL, "ri", "ar", "bi")
+    b.op("n7", Opcode.FMUL, "ir", "ai", "br")
+    b.op("n8", Opcode.FSUB, "re", "rr", "ii")
+    b.op("n9", Opcode.FADD, "im", "ri", "ir")
+    b.op("n10", Opcode.FADD, "sr", "sr", "re")
+    b.op("n11", Opcode.FADD, "si", "si", "im")
+    return b.build()
+
+
+_FACTORIES = {
+    "dot_product": dot_product,
+    "daxpy": daxpy,
+    "fir_filter": fir_filter,
+    "prefix_sum": prefix_sum,
+    "jacobi_1d": jacobi_1d,
+    "seidel_1d": seidel_1d,
+    "histogram": histogram,
+    "pointer_chase": pointer_chase,
+    "livermore_k5": livermore_k5,
+    "complex_mac": complex_mac,
+}
+
+KERNEL_NAMES = tuple(sorted(_FACTORIES))
+
+
+def all_kernels() -> list[Loop]:
+    """Every kernel, freshly built."""
+    return [factory() for _name, factory in sorted(_FACTORIES.items())]
+
+
+def kernel_by_name(name: str) -> Loop:
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise WorkloadError(
+            f"unknown kernel {name!r}; choose from {KERNEL_NAMES}") from None

@@ -1,0 +1,99 @@
+"""Shared fixtures: architectures, machines, and reference loops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ArchConfig, SchedulerConfig, SimConfig
+from repro.graph import build_ddg
+from repro.ir import parse_loop
+from repro.machine import LatencyModel, ResourceModel
+from repro.workloads import motivating_ddg, motivating_latency, motivating_loop, motivating_machine
+
+AXPY_SRC = """
+loop axpy
+array X 64
+array Y 64
+livein a 2.0
+livein s 0.0
+n0: x = load X[i]
+n1: t = fmul x, a
+n2: y = load Y[i]
+n3: r = fadd t, y
+n4: store Y[i], r
+n5: s = fadd s, r
+"""
+
+#: a loop with an exact distance-2 memory recurrence and a counter
+RECURRENT_SRC = """
+loop recur
+array A 128
+array B 128
+livein acc 1.0
+livein k 3.0
+n0: v = load A[i]
+n1: w = fmul v, 1.5
+n2: store A[i+2], w
+n3: acc = fadd acc, w
+n4: u = load B[k]
+n5: z = fadd u, acc
+n6: store B[i], z
+n7: k = iadd k, 5
+"""
+
+
+@pytest.fixture
+def arch() -> ArchConfig:
+    return ArchConfig.paper_default()
+
+@pytest.fixture
+def single_core_arch() -> ArchConfig:
+    return ArchConfig.single_core()
+
+@pytest.fixture
+def resources() -> ResourceModel:
+    return ResourceModel.default()
+
+@pytest.fixture
+def latency(arch) -> LatencyModel:
+    return LatencyModel.for_arch(arch)
+
+@pytest.fixture
+def sched_config() -> SchedulerConfig:
+    return SchedulerConfig()
+
+@pytest.fixture
+def sim_config() -> SimConfig:
+    return SimConfig(iterations=200, seed=7)
+
+@pytest.fixture
+def axpy_loop():
+    return parse_loop(AXPY_SRC)
+
+@pytest.fixture
+def axpy_ddg(axpy_loop, latency):
+    return build_ddg(axpy_loop, latency)
+
+@pytest.fixture
+def recurrent_loop():
+    return parse_loop(RECURRENT_SRC)
+
+@pytest.fixture
+def recurrent_ddg(recurrent_loop, latency):
+    return build_ddg(recurrent_loop, latency)
+
+@pytest.fixture
+def fig1_loop():
+    return motivating_loop()
+
+@pytest.fixture
+def fig1_ddg():
+    return motivating_ddg()
+
+@pytest.fixture
+def fig1_machine():
+    return motivating_machine()
+
+@pytest.fixture
+def fig1_latency():
+    return motivating_latency()

@@ -1,0 +1,68 @@
+"""Section 4.2 cost model."""
+
+import pytest
+
+from repro.config import ArchConfig
+from repro.costmodel import (
+    achieved_c_delay,
+    estimate_execution_time,
+    kernel_misspec_probability,
+    misspec_penalty,
+    objective_f,
+    t_lower_bound,
+)
+from repro.sched import schedule_sms, schedule_tms
+
+
+def test_t_lb_formula(arch):
+    # T_lb = II + C_ci + max(C_spn, C_delay)
+    assert t_lower_bound(8, 11, arch) == 8 + 2 + 11
+    assert t_lower_bound(8, 1, arch) == 8 + 2 + 3
+
+
+def test_objective_regimes(arch):
+    # serial-part-dominated
+    assert objective_f(8, 20, arch) == 20
+    # core-throughput-dominated
+    assert objective_f(40, 4, arch) == pytest.approx((40 + 2 + 4) / 4)
+    # overhead floor
+    assert objective_f(1, 1, arch) >= arch.spawn_overhead
+
+
+def test_objective_monotone(arch):
+    assert objective_f(10, 5, arch) <= objective_f(12, 5, arch)
+    assert objective_f(10, 5, arch) <= objective_f(10, 8, arch)
+
+
+def test_misspec_penalty(arch):
+    # II + C_inv - max(0, C_delay - C_spn)
+    assert misspec_penalty(8, 11, arch) == 8 + 15 - 8
+    assert misspec_penalty(8, 2, arch) == 8 + 15
+
+
+def test_achieved_c_delay_floor_zero(axpy_ddg, resources, arch):
+    sched = schedule_sms(axpy_ddg, resources)
+    assert achieved_c_delay(sched, arch) >= 0.0
+
+
+def test_estimate_components(fig1_ddg, fig1_machine, arch):
+    sched = schedule_sms(fig1_ddg, fig1_machine)
+    est = estimate_execution_time(sched, arch, iterations=1000)
+    assert est.total == pytest.approx(est.t_nomiss + est.t_mis_spec)
+    assert est.t_nomiss == pytest.approx(
+        objective_f(sched.ii, est.c_delay, arch) * 1000)
+    assert 0.0 <= est.p_m <= 1.0
+    assert est.per_iteration > 0
+
+
+def test_sync_all_mode_kills_misspec(fig1_ddg, fig1_machine, arch):
+    sched = schedule_sms(fig1_ddg, fig1_machine)
+    est = estimate_execution_time(sched, arch, 100, synchronize_memory=True)
+    assert est.t_mis_spec == 0.0
+
+
+def test_tms_estimate_beats_sms(fig1_ddg, fig1_machine, arch):
+    sms = schedule_sms(fig1_ddg, fig1_machine)
+    tms = schedule_tms(fig1_ddg, fig1_machine, arch)
+    assert estimate_execution_time(tms, arch, 1000).total < \
+        estimate_execution_time(sms, arch, 1000).total

@@ -1,0 +1,30 @@
+"""Equation 3."""
+
+import pytest
+
+from repro.costmodel import misspec_probability
+from repro.graph.dependence import Dependence, DepKind, DepType
+
+
+def _mem(p, name="x"):
+    return Dependence(name, "y", DepKind.MEMORY, DepType.FLOW, 1, 1, p)
+
+
+def test_empty_is_zero():
+    assert misspec_probability([]) == 0.0
+
+
+def test_single(): 
+    assert misspec_probability([_mem(0.25)]) == pytest.approx(0.25)
+
+
+def test_compounding():
+    assert misspec_probability([_mem(0.5), _mem(0.5)]) == pytest.approx(0.75)
+
+
+def test_certain_dep_dominates():
+    assert misspec_probability([_mem(1.0), _mem(0.01)]) == pytest.approx(1.0)
+
+
+def test_accepts_raw_floats():
+    assert misspec_probability([0.1, 0.2]) == pytest.approx(1 - 0.9 * 0.8)

@@ -1,0 +1,34 @@
+"""Ablation sweeps (restricted to the small art loops for speed)."""
+
+import pytest
+
+from repro.experiments import run_comm_latency_sweep, run_core_sweep, run_pmax_sweep
+from repro.experiments.ablation import run_scheduler_comparison
+
+BENCH = ["art"]
+
+
+def test_pmax_sweep_monotone_misspec():
+    points = run_pmax_sweep(p_values=(0.0, 1.0), iterations=200,
+                            benchmarks=BENCH)
+    assert points[0].misspec_frequency <= points[1].misspec_frequency + 1e-9
+
+
+def test_comm_latency_sweep():
+    rows = run_comm_latency_sweep(latencies=(1, 6), iterations=200,
+                                  benchmarks=BENCH)
+    assert rows[0]["avg_c_delay"] <= rows[1]["avg_c_delay"]
+
+
+def test_core_sweep():
+    rows = run_core_sweep(cores=(2, 8), iterations=200, benchmarks=BENCH)
+    assert rows[0]["ncore"] == 2 and rows[1]["ncore"] == 8
+    assert rows[1]["avg_cycles_per_iteration"] <= \
+        rows[0]["avg_cycles_per_iteration"] + 1e-9
+
+
+def test_scheduler_comparison():
+    rows = run_scheduler_comparison(iterations=200, benchmarks=BENCH)
+    for row in rows:
+        assert row["tms_cdelay"] <= row["sms_cdelay"] + 1e-9
+        assert row["ims_ii"] > 0

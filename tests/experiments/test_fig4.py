@@ -1,0 +1,36 @@
+"""Figure 4 harness."""
+
+import pytest
+
+from repro.experiments import render_fig4, run_fig4, run_table2
+from repro.experiments.fig4 import amdahl
+
+
+def test_amdahl():
+    assert amdahl(0.5, 2.0) == pytest.approx(1 / 0.75)
+    assert amdahl(1.0, 2.0) == pytest.approx(2.0)
+    assert amdahl(0.0, 10.0) == pytest.approx(1.0)
+    assert amdahl(0.5, 0.0) == 1.0
+
+
+@pytest.fixture(scope="module")
+def rows():
+    t2 = run_table2(max_loops=2, benchmarks=["swim", "art"])
+    return run_fig4(iterations=150, table2_rows=t2)
+
+
+def test_speedups_positive(rows):
+    for r in rows:
+        assert r.loop_speedup > 0.9, r.benchmark
+        assert len(r.per_loop) == 2
+
+
+def test_program_composition(rows):
+    for r in rows:
+        if r.loop_speedup > 1:
+            assert 1.0 <= r.program_speedup <= r.loop_speedup
+
+
+def test_render(rows):
+    text = render_fig4(rows)
+    assert "AVERAGE" in text and "+28.0%" in text

@@ -1,0 +1,35 @@
+"""Figure 5 harness."""
+
+import pytest
+
+from repro.experiments import run_fig5, render_fig5, run_table3
+
+
+@pytest.fixture(scope="module")
+def rows():
+    t3 = run_table3()
+    return run_fig5(iterations=300, table3_rows=t3)
+
+
+def test_seven_rows(rows):
+    assert len(rows) == 7
+
+
+def test_all_loops_speed_up(rows):
+    for r in rows:
+        assert r.loop_speedup > 1.0, r.loop
+
+
+def test_equake_has_largest_program_speedup(rows):
+    best = max(rows, key=lambda r: r.program_speedup)
+    assert best.benchmark == "equake"
+
+
+def test_lucas_smallest(rows):
+    worst = min(rows, key=lambda r: r.loop_speedup)
+    assert worst.benchmark == "lucas"
+
+
+def test_render(rows):
+    text = render_fig5(rows)
+    assert "+73.0%" in text  # the paper's average, for comparison

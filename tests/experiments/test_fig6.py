@@ -1,0 +1,35 @@
+"""Figure 6 harness."""
+
+import pytest
+
+from repro.experiments import run_fig6, run_table3
+
+
+@pytest.fixture(scope="module")
+def rows():
+    t3 = run_table3()
+    return run_fig6(iterations=400, table3_rows=t3)
+
+
+def test_stall_reductions(rows):
+    by = {r.benchmark: r for r in rows}
+    # >50% reduction for art/equake/fma3d; lucas least impressive
+    for name in ("art", "equake", "fma3d"):
+        assert by[name].stall_reduction > 0.5, name
+    assert by["lucas"].stall_reduction < min(
+        by[n].stall_reduction for n in ("art", "equake", "fma3d"))
+
+
+def test_comm_overhead_reduced(rows):
+    for r in rows:
+        assert r.comm_reduction > 0.0, r.benchmark
+
+
+def test_lucas_pays_extra_pairs(rows):
+    by = {r.benchmark: r for r in rows}
+    assert by["lucas"].extra_pairs_per_iteration > 0
+
+
+def test_render(rows):
+    from repro.experiments import render_fig6
+    assert "lucas" in render_fig6(rows)

@@ -1,0 +1,43 @@
+"""Loop-nest strategy crossover."""
+
+import pytest
+
+from repro.config import ArchConfig
+from repro.experiments.nest import render_nest_crossover, run_nest_crossover
+from repro.spmt.nest import loop_entry_overhead
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_nest_crossover(inner_trips=(4, 64), benchmarks=["equake"])
+
+
+def test_amortisation_improves_with_trip(points):
+    by_trip = {p.inner_trip: p for p in points}
+    assert by_trip[64].inner_tms_cpi < by_trip[4].inner_tms_cpi
+
+
+def test_outer_doall_is_a_bound(points):
+    for p in points:
+        assert p.outer_parallel_cpi <= p.single_cpi + 1e-9
+
+
+def test_tms_wins_at_large_trips(points):
+    big = next(p for p in points if p.inner_trip == 64)
+    assert big.winner == "inner-tms"
+    assert big.tms_speedup > 1.0
+
+
+def test_entry_overhead_components(arch):
+    from repro.machine import ResourceModel
+    from repro.sched import run_postpass, schedule_tms
+    from repro.workloads import motivating_ddg, motivating_machine
+    sched = schedule_tms(motivating_ddg(), motivating_machine(), arch)
+    pipelined = run_postpass(sched, arch)
+    overhead = loop_entry_overhead(pipelined, arch)
+    assert overhead >= (arch.ncore - 1) * arch.reg_comm_latency
+
+
+def test_render(points):
+    text = render_nest_crossover(points)
+    assert "outer-DOALL" in text and "equake" in text

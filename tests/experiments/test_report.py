@@ -1,0 +1,21 @@
+"""Table formatting."""
+
+from repro.experiments.report import format_table, pct, ratio
+
+
+def test_alignment():
+    text = format_table(["A", "Bee"], [[1, 2.5], ["xx", 3]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "A" in lines[1] and "Bee" in lines[1]
+    assert len({len(l) for l in lines[1:]}) <= 2
+
+
+def test_pct():
+    assert pct(0.283) == "+28.3%"
+    assert pct(-0.05) == "-5.0%"
+
+
+def test_ratio():
+    assert ratio(4, 2) == 2
+    assert ratio(1, 0) == 0

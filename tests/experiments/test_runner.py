@@ -1,0 +1,15 @@
+"""CLI entry point."""
+
+from repro.experiments.runner import main
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Architecture simulated" in out
+
+
+def test_quick_table3(capsys):
+    assert main(["table3", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "DOACROSS" in out

@@ -1,0 +1,35 @@
+"""Table 2 harness (small populations for speed)."""
+
+import pytest
+
+from repro.experiments import render_table2, run_table2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table2(max_loops=2, benchmarks=["swim", "art", "wupwise"])
+
+
+def test_row_per_benchmark(rows):
+    assert {r.benchmark for r in rows} == {"swim", "art", "wupwise"}
+    for r in rows:
+        assert r.n_loops == 2
+
+
+def test_tms_trades_ii_for_cdelay(rows):
+    # the paper's headline Table-2 shape
+    for r in rows:
+        assert r.tms_ii >= r.sms_ii - 1e-9, r.benchmark
+        assert r.tms_cdelay <= r.sms_cdelay + 1e-9, r.benchmark
+
+
+def test_tlp_gap_widens(rows):
+    for r in rows:
+        assert r.tlp_gap_tms >= r.tlp_gap_sms - 1e-9, r.benchmark
+
+
+def test_render(rows):
+    text = render_table2(rows)
+    assert "swim" in text and "(paper)" in text
+    text2 = render_table2(rows, with_paper=False)
+    assert "(paper)" not in text2

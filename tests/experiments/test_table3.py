@@ -1,0 +1,39 @@
+"""Table 3 harness."""
+
+import pytest
+
+from repro.experiments import render_table3, run_table3
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table3()
+
+
+def test_four_benchmarks(rows):
+    assert {r.benchmark for r in rows} == {"art", "equake", "lucas", "fma3d"}
+    by = {r.benchmark: r for r in rows}
+    assert by["art"].n_loops == 4
+    assert by["equake"].n_loops == 1
+
+
+def test_coverage_column(rows):
+    by = {r.benchmark: r for r in rows}
+    assert by["equake"].coverage == pytest.approx(0.585)
+
+
+def test_lucas_cdelay_near_mii(rows):
+    by = {r.benchmark: r for r in rows}
+    lucas = by["lucas"]
+    assert lucas.tms_cdelay >= lucas.avg_mii  # recurrence-bound
+
+
+def test_others_cdelay_small(rows):
+    by = {r.benchmark: r for r in rows}
+    for name in ("equake", "fma3d"):
+        assert by[name].tms_cdelay <= 10, name
+
+
+def test_render(rows):
+    text = render_table3(rows)
+    assert "58.5%" in text and "(paper)" in text

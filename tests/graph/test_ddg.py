@@ -1,0 +1,166 @@
+"""DDG construction from loop IR."""
+
+import pytest
+
+from repro.errors import DDGError
+from repro.graph import DDG, DDGNode, Dependence, DepKind, DepType, build_ddg
+from repro.ir import parse_loop
+from repro.ir.opcode import Opcode
+from repro.machine import LatencyModel
+
+
+def find(ddg, src, dst, dtype=None):
+    out = [e for e in ddg.edges if e.src == src and e.dst == dst
+           and (dtype is None or e.dtype == dtype)]
+    return out
+
+
+class TestRegisterDeps:
+    def test_intra_iteration_flow(self, axpy_ddg):
+        (e,) = find(axpy_ddg, "n0", "n1", DepType.FLOW)
+        assert e.distance == 0
+        assert e.delay == axpy_ddg.latency("n0")
+
+    def test_accumulator_self_loop(self, axpy_ddg):
+        (e,) = find(axpy_ddg, "n5", "n5")
+        assert e.distance == 1 and e.kind is DepKind.REGISTER
+
+    def test_use_before_def_distance_one(self):
+        loop = parse_loop("""
+loop l
+livein k 0.0
+n0: t = fadd k, 1.0
+n1: k = fadd k, 2.0
+""")
+        ddg = build_ddg(loop, LatencyModel())
+        (e,) = find(ddg, "n1", "n0")
+        assert e.distance == 1
+
+    def test_back_reference_distance(self):
+        loop = parse_loop("""
+loop l
+livein k 0.0
+n0: k = fadd k, 1.0
+n1: t = fadd k@-2, 1.0
+""")
+        ddg = build_ddg(loop, LatencyModel())
+        (e,) = find(ddg, "n0", "n1")
+        assert e.distance == 2
+
+    def test_live_in_has_no_edge(self, axpy_ddg):
+        # 'a' is a pure live-in: no producer edge into n1 from it
+        preds = [e.src for e in axpy_ddg.preds("n1")]
+        assert preds == ["n0"]
+
+
+class TestMemoryDeps:
+    def test_exact_affine_flow(self, recurrent_ddg):
+        (e,) = find(recurrent_ddg, "n2", "n0", DepType.FLOW)
+        assert e.kind is DepKind.MEMORY
+        assert e.distance == 2
+        assert e.probability == 1.0
+
+    def test_same_iteration_anti(self, axpy_ddg):
+        (e,) = find(axpy_ddg, "n2", "n4", DepType.ANTI)
+        assert e.distance == 0
+
+    def test_irregular_uses_hint(self):
+        loop = parse_loop("""
+loop l
+array A 8
+livein p 1.0
+n0: v = load A[p] !alias n2:1:0.03
+n1: w = fadd v, 1.0
+n2: store A[p], w
+n3: p = iadd p, 3
+""")
+        ddg = build_ddg(loop, LatencyModel())
+        (e,) = find(ddg, "n2", "n0", DepType.FLOW)
+        assert e.probability == pytest.approx(0.03)
+
+    def test_irregular_without_hint_is_conservative(self):
+        loop = parse_loop("""
+loop l
+array A 8
+livein p 1.0
+n0: v = load A[p]
+n1: w = fadd v, 1.0
+n2: store A[p], w
+n3: p = iadd p, 3
+""")
+        ddg = build_ddg(loop, LatencyModel())
+        (e,) = find(ddg, "n2", "n0", DepType.FLOW)
+        assert e.probability == 1.0
+
+    def test_profile_probabilities_override(self):
+        loop = parse_loop("""
+loop l
+array A 8
+livein p 1.0
+n0: v = load A[p]
+n1: w = fadd v, 1.0
+n2: store A[p], w
+n3: p = iadd p, 3
+""")
+        ddg = build_ddg(loop, LatencyModel(),
+                        probabilities={("n2", "n0", 1): 0.01})
+        (e,) = find(ddg, "n2", "n0", DepType.FLOW)
+        assert e.probability == pytest.approx(0.01)
+
+    def test_lsq_suppresses_unlikely_same_iteration_aliases(self):
+        loop = parse_loop("""
+loop l
+array A 8
+livein p 1.0
+livein q 2.0
+n0: w = fadd p, 1.0
+n1: store A[p], w
+n2: v = load A[q] !alias n1:1:0.01
+n3: p = iadd p, 3
+n4: q = iadd q, 5
+""")
+        ddg = build_ddg(loop, LatencyModel(),
+                        probabilities={("n1", "n2", 0): 0.01,
+                                       ("n1", "n2", 1): 0.01})
+        dists = {e.distance for e in find(ddg, "n1", "n2", DepType.FLOW)}
+        assert 0 not in dists and 1 in dists
+
+    def test_different_arrays_never_alias(self, axpy_ddg):
+        assert not find(axpy_ddg, "n4", "n0")
+
+
+class TestDDGStructure:
+    def test_unknown_node_rejected(self):
+        node = DDGNode("a", Opcode.FADD, 2, 0)
+        bad = Dependence("a", "ghost", DepKind.REGISTER, DepType.FLOW, 0, 2)
+        with pytest.raises(DDGError):
+            DDG("g", [node], [bad])
+
+    def test_duplicate_node_rejected(self):
+        node = DDGNode("a", Opcode.FADD, 2, 0)
+        with pytest.raises(DDGError):
+            DDG("g", [node, node], [])
+
+    def test_distance_zero_cycle_rejected(self):
+        nodes = [DDGNode("a", Opcode.FADD, 2, 0), DDGNode("b", Opcode.FADD, 2, 1)]
+        edges = [Dependence("a", "b", DepKind.REGISTER, DepType.FLOW, 0, 2),
+                 Dependence("b", "a", DepKind.REGISTER, DepType.FLOW, 0, 2)]
+        with pytest.raises(DDGError):
+            DDG("g", nodes, edges)
+
+    def test_adjacency(self, axpy_ddg):
+        assert {e.dst for e in axpy_ddg.succs("n0")} == {"n1"}
+        assert {e.src for e in axpy_ddg.preds("n3")} == {"n1", "n2"}
+
+    def test_describe(self, axpy_ddg):
+        text = axpy_ddg.describe()
+        assert "n0" in text and "edges" in text
+
+
+def test_register_anti_deps_optional(axpy_loop):
+    ddg = build_ddg(axpy_loop, LatencyModel(), include_reg_anti=True)
+    anti = [e for e in ddg.edges
+            if e.kind is DepKind.REGISTER and e.dtype is DepType.ANTI]
+    output = [e for e in ddg.edges
+              if e.kind is DepKind.REGISTER and e.dtype is DepType.OUTPUT]
+    assert anti and output

@@ -1,0 +1,41 @@
+"""Dependence edge invariants."""
+
+import pytest
+
+from repro.errors import DDGError
+from repro.graph import Dependence, DepKind, DepType
+
+
+def _dep(**kw):
+    base = dict(src="a", dst="b", kind=DepKind.REGISTER, dtype=DepType.FLOW,
+                distance=0, delay=1)
+    base.update(kw)
+    return Dependence(**base)
+
+
+def test_register_dep_must_be_certain():
+    with pytest.raises(DDGError):
+        _dep(probability=0.5)
+
+
+def test_memory_dep_probability():
+    d = _dep(kind=DepKind.MEMORY, probability=0.25, distance=1)
+    assert d.probability == 0.25
+    assert d.is_memory_flow
+    assert not d.is_register_flow
+
+
+def test_negative_distance_rejected():
+    with pytest.raises(DDGError):
+        _dep(distance=-1)
+
+
+def test_self_dep_needs_distance():
+    with pytest.raises(DDGError):
+        _dep(src="a", dst="a", distance=0)
+    assert _dep(src="a", dst="a", distance=1).is_loop_carried
+
+
+def test_str():
+    text = str(_dep(distance=1))
+    assert "a -> b" in text and "d=1" in text

@@ -1,0 +1,36 @@
+"""ASAP/ALAP/height/depth and LDP."""
+
+from repro.graph import compute_metrics, longest_dependence_path
+
+
+def test_depth_height_consistency(axpy_ddg):
+    m = compute_metrics(axpy_ddg)
+    assert m["n0"].depth == 0
+    assert m["n1"].depth == 3           # after the load
+    assert m["n3"].depth == 7           # load(3) + fmul(4)
+    # height decreases along paths
+    assert m["n0"].height > m["n1"].height > m["n3"].height
+
+
+def test_mobility_nonnegative(fig1_ddg):
+    for name, m in compute_metrics(fig1_ddg).items():
+        assert m.mobility >= 0, name
+        assert m.alap >= m.depth
+
+
+def test_critical_path_zero_mobility(axpy_ddg):
+    m = compute_metrics(axpy_ddg)
+    # n0 -> n1 -> n3 -> n4 is the longest chain; all on it have mobility 0
+    for name in ("n0", "n1", "n3", "n4"):
+        assert m[name].mobility == 0
+
+
+def test_ldp(axpy_ddg):
+    # load(3) + fmul(4) + fadd(2) + fadd(2) = 11 through the accumulator
+    # (the store path completes at 10)
+    assert longest_dependence_path(axpy_ddg) == 11
+
+
+def test_ldp_motivating(fig1_ddg):
+    # the recurrence circuit is 8 cycles end to end
+    assert longest_dependence_path(fig1_ddg) == 8

@@ -1,0 +1,36 @@
+"""Tarjan SCC and condensation."""
+
+from repro.graph import condensation_order, strongly_connected_components
+
+
+def test_axpy_sccs_all_trivial_except_acc(axpy_ddg):
+    comps = strongly_connected_components(axpy_ddg)
+    sizes = sorted(len(c) for c in comps)
+    assert sizes == [1] * 6  # n5's recurrence is a self-loop (still size 1)
+
+
+def test_motivating_big_scc(fig1_ddg):
+    comps = strongly_connected_components(fig1_ddg)
+    big = max(comps, key=len)
+    assert set(big) == {"n0", "n1", "n2", "n3", "n4", "n5"}
+
+
+def test_condensation_is_topological(fig1_ddg):
+    comps = strongly_connected_components(fig1_ddg)
+    order = condensation_order(fig1_ddg, comps)
+    assert sorted(order) == list(range(len(comps)))
+    pos = {c: i for i, c in enumerate(order)}
+    comp_of = {}
+    for idx, comp in enumerate(comps):
+        for name in comp:
+            comp_of[name] = idx
+    for e in fig1_ddg.edges:
+        cu, cv = comp_of[e.src], comp_of[e.dst]
+        if cu != cv:
+            assert pos[cu] < pos[cv]
+
+
+def test_every_node_in_exactly_one_component(recurrent_ddg):
+    comps = strongly_connected_components(recurrent_ddg)
+    flat = [n for c in comps for n in c]
+    assert sorted(flat) == sorted(recurrent_ddg.node_names)

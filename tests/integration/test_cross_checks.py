@@ -1,0 +1,83 @@
+"""Cross-component consistency checks.
+
+Different subsystems compute related quantities by independent means; the
+reproduction is only trustworthy if they agree.
+"""
+
+import pytest
+
+from repro.config import ArchConfig, SimConfig
+from repro.costmodel import estimate_execution_time, objective_f
+from repro.graph import build_ddg, compute_mii, critical_circuits
+from repro.machine import LatencyModel, ResourceModel
+from repro.sched import (
+    allocate_registers,
+    generate_thread_program,
+    max_live,
+    run_postpass,
+    schedule_sms,
+    schedule_tms,
+)
+from repro.spmt import simulate
+from repro.workloads import generate_benchmark_loops, benchmark_by_name, kernel_by_name
+
+ARCH = ArchConfig.paper_default()
+RES = ResourceModel.default()
+LAT = LatencyModel.for_arch(ARCH)
+
+
+def _sample_loops():
+    loops = [kernel_by_name(n) for n in ("daxpy", "seidel_1d", "complex_mac")]
+    loops += generate_benchmark_loops(benchmark_by_name("swim"), max_loops=2)
+    return loops
+
+
+@pytest.mark.parametrize("loop", _sample_loops(), ids=lambda l: l.name)
+class TestCrossChecks:
+    @pytest.fixture
+    def compiled(self, loop):
+        ddg = build_ddg(loop, LAT)
+        return ddg, schedule_tms(ddg, RES, ARCH)
+
+    def test_cost_model_vs_simulator(self, compiled):
+        # on misspeculation-free runs the simulator must stay within a
+        # small factor of the model's T_nomiss/N (the model is a bound-ish
+        # approximation, not an exact predictor)
+        ddg, sched = compiled
+        pipelined = run_postpass(sched, ARCH)
+        n = 600
+        stats = simulate(pipelined, ARCH, SimConfig(iterations=n))
+        if stats.misspeculations:
+            pytest.skip("misspeculating run; model adds T_mis_spec")
+        est = estimate_execution_time(sched, ARCH, n)
+        ratio = stats.cycles_per_iteration / est.per_iteration
+        assert 0.3 <= ratio <= 3.0, (stats.cycles_per_iteration,
+                                     est.per_iteration)
+
+    def test_allocator_vs_maxlive(self, compiled):
+        _ddg, sched = compiled
+        alloc = allocate_registers(sched)
+        assert alloc.n_registers >= max_live(sched)
+
+    def test_circuits_vs_ii(self, compiled):
+        ddg, sched = compiled
+        circuits = critical_circuits(ddg, top=1)
+        if circuits:
+            assert sched.ii >= circuits[0].ii_bound
+        assert sched.ii >= compute_mii(ddg, RES)
+
+    def test_codegen_vs_comm_plan(self, compiled):
+        _ddg, sched = compiled
+        pipelined = run_postpass(sched, ARCH)
+        program = generate_thread_program(pipelined)
+        assert program.n_copies == pipelined.comm.copies
+        # one SEND chain per communicating producer
+        assert program.n_send == len(
+            {ch.edge.src for ch in pipelined.comm.channels})
+
+    def test_objective_consistent_with_meta(self, compiled):
+        _ddg, sched = compiled
+        if sched.meta.get("fallback"):
+            pytest.skip("fallback schedule has no candidate objective")
+        f = objective_f(sched.ii, sched.meta["c_delay_threshold"], ARCH)
+        assert f == pytest.approx(sched.meta["objective_f"])

@@ -1,0 +1,21 @@
+"""Whole-pipeline smoke: the public one-call API."""
+
+import pytest
+
+from repro import ArchConfig, compile_and_simulate
+from repro.workloads import motivating_loop
+
+
+def test_compile_and_simulate():
+    result = compile_and_simulate(motivating_loop(),
+                                  ArchConfig.paper_default(),
+                                  iterations=300)
+    assert result["tms"].total_cycles < result["sms"].total_cycles
+    assert result["sequential"].total_cycles > 0
+    compiled = result["compiled"]
+    assert compiled.tms.c_delay <= compiled.sms.c_delay
+
+
+def test_version():
+    import repro
+    assert repro.__version__

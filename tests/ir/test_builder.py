@@ -1,0 +1,45 @@
+"""LoopBuilder coercions and construction."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import LoopBuilder, Opcode, Reg
+
+
+def test_operand_coercion():
+    b = LoopBuilder("l", live_ins={"a": 1.0})
+    b.op("n0", "fadd", "t", "a", 2.5)
+    b.op("n1", Opcode.FMUL, "u", Reg("a"), "t@-1")
+    loop = b.build()
+    ins = loop.instruction("n1")
+    assert ins.srcs[1].back == 1
+
+
+def test_auto_names():
+    b = LoopBuilder("l", live_ins={"a": 1.0})
+    first = b.op(None, "fadd", "t", "a", 1.0)
+    second = b.op(None, "fadd", "u", "t", 1.0)
+    assert first.name != second.name
+
+
+def test_load_store_roundtrip():
+    b = LoopBuilder("l", arrays={"A": 16})
+    b.load("n0", "v", "A", coeff=2, offset=1)
+    b.store("n1", "A", "v", offset=3)
+    loop = b.build()
+    assert loop.instruction("n0").mem.index.coeff == 2
+    assert loop.instruction("n1").mem.index.offset == 3
+
+
+def test_indirect_index_requires_register():
+    b = LoopBuilder("l", arrays={"A": 16})
+    with pytest.raises(IRError):
+        b.load("n0", "v", "A", index_reg=1.5)
+
+
+def test_build_validates():
+    b = LoopBuilder("l")
+    b.op("n0", "fadd", "t", "missing", 1.0)
+    with pytest.raises(IRError):
+        b.build()
+    assert b.build(validate=False) is not None

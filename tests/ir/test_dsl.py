@@ -1,0 +1,93 @@
+"""DSL parser coverage."""
+
+import pytest
+
+from repro.errors import DSLParseError
+from repro.ir import AffineIndex, IndirectIndex, Opcode, parse_loop
+
+
+def test_full_loop(axpy_loop):
+    assert len(axpy_loop) == 6
+    assert axpy_loop.live_ins == {"a": 2.0, "s": 0.0}
+    assert axpy_loop.arrays == {"X": 64, "Y": 64}
+
+
+def test_affine_index_forms():
+    loop = parse_loop("""
+loop idx
+array A 32
+n0: a = load A[2*i+3]
+n1: b = load A[3*i]
+n2: c = load A[7]
+n3: d = fadd a, b
+n4: store A[i], d
+""")
+    assert loop.instruction("n0").mem.index == AffineIndex(2, 3)
+    assert loop.instruction("n1").mem.index == AffineIndex(3, 0)
+    assert loop.instruction("n2").mem.index == AffineIndex(0, 7)
+
+
+def test_indirect_index():
+    loop = parse_loop("""
+loop ind
+array A 32
+livein p 1.0
+n0: a = load A[p]
+n1: p = iadd p, 3
+""")
+    assert isinstance(loop.instruction("n0").mem.index, IndirectIndex)
+
+
+def test_alias_hints():
+    loop = parse_loop("""
+loop hints
+array A 32
+livein p 1.0
+n0: a = load A[p] !alias n2:1:0.05
+n1: b = fadd a, 1.0
+n2: store A[p], b
+n3: p = iadd p, 3
+""")
+    hint = loop.instruction("n0").alias_hints[0]
+    assert hint.producer == "n2"
+    assert hint.probability == pytest.approx(0.05)
+
+
+def test_back_reference_operand():
+    loop = parse_loop("""
+loop back
+livein s 0.0
+n0: t = fadd s@-1, 1.0
+n1: s = fadd s, t
+""")
+    assert loop.instruction("n0").srcs[0].back == 1
+
+
+def test_coverage_attribute():
+    loop = parse_loop("""
+loop cov coverage=0.25
+livein s 0.0
+n0: s = fadd s, 1.0
+""")
+    assert loop.coverage == pytest.approx(0.25)
+
+
+@pytest.mark.parametrize("bad", [
+    "array A 16",                       # no loop directive
+    "loop l\nloop m",                   # duplicate directive
+    "loop l\nn0: ???",                  # junk instruction
+    "loop l\nn0: t = frobnicate a, b",  # unknown opcode
+    "loop l\nn0: t = fadd a, b !alias x:1:0.5",  # hint on arith
+])
+def test_parse_errors(bad):
+    with pytest.raises(DSLParseError):
+        parse_loop(bad)
+
+
+def test_error_reports_line_number():
+    try:
+        parse_loop("loop l\nn0: t = frobnicate a")
+    except DSLParseError as exc:
+        assert exc.line_no == 2
+    else:
+        pytest.fail("expected DSLParseError")

@@ -1,0 +1,83 @@
+"""If-conversion of guarded regions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import run_sequential
+from repro.ir.ifconvert import GuardedLoopBuilder
+from repro.ir.opcode import Opcode
+
+
+def _clip_builder():
+    """Conditionally clamp: if x > t: y = t; always store y."""
+    gb = GuardedLoopBuilder("clip", arrays={"X": 32, "Y": 32},
+                            live_ins={"t": 1.0, "y": 0.0})
+    gb.load("l0", "x", "X")
+    gb.op("c0", Opcode.CMPLT, "over", "t", "x")   # over = t < x
+    with gb.when("over"):
+        gb.op("u0", Opcode.MOV, "y", "t")
+    gb.op("e0", Opcode.SELECT, "z", "over", "y", "x")
+    gb.store("s0", "Y", "z")
+    return gb
+
+
+def _guarded_store_builder():
+    """Conditionally accumulate into memory."""
+    gb = GuardedLoopBuilder("condacc", arrays={"X": 32, "A": 32},
+                            live_ins={"th": 1.0})
+    gb.load("l0", "x", "X")
+    gb.op("c0", Opcode.CMPLT, "big", "th", "x")
+    gb.op("d0", Opcode.FMUL, "v", "x", 2.0)
+    with gb.when("big"):
+        gb.store("s0", "A", "v")
+    return gb
+
+
+@pytest.mark.parametrize("factory", [_clip_builder, _guarded_store_builder])
+def test_lowered_loop_is_single_basic_block(factory):
+    loop = factory().lower()
+    # only plain compute/memory opcodes remain (if-converted)
+    assert all(not ins.opcode.is_comm for ins in loop.body)
+
+
+@pytest.mark.parametrize("factory", [_clip_builder, _guarded_store_builder])
+def test_lowering_preserves_semantics(factory):
+    gb = factory()
+    loop = gb.lower()
+    n = 24
+    init = {name: np.linspace(0.0, 2.0, size)
+            for name, size in gb.arrays.items()}
+    ref_regs, ref_arrays = gb.reference_run(n, array_init=init)
+    got = run_sequential(loop, n, array_init=init)
+    for name, arr in ref_arrays.items():
+        assert np.allclose(arr, got.arrays[name]), name
+    for reg, val in ref_regs.items():
+        if reg in got.registers:
+            assert got.registers[reg] == pytest.approx(val), reg
+
+
+def test_converted_loop_schedules_and_pipelines(resources, arch):
+    from repro.graph import build_ddg
+    from repro.machine import LatencyModel
+    from repro.sched import schedule_tms
+    from repro.sched.pipeline_exec import check_equivalence
+    loop = _guarded_store_builder().lower()
+    ddg = build_ddg(loop, LatencyModel.for_arch(arch))
+    sched = schedule_tms(ddg, resources, arch)
+    assert check_equivalence(loop, sched, iterations=16)
+
+
+def test_nested_guards_rejected():
+    gb = GuardedLoopBuilder("nested", live_ins={"c": 1.0})
+    with gb.when("c"):
+        with pytest.raises(IRError):
+            with gb.when("c"):
+                pass
+
+
+def test_guarded_load_rejected():
+    gb = GuardedLoopBuilder("gl", arrays={"X": 8}, live_ins={"c": 1.0})
+    with gb.when("c"):
+        with pytest.raises(IRError):
+            gb.load("l0", "x", "X")

@@ -1,0 +1,59 @@
+"""Instruction construction rules."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import AffineIndex, AliasHint, Imm, IndirectIndex, Instruction, MemRef, Opcode, Reg
+
+
+def test_simple_arith():
+    ins = Instruction("n0", Opcode.FADD, dest="t", srcs=(Reg("a"), Imm(1.0)))
+    assert ins.dest == "t"
+    assert len(ins.reg_reads) == 1
+
+
+def test_missing_dest_rejected():
+    with pytest.raises(IRError):
+        Instruction("n0", Opcode.FADD, srcs=(Reg("a"), Reg("b")))
+
+
+def test_store_cannot_have_dest():
+    with pytest.raises(IRError):
+        Instruction("n0", Opcode.STORE, dest="t",
+                    mem=MemRef("A", AffineIndex()), srcs=(Reg("v"),))
+
+
+def test_load_requires_mem():
+    with pytest.raises(IRError):
+        Instruction("n0", Opcode.LOAD, dest="t")
+
+
+def test_arith_cannot_have_mem():
+    with pytest.raises(IRError):
+        Instruction("n0", Opcode.FADD, dest="t",
+                    srcs=(Reg("a"), Reg("b")), mem=MemRef("A", AffineIndex()))
+
+
+def test_wrong_operand_count():
+    with pytest.raises(IRError):
+        Instruction("n0", Opcode.FADD, dest="t", srcs=(Reg("a"),))
+
+
+def test_indirect_address_counts_as_read():
+    ins = Instruction("n0", Opcode.LOAD, dest="t",
+                      mem=MemRef("A", IndirectIndex(Reg("p"))))
+    assert Reg("p") in ins.reg_reads
+
+
+def test_alias_hint_validation():
+    with pytest.raises(IRError):
+        AliasHint("n9", distance=-1)
+    with pytest.raises(IRError):
+        AliasHint("n9", probability=1.5)
+    hint = AliasHint("n9", distance=2, probability=0.25)
+    assert hint.distance == 2
+
+
+def test_str_rendering():
+    ins = Instruction("n3", Opcode.FMUL, dest="t", srcs=(Reg("a"), Imm(2.0)))
+    assert "n3" in str(ins) and "fmul" in str(ins)

@@ -1,0 +1,154 @@
+"""Reference interpreter semantics."""
+
+import numpy as np
+import pytest
+
+from repro.ir import parse_loop, run_sequential
+from repro.ir.interp import SequentialInterpreter
+
+
+def test_accumulator():
+    loop = parse_loop("""
+loop acc
+livein s 0.0
+n0: s = fadd s, 2.0
+""")
+    result = run_sequential(loop, 10)
+    assert result.registers["s"] == pytest.approx(20.0)
+
+
+def test_induction_variable():
+    loop = parse_loop("""
+loop ind
+livein s 0.0
+n0: t = fmul i, 1.0
+n1: s = fadd s, t
+""")
+    result = run_sequential(loop, 5)
+    assert result.registers["s"] == pytest.approx(0 + 1 + 2 + 3 + 4)
+
+
+def test_back_reference_reads_older_value():
+    # fib-ish: f = f@-1 + f@-2 (using two registers)
+    loop = parse_loop("""
+loop fib
+livein f 1.0
+n0: t = fadd f, f@-1
+n1: f = fadd t, 0.0
+""")
+    # f history: [1], then f1 = 1+1=2 (f@-1 falls back to oldest), f2 = 2+1,
+    # f3 = 3+2, f4 = 5+3 ...
+    result = run_sequential(loop, 4)
+    assert result.registers["f"] == pytest.approx(8.0)
+
+
+def test_store_load_roundtrip():
+    loop = parse_loop("""
+loop mem
+array A 16
+livein s 0.0
+n0: store A[i], i
+n1: v = load A[i]
+n2: s = fadd s, v
+""")
+    result = run_sequential(loop, 8)
+    assert result.registers["s"] == pytest.approx(sum(range(8)))
+    assert result.arrays["A"][3] == pytest.approx(3.0)
+
+
+def test_array_wraparound():
+    loop = parse_loop("""
+loop wrap
+array A 4
+n0: store A[i], 1.0
+""")
+    result = run_sequential(loop, 8)
+    assert np.allclose(result.arrays["A"], 1.0)
+
+
+def test_use_before_def_reads_previous_iteration():
+    loop = parse_loop("""
+loop prev
+livein s 10.0
+n0: t = fadd s, 0.0
+n1: s = fadd s, 1.0
+""")
+    interp = SequentialInterpreter(loop)
+    interp.step()
+    assert interp._hist["t"][-1] == pytest.approx(10.0)
+    interp.step()
+    assert interp._hist["t"][-1] == pytest.approx(11.0)
+
+
+def test_indirect_addressing():
+    loop = parse_loop("""
+loop indir
+array A 8
+livein p 0.0
+n0: store A[p], 5.0
+n1: p = iadd p, 2
+""")
+    result = run_sequential(loop, 3)
+    assert result.arrays["A"][0] == pytest.approx(5.0)
+    assert result.arrays["A"][2] == pytest.approx(5.0)
+    assert result.arrays["A"][4] == pytest.approx(5.0)
+
+
+def test_select_and_compare():
+    loop = parse_loop("""
+loop sel
+livein s 0.0
+n0: c = cmplt i, 3
+n1: v = select c, 10.0, 1.0
+n2: s = fadd s, v
+""")
+    result = run_sequential(loop, 5)
+    assert result.registers["s"] == pytest.approx(3 * 10 + 2 * 1)
+
+
+def test_address_trace():
+    loop = parse_loop("""
+loop tr
+array A 16
+n0: v = load A[2*i]
+""")
+    result = run_sequential(loop, 4, trace=True)
+    assert result.address_trace["n0"] == [(0, 0), (1, 2), (2, 4), (3, 6)]
+
+
+def test_array_init_override():
+    loop = parse_loop("""
+loop init
+array A 4
+livein s 0.0
+n0: v = load A[i]
+n1: s = fadd s, v
+""")
+    init = {"A": np.array([1.0, 2.0, 3.0, 4.0])}
+    result = run_sequential(loop, 4, array_init=init)
+    assert result.registers["s"] == pytest.approx(10.0)
+
+
+def test_default_arrays_deterministic():
+    loop = parse_loop("""
+loop det
+array A 8
+livein s 0.0
+n0: v = load A[i]
+n1: s = fadd s, v
+""")
+    r1 = run_sequential(loop, 8)
+    r2 = run_sequential(loop, 8)
+    assert r1.registers["s"] == pytest.approx(r2.registers["s"])
+
+
+def test_fingerprint_stability():
+    loop = parse_loop("""
+loop fp
+livein s 0.0
+n0: s = fadd s, 1.0
+""")
+    assert (run_sequential(loop, 5).state_fingerprint()
+            == run_sequential(loop, 5).state_fingerprint())
+    assert (run_sequential(loop, 5).state_fingerprint()
+            != run_sequential(loop, 6).state_fingerprint())

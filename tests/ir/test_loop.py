@@ -1,0 +1,52 @@
+"""Loop container invariants."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Instruction, Loop, Opcode, Reg
+
+
+def _mk(name, dest, *srcs):
+    return Instruction(name, Opcode.FADD, dest=dest,
+                       srcs=tuple(Reg(s) for s in srcs))
+
+
+def test_empty_body_rejected():
+    with pytest.raises(IRError):
+        Loop("l", body=())
+
+
+def test_position_and_lookup():
+    loop = Loop("l", body=(_mk("a", "x", "u", "u"), _mk("b", "y", "x", "x")),
+                live_ins={"u": 1.0})
+    assert loop.position("b") == 1
+    assert loop.instruction("a").dest == "x"
+    with pytest.raises(IRError):
+        loop.position("zzz")
+
+
+def test_double_definition_rejected():
+    loop = Loop("l", body=(_mk("a", "x", "u", "u"), _mk("b", "x", "u", "u")),
+                live_ins={"u": 1.0})
+    with pytest.raises(IRError):
+        loop.definers()
+
+
+def test_coverage_bounds():
+    body = (_mk("a", "x", "u", "u"),)
+    with pytest.raises(IRError):
+        Loop("l", body=body, coverage=0.0)
+    with pytest.raises(IRError):
+        Loop("l", body=body, coverage=1.5)
+    assert Loop("l", body=body, coverage=0.5).coverage == 0.5
+
+
+def test_listing_contains_instructions(axpy_loop):
+    text = axpy_loop.listing()
+    for name in axpy_loop.instruction_names:
+        assert name in text
+
+
+def test_loads_and_stores(axpy_loop):
+    assert {i.name for i in axpy_loop.loads} == {"n0", "n2"}
+    assert {i.name for i in axpy_loop.stores} == {"n4"}

@@ -1,0 +1,56 @@
+"""Opcode/FU-class invariants."""
+
+import pytest
+
+from repro.ir.opcode import DEFAULT_LATENCY, OPCODE_FU, FUClass, Opcode
+
+
+def test_every_opcode_has_fu_class():
+    for op in Opcode:
+        assert op.fu_class in FUClass
+
+
+def test_every_opcode_has_default_latency():
+    for op in Opcode:
+        assert DEFAULT_LATENCY[op] >= 1
+
+
+def test_memory_classification():
+    assert Opcode.LOAD.is_load and Opcode.LOAD.is_mem
+    assert Opcode.STORE.is_store and Opcode.STORE.is_mem
+    assert not Opcode.FADD.is_mem
+
+
+def test_dest_classification():
+    assert Opcode.LOAD.has_dest
+    assert Opcode.FADD.has_dest
+    assert not Opcode.STORE.has_dest
+    assert not Opcode.SPAWN.has_dest
+    assert not Opcode.NOP.has_dest
+
+
+def test_comm_opcodes():
+    for op in (Opcode.SEND, Opcode.RECV, Opcode.SPAWN):
+        assert op.is_comm
+        assert op.fu_class is FUClass.COMM
+    assert not Opcode.COPY.is_comm
+
+
+def test_operand_counts():
+    assert Opcode.FADD.num_srcs == 2
+    assert Opcode.FNEG.num_srcs == 1
+    assert Opcode.SELECT.num_srcs == 3
+    assert Opcode.FMA.num_srcs == 3
+    assert Opcode.LOAD.num_srcs == 0
+    assert Opcode.STORE.num_srcs == 1
+
+
+def test_fmul_slower_than_fadd():
+    # the paper's motivating example relies on the multiply being the
+    # longest arithmetic latency
+    assert DEFAULT_LATENCY[Opcode.FMUL] > DEFAULT_LATENCY[Opcode.FADD]
+
+
+def test_division_heaviest():
+    assert DEFAULT_LATENCY[Opcode.FDIV] > DEFAULT_LATENCY[Opcode.FMUL]
+    assert DEFAULT_LATENCY[Opcode.FSQRT] >= DEFAULT_LATENCY[Opcode.FDIV]

@@ -1,0 +1,62 @@
+"""Operand and memory-reference semantics."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.operand import AffineIndex, Imm, IndirectIndex, MemRef, Reg
+
+
+class TestReg:
+    def test_default_back(self):
+        assert Reg("x").back == 0
+
+    def test_str(self):
+        assert str(Reg("s")) == "s"
+        assert str(Reg("s", back=2)) == "s@-2"
+
+    def test_negative_back_rejected(self):
+        with pytest.raises(IRError):
+            Reg("s", back=-1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(IRError):
+            Reg("")
+
+    def test_hashable_equality(self):
+        assert Reg("a") == Reg("a")
+        assert Reg("a", 1) != Reg("a", 0)
+        assert len({Reg("a"), Reg("a"), Reg("b")}) == 2
+
+
+class TestImm:
+    def test_str_integral(self):
+        assert str(Imm(3.0)) == "3"
+
+    def test_str_fractional(self):
+        assert str(Imm(2.5)) == "2.5"
+
+
+class TestAffineIndex:
+    def test_at(self):
+        assert AffineIndex(2, 3).at(5) == 13
+        assert AffineIndex(0, 7).at(100) == 7
+
+    def test_str(self):
+        assert str(AffineIndex(1, 0)) == "i"
+        assert str(AffineIndex(2, 1)) == "2*i+1"
+        assert str(AffineIndex(1, -3)) == "i-3"
+        assert str(AffineIndex(0, 5)) == "5"
+
+
+class TestMemRef:
+    def test_affine_flag(self):
+        assert MemRef("A", AffineIndex()).is_affine
+        assert not MemRef("A", IndirectIndex(Reg("p"))).is_affine
+
+    def test_str(self):
+        assert str(MemRef("A", AffineIndex(1, 2))) == "A[i+2]"
+        assert str(MemRef("A", IndirectIndex(Reg("p")))) == "A[p]"
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(IRError):
+            MemRef("", AffineIndex())

@@ -1,0 +1,64 @@
+"""Loop / schedule JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import dumps_loop, loads_loop, run_sequential
+from repro.ir.serialize import schedule_from_dict, schedule_to_dict
+from repro.workloads import DOACROSS_LOOPS, kernel_by_name, motivating_loop
+
+
+@pytest.mark.parametrize("loop_factory", [
+    motivating_loop,
+    lambda: kernel_by_name("histogram"),
+    lambda: DOACROSS_LOOPS[4].loop,  # equake (indirect + hints)
+])
+def test_loop_roundtrip(loop_factory):
+    loop = loop_factory()
+    clone = loads_loop(dumps_loop(loop))
+    assert clone.name == loop.name
+    assert clone.instruction_names == loop.instruction_names
+    assert clone.live_ins == dict(loop.live_ins)
+    assert clone.arrays == dict(loop.arrays)
+    # semantics survive the round trip
+    assert run_sequential(clone, 12).state_fingerprint() == \
+        run_sequential(loop, 12).state_fingerprint()
+
+
+def test_hints_survive():
+    loop = kernel_by_name("histogram")
+    clone = loads_loop(dumps_loop(loop))
+    orig = loop.instruction("n2").alias_hints
+    got = clone.instruction("n2").alias_hints
+    assert got == orig
+
+
+def test_bad_format_rejected():
+    with pytest.raises(IRError):
+        loads_loop(json.dumps({"format": 99}))
+
+
+def test_schedule_roundtrip(axpy_loop, resources):
+    from repro.graph import build_ddg
+    from repro.machine import LatencyModel
+    from repro.sched import schedule_sms, validate_schedule
+    ddg = build_ddg(axpy_loop, LatencyModel())
+    sched = schedule_sms(ddg, resources)
+    data = schedule_to_dict(sched)
+    clone = schedule_from_dict(data)
+    assert clone.ii == sched.ii
+    assert dict(clone.slots) == dict(sched.slots)
+    validate_schedule(clone, resources)
+
+
+def test_schedule_without_loop_rejected(resources):
+    from repro.graph import DDG, DDGNode
+    from repro.ir.opcode import Opcode
+    from repro.sched import Schedule
+    ddg = DDG("synth", [DDGNode("a", Opcode.FADD, 2, 0)], [])
+    sched = Schedule(ddg, 1, {"a": 0})
+    data = schedule_to_dict(sched)
+    with pytest.raises(IRError):
+        schedule_from_dict(data)

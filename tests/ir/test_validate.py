@@ -1,0 +1,56 @@
+"""IR validation rules."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import parse_loop, validate_loop
+from repro.ir.builder import LoopBuilder
+from repro.ir.instruction import Instruction
+from repro.ir.opcode import Opcode
+from repro.ir.operand import Reg
+
+
+def test_undefined_register_rejected():
+    with pytest.raises(IRError, match="undefined"):
+        parse_loop("loop l\nn0: t = fadd ghost, 1.0")
+
+
+def test_induction_var_cannot_be_defined():
+    with pytest.raises(IRError):
+        parse_loop("loop l\nn0: i = iadd i, 1")
+
+
+def test_backref_on_live_in_only_register_rejected():
+    with pytest.raises(IRError, match="back-reference"):
+        parse_loop("loop l\nlivein a 1.0\nn0: t = fadd a@-1, 1.0")
+
+
+def test_undeclared_array_rejected():
+    with pytest.raises(IRError, match="undeclared"):
+        parse_loop("loop l\nn0: t = load GHOST[i]")
+
+
+def test_alias_hint_must_name_store():
+    with pytest.raises(IRError, match="alias hint"):
+        parse_loop("""
+loop l
+array A 8
+n0: t = load A[i] !alias n1:1:0.5
+n1: u = fadd t, 1.0
+""")
+
+
+def test_postpass_opcodes_rejected_in_source():
+    b = LoopBuilder("l")
+    b.add(Instruction("n0", Opcode.RECV, dest="t"))
+    with pytest.raises(IRError, match="post-pass"):
+        b.build()
+
+
+def test_negative_affine_start_rejected():
+    with pytest.raises(IRError, match="negative"):
+        parse_loop("loop l\narray A 8\nn0: t = load A[i-1]")
+
+
+def test_valid_loop_passes(axpy_loop):
+    validate_loop(axpy_loop)  # no raise

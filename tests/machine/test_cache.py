@@ -1,0 +1,29 @@
+"""Probabilistic cache model."""
+
+import numpy as np
+import pytest
+
+from repro.config import ArchConfig
+from repro.machine import CacheModel
+
+
+def test_no_misses_by_default():
+    arch = ArchConfig.paper_default()
+    cache = CacheModel(arch, np.random.default_rng(0))
+    assert all(cache.load_latency() == arch.l1_hit_latency for _ in range(64))
+
+
+def test_miss_rates_produce_longer_latencies():
+    arch = ArchConfig(l1_miss_rate=1.0, l2_miss_rate=0.0)
+    cache = CacheModel(arch, np.random.default_rng(0))
+    assert cache.load_latency() == arch.l2_hit_latency
+    arch2 = ArchConfig(l1_miss_rate=1.0, l2_miss_rate=1.0)
+    cache2 = CacheModel(arch2, np.random.default_rng(0))
+    assert cache2.load_latency() == arch2.l2_miss_latency
+
+
+def test_expected_latency():
+    arch = ArchConfig(l1_miss_rate=0.5, l2_miss_rate=0.5)
+    cache = CacheModel(arch, np.random.default_rng(0))
+    expected = 0.5 * 3 + 0.5 * (0.5 * 12 + 0.5 * 80)
+    assert cache.expected_load_latency() == pytest.approx(expected)

@@ -1,0 +1,39 @@
+"""Latency model."""
+
+import pytest
+
+from repro.config import ArchConfig
+from repro.errors import MachineError
+from repro.ir.opcode import Opcode
+from repro.machine import LatencyModel
+
+
+def test_defaults():
+    lat = LatencyModel()
+    assert lat.of(Opcode.FADD) == 2
+
+
+def test_l1_latency_pins_loads():
+    lat = LatencyModel.for_arch(ArchConfig(l1_hit_latency=5))
+    assert lat.of(Opcode.LOAD) == 5
+
+
+def test_overrides():
+    lat = LatencyModel({Opcode.FMUL: 7})
+    assert lat.of(Opcode.FMUL) == 7
+    assert lat.of(Opcode.FADD) == 2
+
+
+def test_instruction_dispatch(axpy_loop):
+    lat = LatencyModel()
+    ins = axpy_loop.instruction("n1")
+    assert lat.of(ins) == lat.of(Opcode.FMUL)
+
+
+def test_invalid_latency():
+    with pytest.raises(MachineError):
+        LatencyModel({Opcode.FADD: 0})
+
+
+def test_max_latency():
+    assert LatencyModel().max_latency() >= 16  # FSQRT

@@ -1,0 +1,66 @@
+"""Modulo reservation table behaviour."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.ir.opcode import FUClass, Opcode
+from repro.machine import FUSpec, ModuloReservationTable, ResourceModel
+
+
+@pytest.fixture
+def mrt():
+    rm = ResourceModel({FUClass.FPMUL: FUSpec(count=1, occupancy=4),
+                        FUClass.MEM: FUSpec(count=2)}, issue_width=2)
+    return ModuloReservationTable(4, rm)
+
+
+def test_basic_place_and_conflict(mrt):
+    mrt.place("a", Opcode.LOAD, 0)
+    mrt.place("b", Opcode.LOAD, 0)
+    # both memory ports of row 0 used, but issue width (2) also exhausted
+    assert not mrt.fits("c", Opcode.FADD, 0)
+    assert mrt.fits("c", Opcode.FADD, 1)
+
+
+def test_modulo_wrapping(mrt):
+    mrt.place("a", Opcode.LOAD, 1)
+    mrt.place("b", Opcode.LOAD, 5)  # same row (5 % 4 == 1)
+    assert not mrt.fits("c", Opcode.LOAD, 9)
+
+
+def test_nonpipelined_occupancy():
+    rm = ResourceModel({FUClass.FPMUL: FUSpec(count=1, occupancy=4)},
+                       issue_width=4)
+    mrt = ModuloReservationTable(8, rm)
+    mrt.place("m1", Opcode.FMUL, 0)   # occupies rows 0-3
+    assert not mrt.fits("m2", Opcode.FMUL, 2)
+    assert mrt.fits("m2", Opcode.FMUL, 4)
+
+
+def test_occupancy_spanning_entire_ii():
+    rm = ResourceModel({FUClass.FPDIV: FUSpec(count=1, occupancy=8)},
+                       issue_width=4)
+    mrt = ModuloReservationTable(4, rm)  # occupancy > II
+    mrt.place("d1", Opcode.FDIV, 0)
+    assert not mrt.fits("d2", Opcode.FDIV, 2)
+
+
+def test_remove_restores_capacity(mrt):
+    mrt.place("a", Opcode.LOAD, 0)
+    mrt.place("b", Opcode.LOAD, 0)
+    mrt.remove("a")
+    assert mrt.fits("c", Opcode.LOAD, 4)  # row 0 again
+    with pytest.raises(MachineError):
+        mrt.remove("a")
+
+
+def test_double_place_rejected(mrt):
+    mrt.place("a", Opcode.LOAD, 0)
+    with pytest.raises(MachineError):
+        mrt.fits("a", Opcode.LOAD, 1)
+
+
+def test_utilisation(mrt):
+    assert mrt.utilisation() == 0.0
+    mrt.place("a", Opcode.LOAD, 0)
+    assert mrt.utilisation() == pytest.approx(1 / 8)

@@ -1,0 +1,49 @@
+"""Resource model and ResMII."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.ir.opcode import FUClass, Opcode
+from repro.machine import FUSpec, ResourceModel
+
+
+def test_default_has_all_classes():
+    rm = ResourceModel.default()
+    for fu in FUClass:
+        assert rm.spec(fu).count >= 1
+
+
+def test_invalid_spec():
+    with pytest.raises(MachineError):
+        FUSpec(count=0)
+    with pytest.raises(MachineError):
+        FUSpec(occupancy=0)
+    with pytest.raises(MachineError):
+        ResourceModel(issue_width=0)
+
+
+def test_res_mii_issue_bound():
+    rm = ResourceModel.default(issue_width=4)
+    ops = [Opcode.FADD] * 8  # 2 FPADD units -> 4; issue bound 2
+    assert rm.res_mii(ops) == 4
+
+
+def test_res_mii_nonpipelined():
+    rm = ResourceModel({FUClass.FPMUL: FUSpec(count=1, occupancy=4)})
+    assert rm.res_mii([Opcode.FMUL]) == 4
+    assert rm.res_mii([Opcode.FMUL, Opcode.FMUL]) == 8
+
+
+def test_res_mii_empty():
+    assert ResourceModel.default().res_mii([]) == 1
+
+
+def test_res_mii_mem_ports():
+    rm = ResourceModel.default(issue_width=8)
+    ops = [Opcode.LOAD] * 6
+    assert rm.res_mii(ops) == 3  # 2 memory ports
+
+
+def test_describe_mentions_units():
+    text = ResourceModel.default().describe()
+    assert "mem" in text and "issue width" in text

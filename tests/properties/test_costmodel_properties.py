@@ -1,0 +1,43 @@
+"""Property-based tests on the cost model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ArchConfig
+from repro.costmodel import misspec_penalty, misspec_probability, objective_f, t_lower_bound
+
+ARCH = ArchConfig.paper_default()
+
+
+@given(ii=st.integers(1, 200), cd=st.floats(0.0, 200.0))
+@settings(max_examples=200)
+def test_objective_bounds(ii, cd):
+    f = objective_f(ii, cd, ARCH)
+    assert f >= max(ARCH.spawn_overhead, ARCH.commit_overhead, cd)
+    assert f >= t_lower_bound(ii, cd, ARCH) / ARCH.ncore
+    # T_nomiss/N can never be cheaper than perfect core-parallelism of II
+    assert f >= ii / ARCH.ncore
+
+
+@given(ii=st.integers(1, 100),
+       cd1=st.floats(0, 100), cd2=st.floats(0, 100))
+@settings(max_examples=200)
+def test_objective_monotone_cd(ii, cd1, cd2):
+    lo, hi = sorted((cd1, cd2))
+    assert objective_f(ii, lo, ARCH) <= objective_f(ii, hi, ARCH)
+
+
+@given(ps=st.lists(st.floats(0.0, 1.0), max_size=8))
+@settings(max_examples=200)
+def test_misspec_probability_bounds(ps):
+    p = misspec_probability(ps)
+    assert 0.0 <= p <= 1.0
+    if ps:
+        assert p >= max(ps) - 1e-12
+        assert p <= min(1.0, sum(ps) + 1e-12)
+
+
+@given(ii=st.integers(1, 100), cd=st.floats(0, 100))
+@settings(max_examples=200)
+def test_penalty_bounds(ii, cd):
+    pen = misspec_penalty(ii, cd, ARCH)
+    assert pen <= ii + ARCH.invalidation_overhead

@@ -1,0 +1,99 @@
+"""Property-based tests on the IR and DDG layers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import build_ddg, rec_mii, is_feasible_ii, compute_metrics
+from repro.ir import run_sequential
+from repro.machine import LatencyModel
+from repro.workloads import LoopShape, SyntheticLoopGenerator
+
+LAT = LatencyModel()
+
+shapes = st.builds(
+    LoopShape,
+    n_instr=st.integers(6, 24),
+    n_counters=st.integers(1, 2),
+    n_reg_recurrences=st.integers(0, 2),
+    reg_recurrence_len=st.integers(1, 3),
+    n_mem_recurrences=st.integers(0, 1),
+    n_spec_deps=st.integers(0, 2),
+)
+
+
+def _loop(shape, seed):
+    return SyntheticLoopGenerator(shape, seed).generate("prop")
+
+
+@given(shape=shapes, seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_interpreter_deterministic(shape, seed):
+    loop = _loop(shape, seed)
+    a = run_sequential(loop, 12).state_fingerprint()
+    b = run_sequential(loop, 12).state_fingerprint()
+    assert a == b
+
+
+@given(shape=shapes, seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_ddg_edges_well_formed(shape, seed):
+    ddg = build_ddg(_loop(shape, seed), LAT)
+    names = set(ddg.node_names)
+    for e in ddg.edges:
+        assert e.src in names and e.dst in names
+        assert e.distance >= 0
+        assert 0.0 <= e.probability <= 1.0
+        if e.distance == 0:
+            # intra-iteration edges always run forward in program order
+            assert ddg.node(e.src).position < ddg.node(e.dst).position
+
+
+@given(shape=shapes, seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_rec_mii_is_tight(shape, seed):
+    ddg = build_ddg(_loop(shape, seed), LAT)
+    r = rec_mii(ddg)
+    assert is_feasible_ii(ddg, r)
+    if r > 1:
+        assert not is_feasible_ii(ddg, r - 1)
+
+
+@given(shape=shapes, seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_metrics_relations(shape, seed):
+    ddg = build_ddg(_loop(shape, seed), LAT)
+    metrics = compute_metrics(ddg)
+    for e in ddg.edges:
+        if e.distance == 0:
+            assert metrics[e.dst].depth >= metrics[e.src].depth + e.delay
+            assert metrics[e.src].height >= metrics[e.dst].height + e.delay
+    for m in metrics.values():
+        assert m.mobility >= 0
+
+
+@given(shape=shapes, seed=st.integers(0, 10_000),
+       factor=st.sampled_from([2, 3, 4]))
+@settings(max_examples=20, deadline=None)
+def test_unroll_equivalence(shape, seed, factor):
+    from repro.ir.unroll import check_unroll_equivalence
+    loop = _loop(shape, seed)
+    assert check_unroll_equivalence(loop, factor, iterations=6)
+
+
+@given(shape=shapes, seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_unrolled_loops_still_schedule(shape, seed):
+    from repro.errors import SchedulingError
+    from repro.ir.unroll import unroll_loop
+    from repro.machine import ResourceModel
+    from repro.sched import schedule_ims, schedule_sms, validate_schedule
+    loop = unroll_loop(_loop(shape, seed), 2)
+    ddg = build_ddg(loop, LAT)
+    res = ResourceModel.default()
+    try:
+        sched = schedule_sms(ddg, res)
+    except SchedulingError:
+        # SMS is restart-only and can wedge on pinched windows (GCC's SMS
+        # bails to list scheduling in the same situation); the
+        # backtracking scheduler must still cope.
+        sched = schedule_ims(ddg, res)
+    validate_schedule(sched, res)

@@ -1,0 +1,64 @@
+"""Property-based tests on the SpMT simulator: conservation laws."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ArchConfig, SimConfig
+from repro.graph import build_ddg
+from repro.machine import LatencyModel, ResourceModel
+from repro.sched import run_postpass, schedule_sms
+from repro.spmt import simulate
+from repro.workloads import LoopShape, SyntheticLoopGenerator
+
+ARCH = ArchConfig.paper_default()
+RES = ResourceModel.default()
+LAT = LatencyModel.for_arch(ARCH)
+
+shapes = st.builds(
+    LoopShape,
+    n_instr=st.integers(8, 20),
+    n_counters=st.integers(1, 2),
+    n_reg_recurrences=st.integers(0, 1),
+    n_mem_recurrences=st.integers(0, 1),
+    n_spec_deps=st.integers(0, 2),
+    spec_probability=st.floats(0.0, 0.1),
+)
+
+
+def _pipelined(shape, seed):
+    loop = SyntheticLoopGenerator(shape, seed).generate("prop")
+    return run_postpass(schedule_sms(build_ddg(loop, LAT), RES), ARCH)
+
+
+@given(shape=shapes, seed=st.integers(0, 5000),
+       n=st.integers(1, 200))
+@settings(max_examples=20, deadline=None)
+def test_conservation(shape, seed, n):
+    pipelined = _pipelined(shape, seed)
+    stats = simulate(pipelined, ARCH, SimConfig(iterations=n, seed=seed))
+    assert stats.iterations == n
+    assert stats.send_recv_pairs == pipelined.comm.pairs_per_iteration * n
+    assert stats.total_cycles >= n * pipelined.ii / ARCH.ncore
+    assert stats.sync_stall_cycles >= 0
+    assert stats.squashed_threads >= stats.misspeculations
+    assert stats.invalidation_cycles == \
+        stats.misspeculations * ARCH.invalidation_overhead
+
+
+@given(shape=shapes, seed=st.integers(0, 5000))
+@settings(max_examples=15, deadline=None)
+def test_monotone_in_iterations(shape, seed):
+    pipelined = _pipelined(shape, seed)
+    t50 = simulate(pipelined, ARCH, SimConfig(iterations=50, seed=1))
+    t150 = simulate(pipelined, ARCH, SimConfig(iterations=150, seed=1))
+    assert t150.total_cycles > t50.total_cycles
+
+
+@given(shape=shapes, seed=st.integers(0, 5000))
+@settings(max_examples=10, deadline=None)
+def test_invalidation_overhead_monotone(shape, seed):
+    pipelined = _pipelined(shape, seed)
+    cheap = ArchConfig(invalidation_overhead=0)
+    dear = ArchConfig(invalidation_overhead=40)
+    a = simulate(pipelined, cheap, SimConfig(iterations=150, seed=2))
+    b = simulate(pipelined, dear, SimConfig(iterations=150, seed=2))
+    assert b.total_cycles >= a.total_cycles

@@ -1,0 +1,46 @@
+"""Property-based tests on supporting data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import loads_loop, dumps_loop, run_sequential
+from repro.sched.regalloc import _CyclicInterval
+from repro.workloads import LoopShape, SyntheticLoopGenerator
+
+
+def _brute_overlap(a: _CyclicInterval, b: _CyclicInterval) -> bool:
+    if a.length == 0 or b.length == 0:
+        return False
+    cover_a = {(a.start + i) % a.period for i in range(min(a.length, a.period))}
+    cover_b = {(b.start + i) % b.period for i in range(min(b.length, b.period))}
+    return bool(cover_a & cover_b)
+
+
+@given(period=st.integers(2, 24),
+       s1=st.integers(0, 48), l1=st.integers(0, 30),
+       s2=st.integers(0, 48), l2=st.integers(0, 30))
+@settings(max_examples=300)
+def test_cyclic_overlap_matches_brute_force(period, s1, l1, s2, l2):
+    a = _CyclicInterval(s1 % period, l1, period)
+    b = _CyclicInterval(s2 % period, l2, period)
+    assert a.overlaps(b) == _brute_overlap(a, b)
+    assert a.overlaps(b) == b.overlaps(a)  # symmetry
+
+
+shapes = st.builds(
+    LoopShape,
+    n_instr=st.integers(6, 20),
+    n_counters=st.integers(1, 2),
+    n_reg_recurrences=st.integers(0, 2),
+    n_mem_recurrences=st.integers(0, 1),
+    n_spec_deps=st.integers(0, 2),
+)
+
+
+@given(shape=shapes, seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_serialization_roundtrip(shape, seed):
+    loop = SyntheticLoopGenerator(shape, seed).generate("roundtrip")
+    clone = loads_loop(dumps_loop(loop))
+    assert clone.instruction_names == loop.instruction_names
+    assert run_sequential(clone, 8).state_fingerprint() == \
+        run_sequential(loop, 8).state_fingerprint()

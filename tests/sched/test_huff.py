@@ -1,0 +1,49 @@
+"""Huff's lifetime-sensitive modulo scheduling baseline."""
+
+import pytest
+
+from repro.sched import (
+    HuffModuloScheduler,
+    schedule_huff,
+    schedule_sms,
+    validate_schedule,
+)
+
+
+def test_axpy(axpy_ddg, resources):
+    sched = schedule_huff(axpy_ddg, resources)
+    validate_schedule(sched, resources)
+    s = HuffModuloScheduler(axpy_ddg, resources)
+    assert sched.ii >= s.mii
+
+
+def test_motivating(fig1_ddg, fig1_machine):
+    sched = schedule_huff(fig1_ddg, fig1_machine)
+    validate_schedule(sched, fig1_machine)
+    assert sched.ii >= 8
+
+
+def test_recurrent(recurrent_ddg, resources):
+    validate_schedule(schedule_huff(recurrent_ddg, resources), resources)
+
+
+def test_competitive_ii(fig1_ddg, fig1_machine):
+    huff = schedule_huff(fig1_ddg, fig1_machine)
+    sms = schedule_sms(fig1_ddg, fig1_machine)
+    assert huff.ii <= sms.ii + 4
+
+
+def test_doacross_loops(latency, resources):
+    from repro.graph import build_ddg
+    from repro.workloads import DOACROSS_LOOPS
+    for sl in DOACROSS_LOOPS:
+        if len(sl.loop) > 50:
+            continue  # keep the unit test fast
+        ddg = build_ddg(sl.loop, latency)
+        validate_schedule(schedule_huff(ddg, resources), resources)
+
+
+def test_semantic_equivalence(axpy_loop, axpy_ddg, resources):
+    from repro.sched.pipeline_exec import check_equivalence
+    sched = schedule_huff(axpy_ddg, resources)
+    assert check_equivalence(axpy_loop, sched, iterations=16)

@@ -1,0 +1,28 @@
+"""Iterative modulo scheduling baseline."""
+
+from repro.sched import IterativeModuloScheduler, schedule_ims, validate_schedule
+
+
+def test_axpy(axpy_ddg, resources):
+    sched = schedule_ims(axpy_ddg, resources)
+    validate_schedule(sched, resources)
+    s = IterativeModuloScheduler(axpy_ddg, resources)
+    assert sched.ii >= s.mii
+
+
+def test_motivating(fig1_ddg, fig1_machine):
+    sched = schedule_ims(fig1_ddg, fig1_machine)
+    validate_schedule(sched, fig1_machine)
+    assert sched.ii >= 8
+
+
+def test_recurrent(recurrent_ddg, resources):
+    sched = schedule_ims(recurrent_ddg, resources)
+    validate_schedule(sched, resources)
+
+
+def test_ims_competitive_with_sms(fig1_ddg, fig1_machine):
+    from repro.sched import schedule_sms
+    ims = schedule_ims(fig1_ddg, fig1_machine)
+    sms = schedule_sms(fig1_ddg, fig1_machine)
+    assert ims.ii <= sms.ii + 4

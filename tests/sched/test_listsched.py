@@ -1,0 +1,38 @@
+"""Acyclic list scheduling (single-threaded baseline)."""
+
+from repro.sched import list_schedule
+
+
+def test_dependences_respected(axpy_ddg, resources):
+    ls = list_schedule(axpy_ddg, resources)
+    for e in axpy_ddg.edges:
+        if e.distance == 0:
+            assert ls.times[e.dst] >= ls.times[e.src] + e.delay
+
+
+def test_span_at_least_ldp(axpy_ddg, resources):
+    from repro.graph import longest_dependence_path
+    ls = list_schedule(axpy_ddg, resources)
+    assert ls.span >= longest_dependence_path(axpy_ddg)
+
+
+def test_resources_respected(fig1_ddg, fig1_machine):
+    ls = list_schedule(fig1_ddg, fig1_machine)
+    by_cycle = {}
+    for name, t in ls.times.items():
+        by_cycle.setdefault(t, []).append(name)
+    for cycle, names in by_cycle.items():
+        assert len(names) <= fig1_machine.issue_width
+
+
+def test_delta_bounds(fig1_ddg, fig1_machine):
+    ls = list_schedule(fig1_ddg, fig1_machine)
+    assert ls.delta >= fig1_machine.res_mii(fig1_ddg.opcodes())
+
+
+def test_execution_time_linear(axpy_ddg, resources):
+    ls = list_schedule(axpy_ddg, resources)
+    t10 = ls.execution_time(10)
+    t20 = ls.execution_time(20)
+    assert t20 - t10 == 10 * ls.delta
+    assert ls.execution_time(0) == 0

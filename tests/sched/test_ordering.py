@@ -1,0 +1,51 @@
+"""SMS node ordering."""
+
+from repro.graph.scc import strongly_connected_components
+from repro.sched import compute_node_order, partition_into_sets
+from repro.sched.ordering import compute_node_order_with_directions
+
+
+def test_motivating_order_matches_paper(fig1_ddg):
+    # Section 4.1: "the nodes in the DDG are scheduled in the order:
+    # n5, n4, n2, n1, n0, n3, n6, n8 and n7" (we differ only in the
+    # tie-break between the independent counters n7/n8).
+    order = compute_node_order(fig1_ddg)
+    assert order[:6] == ["n5", "n4", "n2", "n1", "n0", "n3"]
+    assert set(order[6:]) == {"n6", "n7", "n8"}
+
+
+def test_order_is_permutation(axpy_ddg, recurrent_ddg, fig1_ddg):
+    for ddg in (axpy_ddg, recurrent_ddg, fig1_ddg):
+        order = compute_node_order(ddg)
+        assert sorted(order) == sorted(ddg.node_names)
+
+
+def test_critical_scc_first(fig1_ddg):
+    sets = partition_into_sets(fig1_ddg)
+    assert set(sets[0]) == {"n0", "n1", "n2", "n3", "n4", "n5"}
+
+
+def test_every_node_in_some_set(recurrent_ddg):
+    sets = partition_into_sets(recurrent_ddg)
+    flat = [n for s in sets for n in s]
+    assert sorted(flat) == sorted(recurrent_ddg.node_names)
+    assert len(flat) == len(set(flat))
+
+
+def test_directions_cover_all_nodes(fig1_ddg):
+    order, directions = compute_node_order_with_directions(fig1_ddg)
+    assert set(directions) == set(order)
+    assert set(directions.values()) <= {"top-down", "bottom-up"}
+
+
+def test_no_sandwiched_node_when_avoidable(axpy_ddg):
+    # the ordering should not leave a node whose preds AND succs are both
+    # already ordered unless the graph forces it (here it never does)
+    order = compute_node_order(axpy_ddg)
+    seen = set()
+    for v in order:
+        preds = {e.src for e in axpy_ddg.preds(v) if e.src != v}
+        succs = {e.dst for e in axpy_ddg.succs(v) if e.dst != v}
+        sandwiched = preds and succs and preds <= seen and succs <= seen
+        assert not sandwiched, v
+        seen.add(v)

@@ -1,0 +1,55 @@
+"""Semantic equivalence: pipelined execution vs sequential interpreter."""
+
+import pytest
+
+from repro.config import ArchConfig
+from repro.errors import SimulationError
+from repro.graph import build_ddg
+from repro.ir import parse_loop
+from repro.machine import LatencyModel, ResourceModel
+from repro.sched import Schedule, schedule_ims, schedule_sms, schedule_tms
+from repro.sched.pipeline_exec import check_equivalence, execute_pipelined
+
+
+def test_axpy_sms_equivalent(axpy_loop, axpy_ddg, resources):
+    sched = schedule_sms(axpy_ddg, resources)
+    assert check_equivalence(axpy_loop, sched, iterations=24)
+
+
+def test_axpy_tms_equivalent(axpy_loop, axpy_ddg, resources, arch):
+    sched = schedule_tms(axpy_ddg, resources, arch)
+    assert check_equivalence(axpy_loop, sched, iterations=24)
+
+
+def test_axpy_ims_equivalent(axpy_loop, axpy_ddg, resources):
+    sched = schedule_ims(axpy_ddg, resources)
+    assert check_equivalence(axpy_loop, sched, iterations=24)
+
+
+def test_recurrent_equivalent(recurrent_loop, recurrent_ddg, resources, arch):
+    for sched in (schedule_sms(recurrent_ddg, resources),
+                  schedule_tms(recurrent_ddg, resources, arch)):
+        assert check_equivalence(recurrent_loop, sched, iterations=24)
+
+
+def test_motivating_equivalent(fig1_loop, fig1_ddg, fig1_machine, arch):
+    for sched in (schedule_sms(fig1_ddg, fig1_machine),
+                  schedule_tms(fig1_ddg, fig1_machine, arch)):
+        assert check_equivalence(fig1_loop, sched, iterations=32)
+
+
+def test_bogus_schedule_detected(axpy_loop, axpy_ddg):
+    # a "schedule" that issues the consumer before the producer completes
+    # must diverge from sequential semantics
+    slots = {"n0": 0, "n1": 0, "n2": 0, "n3": 0, "n4": 0, "n5": 0}
+    bogus = Schedule(axpy_ddg, 1, slots)
+    with pytest.raises(SimulationError):
+        check_equivalence(axpy_loop, bogus, iterations=8)
+
+
+def test_execute_pipelined_returns_state(axpy_loop, axpy_ddg, resources):
+    sched = schedule_sms(axpy_ddg, resources)
+    result = execute_pipelined(axpy_loop, sched, 16)
+    assert result.iterations == 16
+    assert "s" in result.registers
+    assert "Y" in result.arrays

@@ -1,0 +1,78 @@
+"""Rotating register allocation."""
+
+import pytest
+
+from repro.sched import allocate_registers, max_live, schedule_sms, schedule_tms
+from repro.sched.regalloc import _CyclicInterval
+
+
+class TestCyclicInterval:
+    def test_disjoint(self):
+        a = _CyclicInterval(0, 3, 16)
+        b = _CyclicInterval(5, 3, 16)
+        assert not a.overlaps(b) and not b.overlaps(a)
+
+    def test_overlap(self):
+        a = _CyclicInterval(0, 6, 16)
+        b = _CyclicInterval(5, 3, 16)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_wraparound(self):
+        a = _CyclicInterval(14, 5, 16)  # wraps to [14,16) U [0,3)
+        b = _CyclicInterval(1, 2, 16)
+        c = _CyclicInterval(4, 2, 16)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_full_period(self):
+        a = _CyclicInterval(0, 16, 16)
+        b = _CyclicInterval(8, 1, 16)
+        assert a.overlaps(b)
+
+    def test_zero_length(self):
+        a = _CyclicInterval(0, 0, 16)
+        b = _CyclicInterval(0, 16, 16)
+        assert not a.overlaps(b)
+
+
+def test_allocation_valid(fig1_ddg, fig1_machine):
+    sched = schedule_sms(fig1_ddg, fig1_machine)
+    alloc = allocate_registers(sched)  # _verify raises on bugs
+    assert alloc.n_registers >= 1
+    assert alloc.kernel_unroll == max(alloc.copies.values())
+
+
+def test_register_count_bounds(fig1_ddg, fig1_machine, arch):
+    for sched in (schedule_sms(fig1_ddg, fig1_machine),
+                  schedule_tms(fig1_ddg, fig1_machine, arch)):
+        alloc = allocate_registers(sched)
+        # colours >= simultaneous live ranges, <= naive per-copy total
+        assert alloc.n_registers >= max_live(sched)
+        assert alloc.n_registers <= sum(alloc.copies.values())
+
+
+def test_every_instance_assigned(fig1_ddg, fig1_machine):
+    sched = schedule_sms(fig1_ddg, fig1_machine)
+    alloc = allocate_registers(sched)
+    for name, n in alloc.copies.items():
+        assert len(alloc.registers_of(name)) == alloc.kernel_unroll
+
+
+def test_no_values_case(resources, arch):
+    from repro.graph import DDG, DDGNode
+    from repro.ir.opcode import Opcode
+    from repro.sched import Schedule
+    ddg = DDG("empty", [DDGNode("a", Opcode.NOP, 1, 0)], [])
+    sched = Schedule(ddg, 1, {"a": 0})
+    alloc = allocate_registers(sched)
+    assert alloc.n_registers == 0
+
+
+def test_doacross_loops_allocate(latency, resources, arch):
+    from repro.graph import build_ddg
+    from repro.workloads import DOACROSS_LOOPS
+    for sl in DOACROSS_LOOPS:
+        ddg = build_ddg(sl.loop, latency)
+        sched = schedule_tms(ddg, resources, arch)
+        alloc = allocate_registers(sched)
+        assert alloc.n_registers >= max_live(sched)

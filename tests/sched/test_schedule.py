@@ -1,0 +1,69 @@
+"""Schedule representation: stages, rows, d_ker, validation."""
+
+import pytest
+
+from repro.errors import ScheduleValidationError
+from repro.sched import Schedule, schedule_sms, validate_schedule
+
+
+def test_normalisation_preserves_rows(axpy_ddg):
+    slots = {"n0": -8, "n1": -5, "n2": -8, "n3": -1, "n4": 1, "n5": 1}
+    sched = Schedule(axpy_ddg, 4, slots)
+    assert min(sched.stage(n) for n in slots) == 0
+    assert sched.row("n0") == (-8) % 4
+    assert sched.row("n4") == 1
+
+
+def test_missing_node_rejected(axpy_ddg):
+    with pytest.raises(ScheduleValidationError):
+        Schedule(axpy_ddg, 4, {"n0": 0})
+
+
+def test_unknown_node_rejected(axpy_ddg):
+    slots = {n: 0 for n in axpy_ddg.node_names}
+    slots["ghost"] = 3
+    with pytest.raises(ScheduleValidationError):
+        Schedule(axpy_ddg, 4, slots)
+
+
+def test_d_ker_definition(fig1_ddg, fig1_machine):
+    sched = schedule_sms(fig1_ddg, fig1_machine)
+    for e in fig1_ddg.edges:
+        expected = e.distance + sched.stage(e.dst) - sched.stage(e.src)
+        assert sched.d_ker(e) == expected
+
+
+def test_kernel_rows_partition(fig1_ddg, fig1_machine):
+    sched = schedule_sms(fig1_ddg, fig1_machine)
+    rows = sched.kernel_rows()
+    assert len(rows) == sched.ii
+    flat = [n for row in rows for n in row]
+    assert sorted(flat) == sorted(fig1_ddg.node_names)
+
+
+def test_validation_catches_dependence_violation(axpy_ddg, resources):
+    slots = {"n0": 0, "n1": 0, "n2": 0, "n3": 9, "n4": 11, "n5": 11}
+    sched = Schedule(axpy_ddg, 16, slots)  # n1 issues before n0 completes
+    with pytest.raises(ScheduleValidationError, match="violated"):
+        validate_schedule(sched, resources)
+
+
+def test_validation_catches_resource_conflict(axpy_ddg, resources):
+    # both loads plus the store in the same kernel row exceeds the two
+    # memory ports
+    good = {"n0": 0, "n2": 0, "n1": 3, "n3": 16, "n4": 18, "n5": 18}
+    validate_schedule(Schedule(axpy_ddg, 32, good), resources)
+    bad = {"n0": 0, "n2": 0, "n1": 3, "n3": 16, "n4": 32, "n5": 18}
+    with pytest.raises(ScheduleValidationError, match="resource"):
+        validate_schedule(Schedule(axpy_ddg, 32, bad), resources)
+
+
+def test_kernel_listing(fig1_ddg, fig1_machine):
+    sched = schedule_sms(fig1_ddg, fig1_machine)
+    text = sched.kernel_listing()
+    assert f"II={sched.ii}" in text
+
+
+def test_span(axpy_ddg, resources):
+    sched = schedule_sms(axpy_ddg, resources)
+    assert sched.span >= max(sched.slots[n.name] for n in axpy_ddg.nodes)

@@ -1,0 +1,42 @@
+"""ASCII visualisations."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.sched import (
+    flat_schedule_chart,
+    kernel_gantt,
+    run_postpass,
+    schedule_sms,
+    thread_timeline,
+)
+from repro.spmt import simulate
+
+
+@pytest.fixture
+def sched(fig1_ddg, fig1_machine):
+    return schedule_sms(fig1_ddg, fig1_machine)
+
+
+def test_kernel_gantt(sched, fig1_ddg):
+    text = kernel_gantt(sched)
+    assert f"II={sched.ii}" in text
+    for name in fig1_ddg.node_names:
+        assert name in text
+    assert len([l for l in text.splitlines() if l.startswith(" ")]) >= sched.ii
+
+
+def test_flat_chart(sched):
+    text = flat_schedule_chart(sched)
+    assert "#" in text and "span=" in text
+
+
+def test_thread_timeline(sched, arch):
+    stats = simulate(run_postpass(sched, arch), arch,
+                     SimConfig(iterations=12, trace=True))
+    text = thread_timeline(stats.thread_records, arch.ncore)
+    assert "t0" in text and "=" in text
+
+
+def test_thread_timeline_empty():
+    assert "no thread records" in thread_timeline([], 4)

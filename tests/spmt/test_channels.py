@@ -1,0 +1,60 @@
+"""Per-thread dataflow timing."""
+
+import pytest
+
+from repro.sched import run_postpass, schedule_sms
+from repro.spmt.channels import KernelTimingTemplate, ThreadTiming
+
+
+@pytest.fixture
+def template(fig1_ddg, fig1_machine, arch):
+    sched = schedule_sms(fig1_ddg, fig1_machine)
+    return KernelTimingTemplate(run_postpass(sched, arch), arch.reg_comm_latency)
+
+
+def test_template_shape(template, fig1_ddg):
+    assert template.ii == 8
+    assert template.span >= 8
+    assert len(template.names) == len(fig1_ddg)
+    assert len(template.channels) == 4  # n6->n0, n6->n6, n7->n7, n8->n8
+
+
+def test_no_arrivals_no_stall(template):
+    timing = ThreadTiming.resolve(template, 100.0,
+                                  [float("-inf")] * len(template.channels))
+    assert timing.total_stall == 0.0
+    assert timing.finish == 100.0 + template.span
+
+
+def test_late_arrival_stalls_consumer_and_dependents(template):
+    arrivals = [float("-inf")] * len(template.channels)
+    # delay the n6 -> n0 value (n0 is the root of the critical chain)
+    idx = next(i for i, ch in enumerate(template.channels)
+               if ch.producer == "n6" and ch.consumer == "n0")
+    arrivals[idx] = 150.0
+    timing = ThreadTiming.resolve(template, 100.0, arrivals)
+    assert timing.total_stall == pytest.approx(50.0)
+    assert timing.issue_time(template, "n0") == pytest.approx(150.0)
+    # n1 depends on n0: inherits the stall
+    assert timing.issue_time(template, "n1") >= 150.0 + 1
+    # the independent counter n7 does NOT inherit it (out-of-order core)
+    assert timing.issue_time(template, "n7") < 150.0
+
+
+def test_value_arrival_adds_hop_latency(template):
+    timing = ThreadTiming.resolve(template, 0.0,
+                                  [float("-inf")] * len(template.channels))
+    idx = next(i for i, ch in enumerate(template.channels)
+               if ch.producer == "n6" and ch.consumer == "n0")
+    expected = timing.completion_time(template, "n6") + 1 * 3
+    assert timing.value_arrival(template, idx) == pytest.approx(expected)
+
+
+def test_extra_latency_extends_finish(template):
+    n = len(template.names)
+    base = ThreadTiming.resolve(template, 0.0,
+                                [float("-inf")] * len(template.channels))
+    slow = ThreadTiming.resolve(template, 0.0,
+                                [float("-inf")] * len(template.channels),
+                                extra_latency=[10] * n)
+    assert slow.finish > base.finish

@@ -1,0 +1,51 @@
+"""Unit-level loop-nest model checks."""
+
+import math
+
+import pytest
+
+from repro.config import ArchConfig
+from repro.machine import ResourceModel
+from repro.sched import run_postpass, schedule_tms
+from repro.spmt.nest import (
+    loop_entry_overhead,
+    simulate_nest_inner_tms,
+    simulate_nest_outer_parallel,
+)
+from repro.workloads import motivating_ddg, motivating_machine
+
+ARCH = ArchConfig.paper_default()
+
+
+@pytest.fixture(scope="module")
+def pipelined():
+    sched = schedule_tms(motivating_ddg(), motivating_machine(), ARCH)
+    return run_postpass(sched, ARCH)
+
+
+def test_entry_overhead_formula(pipelined):
+    overhead = loop_entry_overhead(pipelined, ARCH)
+    broadcast = (ARCH.ncore - 1) * ARCH.reg_comm_latency
+    fill = (pipelined.num_stages - 1) * pipelined.ii / ARCH.ncore
+    assert overhead == pytest.approx(broadcast + fill)
+
+
+def test_inner_tms_scales_with_outer_trip(pipelined):
+    a = simulate_nest_inner_tms(pipelined, ARCH, outer_trip=4, inner_trip=50)
+    b = simulate_nest_inner_tms(pipelined, ARCH, outer_trip=8, inner_trip=50)
+    assert b.total_cycles == pytest.approx(2 * a.total_cycles)
+    assert b.iterations == 2 * a.iterations
+
+
+def test_outer_parallel_wave_math():
+    res = ResourceModel.default()
+    ddg = motivating_ddg()
+    t5 = simulate_nest_outer_parallel(ddg, res, ARCH, outer_trip=5,
+                                      inner_trip=32)
+    t8 = simulate_nest_outer_parallel(ddg, res, ARCH, outer_trip=8,
+                                      inner_trip=32)
+    # 5 outer iterations need 2 waves on 4 cores; 8 also need 2
+    assert t5.total_cycles == pytest.approx(t8.total_cycles)
+    t9 = simulate_nest_outer_parallel(ddg, res, ARCH, outer_trip=9,
+                                      inner_trip=32)
+    assert t9.total_cycles > t8.total_cycles

@@ -1,0 +1,44 @@
+"""Single-core baselines."""
+
+import pytest
+
+from repro.sched import list_schedule, schedule_sms
+from repro.spmt import simulate_modulo_single_core, simulate_sequential
+
+
+def test_sequential_linear(axpy_ddg, resources):
+    t100 = simulate_sequential(axpy_ddg, resources, 100).total_cycles
+    t200 = simulate_sequential(axpy_ddg, resources, 200).total_cycles
+    assert t200 > t100
+    assert (t200 - t100) == pytest.approx(
+        simulate_sequential(axpy_ddg, resources, 300).total_cycles - t200)
+
+
+def test_reorder_window_limits_overlap(axpy_ddg, resources):
+    wide = simulate_sequential(axpy_ddg, resources, 100, window=4096)
+    narrow = simulate_sequential(axpy_ddg, resources, 100, window=6)
+    assert narrow.total_cycles >= wide.total_cycles
+
+
+def test_modulo_single_core(fig1_ddg, fig1_machine):
+    sched = schedule_sms(fig1_ddg, fig1_machine)
+    stats = simulate_modulo_single_core(sched, 100)
+    assert stats.total_cycles == (100 - 1) * sched.ii + sched.span
+
+
+def test_modulo_single_core_zero_iterations(fig1_ddg, fig1_machine):
+    sched = schedule_sms(fig1_ddg, fig1_machine)
+    assert simulate_modulo_single_core(sched, 0).total_cycles == 0.0
+
+
+def test_software_pipelining_helps_large_bodies(resources):
+    # a recurrence-light large body: modulo scheduling beats the
+    # window-limited sequential core (the lucas effect)
+    from repro.workloads.doacross import _lucas_fft_loop
+    from repro.graph import build_ddg
+    from repro.machine import LatencyModel
+    ddg = build_ddg(_lucas_fft_loop(), LatencyModel())
+    seq = simulate_sequential(ddg, resources, 500)
+    sched = schedule_sms(ddg, resources)
+    smc = simulate_modulo_single_core(sched, 500)
+    assert smc.total_cycles < seq.total_cycles

@@ -1,0 +1,20 @@
+"""SimStats derived quantities."""
+
+import pytest
+
+from repro.spmt import SimStats
+
+
+def test_derived_metrics():
+    stats = SimStats(iterations=100, ncore=4, total_cycles=1000.0,
+                     sync_stall_cycles=50.0, send_recv_pairs=200,
+                     misspeculations=2, reg_comm_latency=3)
+    assert stats.cycles_per_iteration == pytest.approx(10.0)
+    assert stats.misspec_frequency == pytest.approx(0.02)
+    assert stats.communication_overhead == pytest.approx(50 + 600)
+
+
+def test_zero_iterations_safe():
+    stats = SimStats()
+    assert stats.cycles_per_iteration == 0.0
+    assert stats.misspec_frequency == 0.0

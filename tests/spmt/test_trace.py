@@ -1,0 +1,56 @@
+"""Per-thread trace records."""
+
+import pytest
+
+from repro.config import ArchConfig, SimConfig
+from repro.sched import run_postpass, schedule_sms
+from repro.spmt import format_trace, simulate
+
+
+@pytest.fixture
+def traced_stats(fig1_ddg, fig1_machine, arch):
+    pipelined = run_postpass(schedule_sms(fig1_ddg, fig1_machine), arch)
+    return simulate(pipelined, arch, SimConfig(iterations=64, trace=True))
+
+
+def test_one_record_per_thread(traced_stats):
+    assert len(traced_stats.thread_records) == 64
+    assert [r.index for r in traced_stats.thread_records] == list(range(64))
+
+
+def test_round_robin_cores(traced_stats, arch):
+    for rec in traced_stats.thread_records:
+        assert rec.core == rec.index % arch.ncore
+
+
+def test_timeline_ordering(traced_stats):
+    records = traced_stats.thread_records
+    for rec in records:
+        assert rec.start <= rec.finish <= rec.commit
+    # in-order commit
+    commits = [r.commit for r in records]
+    assert commits == sorted(commits)
+    # spawn chain: starts are non-decreasing
+    starts = [r.start for r in records]
+    assert starts == sorted(starts)
+
+
+def test_stall_accounting_matches_stats(traced_stats):
+    assert sum(r.stall_cycles for r in traced_stats.thread_records) == \
+        pytest.approx(traced_stats.sync_stall_cycles)
+
+
+def test_restart_accounting(traced_stats):
+    assert sum(r.restarts for r in traced_stats.thread_records) == \
+        traced_stats.misspeculations
+
+
+def test_trace_off_by_default(fig1_ddg, fig1_machine, arch):
+    pipelined = run_postpass(schedule_sms(fig1_ddg, fig1_machine), arch)
+    stats = simulate(pipelined, arch, SimConfig(iterations=16))
+    assert stats.thread_records == []
+
+
+def test_format_trace(traced_stats):
+    text = format_trace(traced_stats.thread_records, limit=5)
+    assert "core" in text and "more" in text

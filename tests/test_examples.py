@@ -1,0 +1,28 @@
+"""Examples stay importable (bitrot guard; their main()s are exercised
+manually / in docs, not in CI, because some run for minutes)."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main")
+
+
+def test_quickstart_runs(capsys):
+    spec = importlib.util.spec_from_file_location(
+        "quickstart", EXAMPLES[0].parent / "quickstart.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    out = capsys.readouterr().out
+    assert "TMS speedup" in out

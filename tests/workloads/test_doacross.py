@@ -1,0 +1,66 @@
+"""Table-3 DOACROSS loops."""
+
+import pytest
+
+from repro.graph import build_ddg, compute_mii, longest_dependence_path, rec_mii
+from repro.ir import run_sequential, validate_loop
+from repro.machine import LatencyModel, ResourceModel
+from repro.workloads import DOACROSS_LOOPS, selected_loops
+
+
+def test_seven_loops_four_benchmarks():
+    assert len(DOACROSS_LOOPS) == 7
+    assert {sl.benchmark for sl in DOACROSS_LOOPS} == \
+        {"art", "equake", "lucas", "fma3d"}
+
+
+def test_filtering():
+    assert len(selected_loops("art")) == 4
+    assert len(selected_loops("equake")) == 1
+    assert len(selected_loops()) == 7
+
+
+def test_coverages_sum_to_table3():
+    by_bench = {}
+    for sl in DOACROSS_LOOPS:
+        by_bench[sl.benchmark] = by_bench.get(sl.benchmark, 0.0) + sl.coverage
+    assert by_bench["art"] == pytest.approx(0.216)
+    assert by_bench["equake"] == pytest.approx(0.585)
+    assert by_bench["lucas"] == pytest.approx(0.334)
+    assert by_bench["fma3d"] == pytest.approx(0.143)
+
+
+def test_all_loops_valid_and_executable():
+    for sl in DOACROSS_LOOPS:
+        validate_loop(sl.loop)
+        run_sequential(sl.loop, 32)
+
+
+def test_structural_stats_near_table3(latency, resources):
+    # MII within ~35% and LDP within ~40% of the paper's values
+    for sl in DOACROSS_LOOPS:
+        ddg = build_ddg(sl.loop, latency)
+        mii = compute_mii(ddg, resources)
+        ldp = longest_dependence_path(ddg)
+        assert mii == pytest.approx(sl.paper_mii, rel=0.4), sl.loop.name
+        assert ldp == pytest.approx(sl.paper_ldp, rel=0.45), sl.loop.name
+
+
+def test_lucas_is_recurrence_bound(latency, resources):
+    (lucas,) = selected_loops("lucas")
+    ddg = build_ddg(lucas.loop, latency)
+    assert rec_mii(ddg) == 62
+    assert rec_mii(ddg) > resources.res_mii(ddg.opcodes())
+
+
+def test_equake_is_resource_bound(latency, resources):
+    (equake,) = selected_loops("equake")
+    ddg = build_ddg(equake.loop, latency)
+    assert resources.res_mii(ddg.opcodes()) >= rec_mii(ddg)
+
+
+def test_speculated_probabilities_tiny():
+    for sl in DOACROSS_LOOPS:
+        for ins in sl.loop.body:
+            for hint in ins.alias_hints:
+                assert hint.probability <= 1e-4

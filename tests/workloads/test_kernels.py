@@ -1,0 +1,78 @@
+"""The classic-kernel library."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph import build_ddg, rec_mii
+from repro.ir import run_sequential, validate_loop
+from repro.machine import LatencyModel
+from repro.workloads import KERNEL_NAMES, all_kernels, kernel_by_name
+
+LAT = LatencyModel()
+
+
+def test_catalogue():
+    kernels = all_kernels()
+    assert len(kernels) == len(KERNEL_NAMES) == 10
+    assert kernel_by_name("daxpy").name == "daxpy"
+    with pytest.raises(WorkloadError):
+        kernel_by_name("nope")
+
+
+@pytest.mark.parametrize("name", KERNEL_NAMES)
+def test_valid_and_executable(name):
+    loop = kernel_by_name(name)
+    validate_loop(loop)
+    run_sequential(loop, 32)
+
+
+def test_dot_product_semantics():
+    import numpy as np
+    loop = kernel_by_name("dot_product")
+    x = np.arange(1.0, 257.0)
+    y = np.full(256, 2.0)
+    result = run_sequential(loop, 16, array_init={"X": x, "Y": y})
+    assert result.registers["s"] == pytest.approx(2 * sum(range(1, 17)))
+
+
+def test_prefix_sum_semantics():
+    import numpy as np
+    loop = kernel_by_name("prefix_sum")
+    x = np.ones(256)
+    p = np.zeros(256)
+    result = run_sequential(loop, 10, array_init={"X": x, "P": p})
+    assert result.arrays["P"][10] == pytest.approx(10.0)
+
+
+def test_dependence_characters():
+    # DOALL kernels carry no recurrence beyond 1; DOACROSS ones do
+    doall = {"daxpy", "fir_filter", "jacobi_1d"}
+    doacross = {"prefix_sum", "seidel_1d", "livermore_k5", "pointer_chase"}
+    for name in doall:
+        assert rec_mii(build_ddg(kernel_by_name(name), LAT)) <= 1, name
+    for name in doacross:
+        assert rec_mii(build_ddg(kernel_by_name(name), LAT)) >= 4, name
+
+
+def test_histogram_is_speculative():
+    ddg = build_ddg(kernel_by_name("histogram"), LAT)
+    spec = [e for e in ddg.memory_flow_edges() if e.probability < 1.0]
+    assert spec
+
+
+@pytest.mark.parametrize("name", KERNEL_NAMES)
+def test_all_kernels_schedule_and_stay_equivalent(name, resources, arch):
+    from repro.sched import schedule_sms, schedule_tms
+    from repro.sched.pipeline_exec import check_equivalence
+    loop = kernel_by_name(name)
+    ddg = build_ddg(loop, LatencyModel.for_arch(arch))
+    for sched in (schedule_sms(ddg, resources),
+                  schedule_tms(ddg, resources, arch)):
+        assert check_equivalence(loop, sched, iterations=16)
+
+
+def test_fir_taps_configurable():
+    from repro.workloads.kernels import fir_filter
+    assert len(fir_filter(taps=8)) == 8 * 2 + 7 + 1
+    with pytest.raises(WorkloadError):
+        fir_filter(taps=1)

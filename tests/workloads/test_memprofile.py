@@ -1,0 +1,78 @@
+"""Memory-dependence profiler."""
+
+import numpy as np
+import pytest
+
+from repro.ir import parse_loop
+from repro.workloads import profile_memory_dependences
+
+
+def test_exact_affine_dependence():
+    loop = parse_loop("""
+loop exact
+array A 64
+n0: v = load A[i]
+n1: w = fadd v, 1.0
+n2: store A[i+2], w
+""")
+    probs = profile_memory_dependences(loop, iterations=64)
+    assert probs[("n2", "n0", 2)] == pytest.approx(1.0)
+    assert ("n2", "n0", 1) not in probs
+
+
+def test_never_aliasing_pair_absent():
+    loop = parse_loop("""
+loop never
+array A 64
+array B 64
+n0: v = load A[i]
+n1: store B[i], v
+""")
+    probs = profile_memory_dependences(loop, iterations=64)
+    assert not probs
+
+
+def test_indirect_collision_rate():
+    # store at stride 5, load at stride 4, both mod 60: at distance 1
+    # they collide whenever j = 4 (mod 60), i.e. with probability 1/60
+    loop = parse_loop("""
+loop ind
+array A 60
+livein p 0.0
+livein q 0.0
+n0: v = load A[q]
+n1: w = fadd v, 1.0
+n2: store A[p], w
+n3: p = iadd p, 5
+n4: q = iadd q, 4
+""")
+    probs = profile_memory_dependences(loop, iterations=600,
+                                       max_distance=2)
+    p1 = probs.get(("n2", "n0", 1), 0.0)
+    assert 0.0 < p1 < 0.2
+
+
+def test_distance_zero_pairs():
+    loop = parse_loop("""
+loop d0
+array A 8
+n0: store A[i], 1.0
+n1: v = load A[i]
+""")
+    probs = profile_memory_dependences(loop, iterations=32)
+    assert probs[("n0", "n1", 0)] == pytest.approx(1.0)
+
+
+def test_min_probability_filter():
+    loop = parse_loop("""
+loop rare
+array A 512
+livein p 0.0
+n0: v = load A[p] !alias n2:1:0.001
+n1: w = fadd v, 1.0
+n2: store A[i], w
+n3: p = iadd p, 1
+""")
+    probs = profile_memory_dependences(loop, iterations=64,
+                                       min_probability=0.5)
+    assert all(p >= 0.5 for p in probs.values())

@@ -1,0 +1,54 @@
+"""Anchors of the paper's Figures 1 and 2."""
+
+import pytest
+
+from repro.config import ArchConfig
+from repro.costmodel import achieved_c_delay
+from repro.graph import compute_mii, rec_mii, res_mii
+from repro.ir import run_sequential, validate_loop
+from repro.sched import compute_node_order, schedule_sms, schedule_tms
+from repro.workloads import (
+    motivating_ddg,
+    motivating_latency,
+    motivating_loop,
+    motivating_machine,
+)
+from repro.workloads.motivating import MEM_DEP_PROBABILITY
+from repro.workloads.memprofile import profile_memory_dependences
+
+
+def test_loop_is_executable():
+    loop = motivating_loop()
+    validate_loop(loop)
+    result = run_sequential(loop, 100)
+    assert result.iterations == 100
+
+
+def test_mii_anchors(fig1_ddg, fig1_machine):
+    assert res_mii(fig1_ddg, fig1_machine) == 4
+    assert rec_mii(fig1_ddg) == 8
+    assert compute_mii(fig1_ddg, fig1_machine) == 8
+
+
+def test_ordering_anchor(fig1_ddg):
+    assert compute_node_order(fig1_ddg)[:6] == ["n5", "n4", "n2", "n1",
+                                                "n0", "n3"]
+
+
+def test_sms_vs_tms_story(fig1_ddg, fig1_machine, arch):
+    sms = schedule_sms(fig1_ddg, fig1_machine)
+    tms = schedule_tms(fig1_ddg, fig1_machine, arch)
+    assert sms.ii == 8 and tms.ii == 8
+    assert achieved_c_delay(sms, arch) == pytest.approx(11.0)
+    assert achieved_c_delay(tms, arch) <= 5.0
+
+
+def test_profiled_probabilities_are_small():
+    # the declared probabilities stand in for a profile; the actual
+    # collision rates of the stride-3/2/5 pointers are ~1% per iteration
+    loop = motivating_loop()
+    probs = profile_memory_dependences(loop, iterations=400)
+    for (prod, cons, d), p in probs.items():
+        if prod == "n5" and d == 1:
+            assert p < 0.06
+    assert MEM_DEP_PROBABILITY < 0.06

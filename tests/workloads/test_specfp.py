@@ -1,0 +1,62 @@
+"""Synthetic SPECfp2000 suite calibration."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ir import validate_loop
+from repro.workloads import SPECFP_BENCHMARKS, benchmark_by_name, generate_benchmark_loops
+from repro.workloads.specfp import loop_weights
+
+
+def test_thirteen_benchmarks_778_loops():
+    assert len(SPECFP_BENCHMARKS) == 13
+    assert sum(s.n_loops for s in SPECFP_BENCHMARKS) == 778
+
+
+def test_lookup():
+    assert benchmark_by_name("art").n_loops == 10
+    with pytest.raises(WorkloadError):
+        benchmark_by_name("gcc")
+
+
+def test_paper_rows_recorded():
+    for spec in SPECFP_BENCHMARKS:
+        assert spec.paper is not None
+        assert spec.paper.tms_cdelay < spec.paper.sms_cdelay
+
+
+def test_population_deterministic():
+    a = generate_benchmark_loops(benchmark_by_name("swim"), max_loops=3)
+    b = generate_benchmark_loops(benchmark_by_name("swim"), max_loops=3)
+    assert [l.name for l in a] == [l.name for l in b]
+    assert [len(l) for l in a] == [len(l) for l in b]
+
+
+def test_max_loops_cap():
+    loops = generate_benchmark_loops(benchmark_by_name("fma3d"), max_loops=5)
+    assert len(loops) == 5
+
+
+def test_all_loops_valid():
+    for spec in SPECFP_BENCHMARKS:
+        for loop in generate_benchmark_loops(spec, max_loops=2):
+            validate_loop(loop)
+
+
+def test_average_instruction_counts_track_table2():
+    for spec in SPECFP_BENCHMARKS:
+        loops = generate_benchmark_loops(spec)
+        avg = sum(len(l) for l in loops) / len(loops)
+        assert avg == pytest.approx(spec.avg_inst, rel=0.35), spec.name
+
+
+def test_loop_weights_normalised():
+    spec = benchmark_by_name("wupwise")
+    w = loop_weights(spec, 16)
+    assert w.sum() == pytest.approx(1.0)
+    assert w[0] > w[-1]  # early loops dominate
+
+
+def test_coverages_physical():
+    for spec in SPECFP_BENCHMARKS:
+        assert 0.0 < spec.coverage < 1.0
