@@ -43,7 +43,7 @@ from .sched import (
 )
 from .spmt import simulate, simulate_sequential
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ArchConfig",
@@ -51,10 +51,12 @@ __all__ = [
     "ReproError",
     "ResourceModel",
     "SchedulerConfig",
+    "Session",
     "SimConfig",
     "__version__",
     "build_ddg",
     "compile_and_simulate",
+    "get_session",
     "run_postpass",
     "schedule_ims",
     "schedule_sms",
@@ -64,23 +66,36 @@ __all__ = [
 ]
 
 
+def __getattr__(name):
+    # lazy: repro.session imports repro.experiments.pipeline on use, so
+    # eager import here would make package import order fragile.
+    if name in ("Session", "get_session"):
+        from . import session as _session
+        return getattr(_session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def compile_and_simulate(loop, arch: ArchConfig | None = None,
                          iterations: int = 1000,
-                         config: SchedulerConfig | None = None):
+                         config: SchedulerConfig | None = None,
+                         session=None):
     """One-call pipeline: loop -> DDG -> SMS & TMS -> SpMT simulation.
 
+    Routes through the (default) :class:`repro.session.Session`, so
+    repeated calls on the same loop/config reuse the compiled artifact.
     Returns a dict with keys ``"compiled"`` (the
     :class:`~repro.experiments.pipeline.CompiledLoop`), ``"sms"`` / ``"tms"``
     (their :class:`~repro.spmt.stats.SimStats` on the SpMT machine) and
     ``"sequential"`` (the single-threaded baseline).
     """
-    from .experiments.pipeline import compile_loop, simulate_loop
+    from .session import get_session
+    session = session or get_session()
     arch = arch or ArchConfig.paper_default()
     resources = ResourceModel.default(arch.issue_width)
-    compiled = compile_loop(loop, arch, resources, config)
+    compiled = session.compile(loop, arch, resources, config)
     return {
         "compiled": compiled,
-        "sms": simulate_loop(compiled.sms, arch, iterations),
-        "tms": simulate_loop(compiled.tms, arch, iterations),
+        "sms": session.simulate(compiled.sms, arch, iterations),
+        "tms": session.simulate(compiled.tms, arch, iterations),
         "sequential": simulate_sequential(compiled.ddg, resources, iterations),
     }

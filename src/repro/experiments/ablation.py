@@ -49,79 +49,94 @@ def _selected(benchmarks: list[str] | None):
             yield sl
 
 
+def _tms_point(task: tuple) -> tuple[float, float, float, float]:
+    """Compile one loop at one sweep point and run its TMS kernel.
+
+    Module-level so the ParallelRunner can ship it to worker processes;
+    a sequential run executes it inline through the calling session's
+    cache, a parallel worker through its own process session (sharing
+    the disk tier when ``REPRO_CACHE_DIR`` is set).
+    """
+    loop, arch, config, iterations = task
+    compiled = compile_loop(loop, arch,
+                            ResourceModel.default(arch.issue_width), config)
+    stats = simulate_loop(compiled.tms, arch, iterations)
+    return (compiled.tms.ii, compiled.tms.c_delay,
+            stats.misspec_frequency, stats.cycles_per_iteration)
+
+
+def _sweep(tasks: list[tuple], jobs: int | None) -> list[tuple]:
+    from ..session import ParallelRunner
+    results = ParallelRunner(jobs).map(_tms_point, tasks, on_error="raise")
+    return [r.value for r in results]
+
+
 def run_pmax_sweep(p_values: tuple[float, ...] = (0.0, 0.01, 0.05, 0.2, 1.0),
                    arch: ArchConfig | None = None,
                    iterations: int = 500,
-                   benchmarks: list[str] | None = None) -> list[PmaxPoint]:
+                   benchmarks: list[str] | None = None,
+                   jobs: int | None = None) -> list[PmaxPoint]:
     arch = arch or ArchConfig.paper_default()
-    resources = ResourceModel.default(arch.issue_width)
-    points: list[PmaxPoint] = []
     loops = list(_selected(benchmarks))
-    for p_max in p_values:
-        config = SchedulerConfig(p_max=p_max)
-        iis, cds, freqs, cpis = [], [], [], []
-        for sl in loops:
-            compiled = compile_loop(sl.loop, arch, resources, config)
-            stats = simulate_loop(compiled.tms, arch, iterations)
-            iis.append(compiled.tms.ii)
-            cds.append(compiled.tms.c_delay)
-            freqs.append(stats.misspec_frequency)
-            cpis.append(stats.cycles_per_iteration)
-        n = len(loops)
+    measured = _sweep(
+        [(sl.loop, arch, SchedulerConfig(p_max=p_max), iterations)
+         for p_max in p_values for sl in loops], jobs)
+    points: list[PmaxPoint] = []
+    n = len(loops)
+    for i, p_max in enumerate(p_values):
+        chunk = measured[i * n:(i + 1) * n]
         points.append(PmaxPoint(
             p_max=p_max,
-            tms_ii=sum(iis) / n,
-            tms_cdelay=sum(cds) / n,
-            misspec_frequency=sum(freqs) / n,
-            cycles_per_iteration=sum(cpis) / n,
+            tms_ii=sum(m[0] for m in chunk) / n,
+            tms_cdelay=sum(m[1] for m in chunk) / n,
+            misspec_frequency=sum(m[2] for m in chunk) / n,
+            cycles_per_iteration=sum(m[3] for m in chunk) / n,
         ))
     return points
 
 
 def run_comm_latency_sweep(latencies: tuple[int, ...] = (1, 3, 6),
                            iterations: int = 500,
-                           benchmarks: list[str] | None = None
-                           ) -> list[dict]:
+                           benchmarks: list[str] | None = None,
+                           jobs: int | None = None) -> list[dict]:
     """TMS quality vs operand-network latency."""
+    loops = list(_selected(benchmarks))
+    archs = [ArchConfig.paper_default().with_reg_comm_latency(lat)
+             for lat in latencies]
+    measured = _sweep(
+        [(sl.loop, arch, None, iterations)
+         for arch in archs for sl in loops], jobs)
     out: list[dict] = []
-    for lat in latencies:
-        arch = ArchConfig.paper_default().with_reg_comm_latency(lat)
-        resources = ResourceModel.default(arch.issue_width)
-        cds, cpis = [], []
-        for sl in _selected(benchmarks):
-            compiled = compile_loop(sl.loop, arch, resources)
-            stats = simulate_loop(compiled.tms, arch, iterations)
-            cds.append(compiled.tms.c_delay)
-            cpis.append(stats.cycles_per_iteration)
+    n = len(loops)
+    for i, lat in enumerate(latencies):
+        chunk = measured[i * n:(i + 1) * n]
         out.append({
             "reg_comm_latency": lat,
-            "avg_c_delay": sum(cds) / len(cds),
-            "avg_cycles_per_iteration": sum(cpis) / len(cpis),
+            "avg_c_delay": sum(m[1] for m in chunk) / n,
+            "avg_cycles_per_iteration": sum(m[3] for m in chunk) / n,
         })
     return out
 
 
 def run_core_sweep(cores: tuple[int, ...] = (2, 4, 8),
                    iterations: int = 500,
-                   benchmarks: list[str] | None = None) -> list[dict]:
+                   benchmarks: list[str] | None = None,
+                   jobs: int | None = None) -> list[dict]:
     """TMS scaling with core count."""
+    loops = list(_selected(benchmarks))
+    archs = [ArchConfig.paper_default().with_cores(ncore) for ncore in cores]
+    measured = _sweep(
+        [(sl.loop, arch, None, iterations)
+         for arch in archs for sl in loops], jobs)
     out: list[dict] = []
-    for ncore in cores:
-        arch = ArchConfig.paper_default().with_cores(ncore)
-        resources = ResourceModel.default(arch.issue_width)
-        iis, cds, cpis = [], [], []
-        for sl in _selected(benchmarks):
-            compiled = compile_loop(sl.loop, arch, resources)
-            stats = simulate_loop(compiled.tms, arch, iterations)
-            iis.append(compiled.tms.ii)
-            cds.append(compiled.tms.c_delay)
-            cpis.append(stats.cycles_per_iteration)
-        n = len(iis)
+    n = len(loops)
+    for i, ncore in enumerate(cores):
+        chunk = measured[i * n:(i + 1) * n]
         out.append({
             "ncore": ncore,
-            "avg_tms_ii": sum(iis) / n,
-            "avg_c_delay": sum(cds) / n,
-            "avg_cycles_per_iteration": sum(cpis) / n,
+            "avg_tms_ii": sum(m[0] for m in chunk) / n,
+            "avg_c_delay": sum(m[1] for m in chunk) / n,
+            "avg_cycles_per_iteration": sum(m[3] for m in chunk) / n,
         })
     return out
 

@@ -14,8 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import ArchConfig, SchedulerConfig
-from ..workloads.specfp import SPECFP_BENCHMARKS, benchmark_by_name, loop_weights
-from .pipeline import simulate_loop
+from ..workloads.specfp import benchmark_by_name, loop_weights
 from .report import format_table, pct
 from .table2 import Table2Row, run_table2
 
@@ -45,25 +44,32 @@ def run_fig4(arch: ArchConfig | None = None,
              max_loops: int | None = None,
              iterations: int = 300,
              benchmarks: list[str] | None = None,
-             table2_rows: list[Table2Row] | None = None) -> list[Fig4Row]:
+             table2_rows: list[Table2Row] | None = None,
+             session=None, jobs: int | None = None) -> list[Fig4Row]:
     """Simulate SMS and TMS kernels and compute speedups.
 
     Reuses ``table2_rows`` (with compiled loops kept) when provided, so the
-    suite is only compiled once per session.
+    suite is only compiled once per session.  Simulations fan out over
+    ``jobs`` processes (deterministic: results are ordered by loop).
     """
+    from ..session import get_session
     arch = arch or ArchConfig.paper_default()
+    session = session or get_session()
     if table2_rows is None:
         table2_rows = run_table2(arch, config, max_loops=max_loops,
-                                 benchmarks=benchmarks, keep_compiled=True)
+                                 benchmarks=benchmarks, keep_compiled=True,
+                                 session=session, jobs=jobs)
     out: list[Fig4Row] = []
     for row in table2_rows:
         spec = benchmark_by_name(row.benchmark)
         weights = loop_weights(spec, len(row.compiled))
+        kernels = [alg for compiled in row.compiled
+                   for alg in (compiled.sms, compiled.tms)]
+        stats = session.simulate_many(kernels, arch, iterations, jobs=jobs)
         speedups: list[float] = []
         weighted = 0.0
-        for compiled, w in zip(row.compiled, weights):
-            sms_stats = simulate_loop(compiled.sms, arch, iterations)
-            tms_stats = simulate_loop(compiled.tms, arch, iterations)
+        for i, (compiled, w) in enumerate(zip(row.compiled, weights)):
+            sms_stats, tms_stats = stats[2 * i], stats[2 * i + 1]
             s = (sms_stats.total_cycles / tms_stats.total_cycles
                  if tms_stats.total_cycles else 1.0)
             speedups.append(s)

@@ -19,7 +19,6 @@ from ..config import ArchConfig, SchedulerConfig
 from ..machine.resources import ResourceModel
 from ..spmt.single import simulate_sequential
 from .fig4 import amdahl
-from .pipeline import simulate_loop
 from .report import format_table, pct
 from .table3 import Table3Row, run_table3
 
@@ -42,27 +41,34 @@ class Fig5Row:
 def run_fig5(arch: ArchConfig | None = None,
              config: SchedulerConfig | None = None,
              iterations: int = 1000,
-             table3_rows: list[Table3Row] | None = None) -> list[Fig5Row]:
+             table3_rows: list[Table3Row] | None = None,
+             session=None, jobs: int | None = None) -> list[Fig5Row]:
+    from ..session import get_session
     arch = arch or ArchConfig.paper_default()
     resources = ResourceModel.default(arch.issue_width)
+    session = session or get_session()
     if table3_rows is None:
-        table3_rows = run_table3(arch, config, keep_compiled=True)
+        table3_rows = run_table3(arch, config, keep_compiled=True,
+                                 session=session, jobs=jobs)
+    pairs = [(sl, compiled) for row in table3_rows
+             for sl, compiled in zip(row.selected, row.compiled)]
+    tms_stats = session.simulate_many(
+        [compiled.tms for _sl, compiled in pairs], arch, iterations,
+        jobs=jobs)
     out: list[Fig5Row] = []
-    for row in table3_rows:
-        for sl, compiled in zip(row.selected, row.compiled):
-            single = simulate_sequential(compiled.ddg, resources, iterations)
-            tms = simulate_loop(compiled.tms, arch, iterations)
-            speedup = (single.total_cycles / tms.total_cycles
-                       if tms.total_cycles else 1.0)
-            out.append(Fig5Row(
-                loop=compiled.name,
-                benchmark=sl.benchmark,
-                coverage=sl.coverage,
-                single_cycles=single.total_cycles,
-                tms_cycles=tms.total_cycles,
-                loop_speedup=speedup,
-                program_speedup=amdahl(sl.coverage, speedup),
-            ))
+    for (sl, compiled), tms in zip(pairs, tms_stats):
+        single = simulate_sequential(compiled.ddg, resources, iterations)
+        speedup = (single.total_cycles / tms.total_cycles
+                   if tms.total_cycles else 1.0)
+        out.append(Fig5Row(
+            loop=compiled.name,
+            benchmark=sl.benchmark,
+            coverage=sl.coverage,
+            single_cycles=single.total_cycles,
+            tms_cycles=tms.total_cycles,
+            loop_speedup=speedup,
+            program_speedup=amdahl(sl.coverage, speedup),
+        ))
     return out
 
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import ArchConfig, SchedulerConfig
-from .pipeline import simulate_loop
 from .report import format_table, pct, ratio
 from .table3 import Table3Row, run_table3
 
@@ -63,18 +62,24 @@ class Fig6Row:
 def run_fig6(arch: ArchConfig | None = None,
              config: SchedulerConfig | None = None,
              iterations: int = 1000,
-             table3_rows: list[Table3Row] | None = None) -> list[Fig6Row]:
+             table3_rows: list[Table3Row] | None = None,
+             session=None, jobs: int | None = None) -> list[Fig6Row]:
+    from ..session import get_session
     arch = arch or ArchConfig.paper_default()
+    session = session or get_session()
     if table3_rows is None:
-        table3_rows = run_table3(arch, config, keep_compiled=True)
+        table3_rows = run_table3(arch, config, keep_compiled=True,
+                                 session=session, jobs=jobs)
     out: list[Fig6Row] = []
     for row in table3_rows:
+        kernels = [alg for compiled in row.compiled
+                   for alg in (compiled.sms, compiled.tms)]
+        stats = session.simulate_many(kernels, arch, iterations, jobs=jobs)
         sms_stall = tms_stall = 0.0
         sms_pairs = tms_pairs = 0
         sms_comm = tms_comm = 0.0
-        for compiled in row.compiled:
-            sms_stats = simulate_loop(compiled.sms, arch, iterations)
-            tms_stats = simulate_loop(compiled.tms, arch, iterations)
+        for i, compiled in enumerate(row.compiled):
+            sms_stats, tms_stats = stats[2 * i], stats[2 * i + 1]
             sms_stall += sms_stats.sync_stall_cycles
             tms_stall += tms_stats.sync_stall_cycles
             sms_pairs += sms_stats.send_recv_pairs

@@ -3,13 +3,20 @@
 ``compile_loop`` runs the full flow the paper's compiler runs per loop:
 IR -> DDG -> {SMS, TMS} schedule -> post-pass -> metrics.  ``simulate_loop``
 executes a compiled kernel on the SpMT machine (or single-core baselines).
+
+Both route through the process-wide :class:`repro.session.Session`, so
+repeated requests for the same ``(loop, arch, resources, config)`` point
+— across tables, figures, sweeps and benches — reuse one compiled
+artifact (and one timing template) instead of recompiling.
+``compile_loop_uncached`` is the raw pipeline the session invokes on a
+cache miss.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..config import ArchConfig, SchedulerConfig, SimConfig
+from ..config import ArchConfig, SchedulerConfig
 from ..costmodel.exectime import achieved_c_delay
 from ..errors import SchedulingError
 from ..graph.ddg import DDG, build_ddg
@@ -25,11 +32,11 @@ from ..sched.postpass import PipelinedLoop, run_postpass
 from ..sched.schedule import Schedule
 from ..sched.sms import SwingModuloScheduler
 from ..sched.tms import ThreadSensitiveScheduler
-from ..spmt.sim import simulate
 from ..spmt.single import simulate_modulo_single_core, simulate_sequential
 from ..spmt.stats import SimStats
 
-__all__ = ["AlgResult", "CompiledLoop", "compile_loop", "simulate_loop"]
+__all__ = ["AlgResult", "CompiledLoop", "compile_loop",
+           "compile_loop_uncached", "simulate_loop"]
 
 
 @dataclass(frozen=True)
@@ -94,8 +101,20 @@ def _nontrivial_scc_count(ddg: DDG) -> int:
 def compile_loop(source: Loop | DDG, arch: ArchConfig,
                  resources: ResourceModel | None = None,
                  config: SchedulerConfig | None = None,
-                 latency: LatencyModel | None = None) -> CompiledLoop:
-    """Compile one loop with both SMS and TMS."""
+                 latency: LatencyModel | None = None,
+                 session=None) -> CompiledLoop:
+    """Compile one loop with both SMS and TMS (cached per session)."""
+    from ..session import get_session
+    session = session or get_session()
+    return session.compile(source, arch, resources, config, latency)
+
+
+def compile_loop_uncached(source: Loop | DDG, arch: ArchConfig,
+                          resources: ResourceModel | None = None,
+                          config: SchedulerConfig | None = None,
+                          latency: LatencyModel | None = None) -> CompiledLoop:
+    """The raw compile flow (no caching; the session calls this on a
+    cache miss)."""
     resources = resources or ResourceModel.default(arch.issue_width)
     config = config or SchedulerConfig()
     if isinstance(source, DDG):
@@ -127,10 +146,13 @@ def compile_loop(source: Loop | DDG, arch: ArchConfig,
 
 
 def simulate_loop(result: AlgResult, arch: ArchConfig,
-                  iterations: int = 500, seed: int = 0xACE5) -> SimStats:
-    """Run one compiled kernel on the SpMT machine."""
-    return simulate(result.pipelined, arch,
-                    SimConfig(iterations=iterations, seed=seed))
+                  iterations: int = 500, seed: int = 0xACE5,
+                  session=None) -> SimStats:
+    """Run one compiled kernel on the SpMT machine (timing template
+    memoised per session)."""
+    from ..session import get_session
+    session = session or get_session()
+    return session.simulate(result, arch, iterations, seed)
 
 
 def simulate_baselines(compiled: CompiledLoop, arch: ArchConfig,

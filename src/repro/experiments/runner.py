@@ -8,6 +8,12 @@ Regenerates any (or all) of the paper's tables and figures:
     tms-experiments fig4 --max-loops 5 --iterations 300
     tms-experiments table3 fig5 fig6 speculation
     tms-experiments all --quick
+    tms-experiments all --quick --jobs 4      # parallel fan-out
+
+Everything routes through the process :class:`repro.session.Session`;
+set ``REPRO_CACHE_DIR`` to persist compiled artifacts across runs (a
+warm rerun recompiles nothing — the session report printed on stderr
+shows the hit/miss counters) and ``REPRO_JOBS`` to default ``--jobs``.
 """
 
 from __future__ import annotations
@@ -77,6 +83,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="small populations and short runs")
     parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for compiles/simulations "
+                             "(default: $REPRO_JOBS or sequential; "
+                             "-1 = all cores)")
     args = parser.parse_args(argv)
 
     wanted = list(_EXPERIMENTS) if "all" in args.experiments \
@@ -89,6 +99,7 @@ def main(argv: list[str] | None = None) -> int:
 
     arch = ArchConfig.paper_default().with_cores(args.cores)
     config = SchedulerConfig()
+    jobs = args.jobs
 
     table2_rows = None
     table3_rows = None
@@ -97,53 +108,57 @@ def main(argv: list[str] | None = None) -> int:
         if name == "table1":
             print(table1(arch))
         elif name == "table2":
-            table2_rows = run_table2(arch, config, max_loops=max_loops)
+            table2_rows = run_table2(arch, config, max_loops=max_loops,
+                                     jobs=jobs)
             print(render_table2(table2_rows))
         elif name == "fig4":
             if table2_rows is None:
-                table2_rows = run_table2(arch, config, max_loops=max_loops)
+                table2_rows = run_table2(arch, config, max_loops=max_loops,
+                                         jobs=jobs)
             print(render_fig4(run_fig4(arch, config,
                                        iterations=suite_iterations,
-                                       table2_rows=table2_rows)))
+                                       table2_rows=table2_rows, jobs=jobs)))
         elif name == "table3":
-            table3_rows = run_table3(arch, config)
+            table3_rows = run_table3(arch, config, jobs=jobs)
             print(render_table3(table3_rows))
         elif name == "fig5":
             if table3_rows is None:
-                table3_rows = run_table3(arch, config)
+                table3_rows = run_table3(arch, config, jobs=jobs)
             print(render_fig5(run_fig5(arch, config, iterations=iterations,
-                                       table3_rows=table3_rows)))
+                                       table3_rows=table3_rows, jobs=jobs)))
         elif name == "fig6":
             if table3_rows is None:
-                table3_rows = run_table3(arch, config)
+                table3_rows = run_table3(arch, config, jobs=jobs)
             print(render_fig6(run_fig6(arch, config, iterations=iterations,
-                                       table3_rows=table3_rows)))
+                                       table3_rows=table3_rows, jobs=jobs)))
         elif name == "speculation":
             print(render_speculation(run_speculation(
-                arch, config, iterations=iterations)))
+                arch, config, iterations=iterations, jobs=jobs)))
         elif name == "ablation":
-            _print_ablation(iterations)
+            _print_ablation(iterations, jobs)
         print(f"[{name}: {time.time() - start:.1f}s]\n", file=sys.stderr)
+    from ..session import get_session
+    print(f"[{get_session().report()}]", file=sys.stderr)
     return 0
 
 
-def _print_ablation(iterations: int) -> None:
+def _print_ablation(iterations: int, jobs: int | None = None) -> None:
     from .ablation import run_granularity_sweep
     from .nest import render_nest_crossover, run_nest_crossover
-    points = run_pmax_sweep(iterations=iterations)
+    points = run_pmax_sweep(iterations=iterations, jobs=jobs)
     print(format_table(
         ["P_max", "TMS II", "TMS C_delay", "misspec freq", "cyc/iter"],
         [[p.p_max, p.tms_ii, p.tms_cdelay,
           f"{100 * p.misspec_frequency:.3f}%", p.cycles_per_iteration]
          for p in points],
         title="Ablation: P_max sweep (Table-3 loops)."))
-    comm = run_comm_latency_sweep(iterations=iterations)
+    comm = run_comm_latency_sweep(iterations=iterations, jobs=jobs)
     print(format_table(
         ["C_reg_com", "avg C_delay", "avg cyc/iter"],
         [[r["reg_comm_latency"], r["avg_c_delay"],
           r["avg_cycles_per_iteration"]] for r in comm],
         title="Ablation: operand-network latency sweep."))
-    cores = run_core_sweep(iterations=iterations)
+    cores = run_core_sweep(iterations=iterations, jobs=jobs)
     print(format_table(
         ["ncore", "avg TMS II", "avg C_delay", "avg cyc/iter"],
         [[r["ncore"], r["avg_tms_ii"], r["avg_c_delay"],

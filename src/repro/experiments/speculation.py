@@ -45,32 +45,40 @@ class SpeculationRow:
         return max(0.0, (gain_with - gain_without) / gain_with)
 
 
+def _speculation_row(task: tuple) -> SpeculationRow:
+    """One loop's with/without-speculation comparison (module-level so
+    the ParallelRunner can fan rows out across processes)."""
+    sl, arch, config, no_spec, iterations = task
+    resources = ResourceModel.default(arch.issue_width)
+    with_spec = compile_loop(sl.loop, arch, resources, config)
+    without_spec = compile_loop(sl.loop, arch, resources, no_spec)
+    single = simulate_sequential(with_spec.ddg, resources, iterations)
+    tms_on = simulate_loop(with_spec.tms, arch, iterations)
+    tms_off = simulate_loop(without_spec.tms, arch, iterations)
+    return SpeculationRow(
+        loop=sl.loop.name,
+        benchmark=sl.benchmark,
+        speedup_with_spec=single.total_cycles / tms_on.total_cycles,
+        speedup_without_spec=single.total_cycles / tms_off.total_cycles,
+        misspec_frequency=tms_on.misspec_frequency,
+    )
+
+
 def run_speculation(arch: ArchConfig | None = None,
                     config: SchedulerConfig | None = None,
                     iterations: int = 1000,
-                    benchmarks: list[str] | None = None
-                    ) -> list[SpeculationRow]:
+                    benchmarks: list[str] | None = None,
+                    jobs: int | None = None) -> list[SpeculationRow]:
+    from ..session import ParallelRunner
     arch = arch or ArchConfig.paper_default()
     config = config or SchedulerConfig()
-    resources = ResourceModel.default(arch.issue_width)
     no_spec = replace(config, speculation=False)
-    out: list[SpeculationRow] = []
-    for sl in DOACROSS_LOOPS:
-        if benchmarks is not None and sl.benchmark not in benchmarks:
-            continue
-        with_spec = compile_loop(sl.loop, arch, resources, config)
-        without_spec = compile_loop(sl.loop, arch, resources, no_spec)
-        single = simulate_sequential(with_spec.ddg, resources, iterations)
-        tms_on = simulate_loop(with_spec.tms, arch, iterations)
-        tms_off = simulate_loop(without_spec.tms, arch, iterations)
-        out.append(SpeculationRow(
-            loop=sl.loop.name,
-            benchmark=sl.benchmark,
-            speedup_with_spec=single.total_cycles / tms_on.total_cycles,
-            speedup_without_spec=single.total_cycles / tms_off.total_cycles,
-            misspec_frequency=tms_on.misspec_frequency,
-        ))
-    return out
+    tasks = [(sl, arch, config, no_spec, iterations)
+             for sl in DOACROSS_LOOPS
+             if benchmarks is None or sl.benchmark in benchmarks]
+    results = ParallelRunner(jobs).map(_speculation_row, tasks,
+                                       on_error="raise")
+    return [r.value for r in results]
 
 
 def render_speculation(rows: list[SpeculationRow]) -> str:

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from ..config import ArchConfig, SchedulerConfig
 from ..machine.resources import ResourceModel
 from ..workloads.specfp import SPECFP_BENCHMARKS, BenchmarkSpec, generate_benchmark_loops
-from .pipeline import CompiledLoop, compile_loop
+from .pipeline import CompiledLoop
 from .report import format_table
 
 __all__ = ["Table2Row", "run_table2", "render_table2"]
@@ -51,22 +51,27 @@ def run_table2(arch: ArchConfig | None = None,
                config: SchedulerConfig | None = None,
                max_loops: int | None = None,
                benchmarks: list[str] | None = None,
-               keep_compiled: bool = True) -> list[Table2Row]:
+               keep_compiled: bool = True,
+               session=None, jobs: int | None = None) -> list[Table2Row]:
     """Compile the suite and aggregate per benchmark.
 
     ``max_loops`` caps each benchmark's population for quick runs;
-    ``benchmarks`` selects a subset by name.
+    ``benchmarks`` selects a subset by name.  Compilation goes through
+    ``session`` (default: the process session, so reruns hit the cache)
+    and fans cache misses out over ``jobs`` processes (``REPRO_JOBS``).
     """
+    from ..session import get_session
     arch = arch or ArchConfig.paper_default()
     config = config or SchedulerConfig()
     resources = ResourceModel.default(arch.issue_width)
+    session = session or get_session()
     rows: list[Table2Row] = []
     for spec in SPECFP_BENCHMARKS:
         if benchmarks is not None and spec.name not in benchmarks:
             continue
         loops = generate_benchmark_loops(spec, max_loops=max_loops)
-        compiled = [compile_loop(loop, arch, resources, config)
-                    for loop in loops]
+        compiled = session.compile_many(loops, arch, resources, config,
+                                        jobs=jobs)
         n = len(compiled)
         rows.append(Table2Row(
             benchmark=spec.name,

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from ..config import ArchConfig, SchedulerConfig
 from ..machine.resources import ResourceModel
 from ..workloads.doacross import DOACROSS_LOOPS, SelectedLoop
-from .pipeline import CompiledLoop, compile_loop
+from .pipeline import CompiledLoop
 from .report import format_table
 
 __all__ = ["Table3Row", "run_table3", "render_table3"]
@@ -33,13 +33,18 @@ class Table3Row:
 
 def run_table3(arch: ArchConfig | None = None,
                config: SchedulerConfig | None = None,
-               keep_compiled: bool = True) -> list[Table3Row]:
+               keep_compiled: bool = True,
+               session=None, jobs: int | None = None) -> list[Table3Row]:
     """Compile all seven Table-3 loops and aggregate per benchmark."""
+    from ..session import get_session
     arch = arch or ArchConfig.paper_default()
     resources = ResourceModel.default(arch.issue_width)
+    session = session or get_session()
+    all_compiled = session.compile_many(
+        [sl.loop for sl in DOACROSS_LOOPS], arch, resources, config,
+        jobs=jobs)
     groups: dict[str, list[tuple[SelectedLoop, CompiledLoop]]] = {}
-    for sl in DOACROSS_LOOPS:
-        compiled = compile_loop(sl.loop, arch, resources, config)
+    for sl, compiled in zip(DOACROSS_LOOPS, all_compiled):
         groups.setdefault(sl.benchmark, []).append((sl, compiled))
     rows: list[Table3Row] = []
     for benchmark, pairs in groups.items():

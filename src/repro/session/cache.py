@@ -1,0 +1,190 @@
+"""Content-addressed artifact cache: in-memory LRU plus optional disk tier.
+
+The in-memory tier is a plain LRU over fingerprint keys.  The disk tier
+(enabled by passing ``disk_dir`` — the session layer resolves
+``REPRO_CACHE_DIR`` / ``~/.cache/repro``) persists artifacts as pickles
+under two-level fan-out directories (``ab/ab12….pkl``), written
+atomically (temp file + rename) so concurrent writers — e.g. the
+:class:`~repro.session.runner.ParallelRunner`'s worker processes — never
+expose a torn file.  Disk entries are self-invalidating across library
+versions because the fingerprint key embeds ``repro.__version__``.
+
+Every operation feeds :class:`CacheStats`, the counters surfaced through
+``Session.report()`` / ``tms-experiments --cache-stats``-style output.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["MISS", "ArtifactCache", "CacheStats"]
+
+#: Sentinel distinguishing "no cached value" from a cached ``None``.
+MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters of one :class:`ArtifactCache`."""
+
+    hits: int = 0            #: in-memory tier hits
+    misses: int = 0          #: lookups answered by neither tier
+    stores: int = 0          #: values inserted into the memory tier
+    evictions: int = 0       #: LRU evictions from the memory tier
+    invalidations: int = 0   #: explicit invalidate() removals
+    disk_hits: int = 0       #: misses in memory answered by the disk tier
+    disk_stores: int = 0     #: values persisted to the disk tier
+    disk_errors: int = 0     #: unreadable/corrupt disk entries discarded
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered by either tier."""
+        n = self.lookups
+        return (self.hits + self.disk_hits) / n if n else 0.0
+
+    def summary(self) -> str:
+        return (f"{self.hits} memory hits, {self.disk_hits} disk hits, "
+                f"{self.misses} misses ({100 * self.hit_rate:.1f}% hit rate), "
+                f"{self.evictions} evictions, {self.invalidations} "
+                f"invalidations, {self.disk_errors} disk errors")
+
+
+class ArtifactCache:
+    """Two-tier content-addressed store for compiled artifacts.
+
+    Parameters
+    ----------
+    maxsize:
+        In-memory entry cap; least recently used entries are evicted
+        beyond it.  ``None`` means unbounded.
+    disk_dir:
+        Root of the on-disk tier; ``None`` disables persistence.
+    """
+
+    def __init__(self, maxsize: int | None = 2048,
+                 disk_dir: str | os.PathLike | None = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1 or None, got {maxsize}")
+        self.maxsize = maxsize
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+        self._mem: OrderedDict[str, Any] = OrderedDict()
+
+    # -- lookup / store -----------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """Return the cached value for ``key`` or the :data:`MISS`
+        sentinel.  Disk hits are promoted into the memory tier."""
+        if key in self._mem:
+            self._mem.move_to_end(key)
+            self.stats.hits += 1
+            return self._mem[key]
+        if self.disk_dir is not None:
+            value = self._disk_read(key)
+            if value is not MISS:
+                self.stats.disk_hits += 1
+                self._mem_put(key, value)
+                return value
+        self.stats.misses += 1
+        return MISS
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert ``value`` under ``key`` in both tiers."""
+        self._mem_put(key, value)
+        self.stats.stores += 1
+        if self.disk_dir is not None:
+            self._disk_write(key, value)
+
+    def invalidate(self, key: str) -> bool:
+        """Drop ``key`` from both tiers; True if anything was removed."""
+        removed = self._mem.pop(key, MISS) is not MISS
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            try:
+                path.unlink()
+                removed = True
+            except OSError:
+                self.stats.disk_errors += 1
+        if removed:
+            self.stats.invalidations += 1
+        return removed
+
+    def clear(self) -> None:
+        """Empty the memory tier (disk entries are left in place)."""
+        self._mem.clear()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._mem or (
+            self.disk_dir is not None
+            and (p := self._disk_path(key)) is not None and p.exists())
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._mem.keys())
+
+    # -- memory tier --------------------------------------------------------
+
+    def _mem_put(self, key: str, value: Any) -> None:
+        self._mem[key] = value
+        self._mem.move_to_end(key)
+        if self.maxsize is not None:
+            while len(self._mem) > self.maxsize:
+                self._mem.popitem(last=False)
+                self.stats.evictions += 1
+
+    # -- disk tier ----------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / key[:2] / f"{key}.pkl"
+
+    def _disk_read(self, key: str) -> Any:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return MISS
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            # corrupt / truncated / version-incompatible entry: discard so
+            # the recompiled artifact can replace it.
+            self.stats.disk_errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISS
+
+    def _disk_write(self, key: str, value: Any) -> None:
+        path = self._disk_path(key)
+        assert path is not None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.stats.disk_stores += 1
+        except (OSError, pickle.PicklingError):
+            # persistence is an optimisation; never fail a compile on it.
+            self.stats.disk_errors += 1

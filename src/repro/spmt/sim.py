@@ -47,11 +47,15 @@ class SpMTSimulator:
     """Simulates one pipelined loop on the SpMT machine."""
 
     def __init__(self, pipelined: PipelinedLoop, arch: ArchConfig,
-                 sim: SimConfig | None = None) -> None:
+                 sim: SimConfig | None = None, *,
+                 template: KernelTimingTemplate | None = None) -> None:
         self.pipelined = pipelined
         self.arch = arch
         self.sim = sim or SimConfig()
-        self.template = KernelTimingTemplate(pipelined, arch.reg_comm_latency)
+        # a session may hand us its memoised template; it is derived
+        # solely from (pipelined, reg_comm_latency), so reuse is exact.
+        self.template = template if template is not None else \
+            KernelTimingTemplate(pipelined, arch.reg_comm_latency)
         # per-thread cache perturbation: indices of the kernel's loads, for
         # drawing miss latencies when the architecture's miss rates are on.
         self._load_indices = [
@@ -105,9 +109,17 @@ class SpMTSimulator:
                 # threads are squashed; more speculative threads have not
                 # been computed yet (we process in order), so estimate how
                 # many had started by detection time from the spawn chain.
-                started_after = int(
-                    max(0.0, detected - start) // max(arch.spawn_overhead, 1))
-                stats.squashed_threads += 1 + min(arch.ncore - 1, started_after)
+                started_after = min(
+                    arch.ncore - 1,
+                    int(max(0.0, detected - start)
+                        // max(arch.spawn_overhead, 1)))
+                stats.squashed_threads += 1 + started_after
+                # those threads' partial executions are wasted too: thread
+                # start+i spawned ~i*C_spn after this one, so it ran for
+                # detected - (start + i*C_spn) cycles before the squash.
+                for i in range(1, started_after + 1):
+                    stats.wasted_execution_cycles += max(
+                        0.0, detected - (start + i * arch.spawn_overhead))
                 # re-execute on the same core after invalidation
                 start = detected + arch.invalidation_overhead
             # committed execution: account its stalls
@@ -177,6 +189,7 @@ class SpMTSimulator:
 
 
 def simulate(pipelined: PipelinedLoop, arch: ArchConfig,
-             sim: SimConfig | None = None) -> SimStats:
+             sim: SimConfig | None = None, *,
+             template: KernelTimingTemplate | None = None) -> SimStats:
     """Convenience wrapper: simulate ``pipelined`` on ``arch``."""
-    return SpMTSimulator(pipelined, arch, sim).run()
+    return SpMTSimulator(pipelined, arch, sim, template=template).run()

@@ -1,0 +1,112 @@
+"""The two-tier artifact cache: LRU semantics, disk tier, counters."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.session.cache import MISS, ArtifactCache
+
+
+def test_miss_then_hit():
+    cache = ArtifactCache(maxsize=4)
+    assert cache.get("k1") is MISS
+    cache.put("k1", "v1")
+    assert cache.get("k1") == "v1"
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.stores == 1
+
+
+def test_cached_none_is_distinguished_from_miss():
+    cache = ArtifactCache()
+    cache.put("k", None)
+    assert cache.get("k") is None
+    assert cache.get("absent") is MISS
+
+
+def test_lru_eviction_order():
+    cache = ArtifactCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")          # refresh a; b is now least recent
+    cache.put("c", 3)
+    assert "a" in cache and "c" in cache
+    assert cache.get("b") is MISS
+    assert cache.stats.evictions == 1
+
+
+def test_invalid_maxsize_rejected():
+    with pytest.raises(ValueError):
+        ArtifactCache(maxsize=0)
+
+
+def test_unbounded_cache():
+    cache = ArtifactCache(maxsize=None)
+    for i in range(5000):
+        cache.put(str(i), i)
+    assert len(cache) == 5000
+    assert cache.stats.evictions == 0
+
+
+def test_invalidate_and_clear():
+    cache = ArtifactCache()
+    cache.put("k", 1)
+    assert cache.invalidate("k")
+    assert not cache.invalidate("k")
+    assert cache.stats.invalidations == 1
+    cache.put("k2", 2)
+    cache.clear()
+    assert cache.get("k2") is MISS
+
+
+def test_disk_tier_round_trip(tmp_path):
+    cache = ArtifactCache(maxsize=4, disk_dir=tmp_path)
+    cache.put("ab12cd", {"x": 1})
+    assert cache.stats.disk_stores == 1
+    assert (tmp_path / "ab" / "ab12cd.pkl").exists()
+    # a fresh cache over the same directory serves the entry from disk
+    warm = ArtifactCache(maxsize=4, disk_dir=tmp_path)
+    assert warm.get("ab12cd") == {"x": 1}
+    assert warm.stats.disk_hits == 1
+    # and promotes it to memory: the second lookup is a memory hit
+    assert warm.get("ab12cd") == {"x": 1}
+    assert warm.stats.hits == 1
+
+
+def test_disk_corrupt_entry_discarded(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    path = tmp_path / "de" / "deadbeef.pkl"
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"not a pickle")
+    assert cache.get("deadbeef") is MISS
+    assert cache.stats.disk_errors == 1
+    assert not path.exists()          # removed so a rewrite can replace it
+
+
+def test_disk_invalidate_removes_file(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.put("ab12", 7)
+    assert cache.invalidate("ab12")
+    assert ArtifactCache(disk_dir=tmp_path).get("ab12") is MISS
+
+
+def test_disk_write_failure_is_soft(tmp_path, monkeypatch):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    monkeypatch.setattr(pickle, "dump",
+                        lambda *a, **k: (_ for _ in ()).throw(
+                            pickle.PicklingError("boom")))
+    cache.put("ab34", 7)              # must not raise
+    assert cache.stats.disk_errors == 1
+    assert cache.get("ab34") == 7     # memory tier still has it
+
+
+def test_stats_summary_and_hit_rate():
+    cache = ArtifactCache()
+    assert cache.stats.hit_rate == 0.0
+    cache.put("k", 1)
+    cache.get("k")
+    cache.get("gone")
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+    assert "hit rate" in cache.stats.summary()

@@ -1,0 +1,88 @@
+"""ParallelRunner: deterministic ordering, soft failure, jobs resolution."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.session import ParallelRunner, TaskResult, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+def test_resolve_jobs_default_is_sequential(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs() == 1
+
+
+def test_resolve_jobs_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs() == 3
+    assert resolve_jobs(2) == 2          # explicit argument wins
+
+
+def test_resolve_jobs_negative_means_all_cores(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+
+def test_resolve_jobs_bad_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "lots")
+    with pytest.raises(ValueError):
+        resolve_jobs()
+
+
+def test_sequential_map_preserves_order():
+    results = ParallelRunner(1).map(_square, [3, 1, 2])
+    assert [r.value for r in results] == [9, 1, 4]
+    assert all(r.ok for r in results)
+    assert [r.index for r in results] == [0, 1, 2]
+
+
+def test_parallel_map_matches_sequential():
+    items = list(range(12))
+    seq = ParallelRunner(1).map(_square, items)
+    par = ParallelRunner(4).map(_square, items)
+    assert [r.value for r in par] == [r.value for r in seq]
+
+
+def test_error_captured_per_task():
+    results = ParallelRunner(1).map(_fail_on_three, [1, 3, 5])
+    assert [r.ok for r in results] == [True, False, True]
+    assert isinstance(results[1].error, ValueError)
+    assert "three is right out" in results[1].error_traceback
+    with pytest.raises(RuntimeError):
+        results[1].unwrap()
+
+
+def test_on_error_raise():
+    with pytest.raises(RuntimeError):
+        ParallelRunner(1).map(_fail_on_three, [3], on_error="raise")
+
+
+def test_parallel_error_capture():
+    results = ParallelRunner(2).map(_fail_on_three, [1, 3, 2, 4])
+    assert [r.ok for r in results] == [True, False, True, True]
+    assert [r.value for r in results if r.ok] == [1, 2, 4]
+
+
+def test_empty_items():
+    assert ParallelRunner(4).map(_square, []) == []
+
+
+def test_invalid_on_error():
+    with pytest.raises(ValueError):
+        ParallelRunner(1).map(_square, [1], on_error="explode")
+
+
+def test_task_result_unwrap_value():
+    assert TaskResult(index=0, value=42).unwrap() == 42

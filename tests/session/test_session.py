@@ -1,0 +1,189 @@
+"""Session behaviour: compile-once-reuse-everywhere, counters, defaults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ArchConfig, SchedulerConfig, SimConfig
+from repro.ir import parse_loop
+from repro.session import Session, get_session, reset_session, set_session
+from repro.spmt import simulate
+
+SRC = """
+loop sess
+array A 64
+array B 64
+livein a 2.0
+n0: x = load A[i]
+n1: t = fmul x, a
+n2: store B[i], t
+"""
+
+
+@pytest.fixture
+def loop():
+    return parse_loop(SRC)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_session():
+    previous = set_session(None)
+    yield
+    set_session(previous)
+
+
+def test_second_compile_is_a_cache_hit(loop):
+    session = Session()
+    c1 = session.compile(loop)
+    c2 = session.compile(loop)
+    assert c1 is c2
+    assert session.stats.compiles == 1
+    assert session.stats.cache.hits == 1
+    assert session.stats.cache.misses == 1
+
+
+def test_equal_loop_built_independently_hits(loop):
+    session = Session()
+    session.compile(loop)
+    session.compile(parse_loop(SRC))
+    assert session.stats.compiles == 1
+
+
+def test_config_change_recompiles(loop):
+    session = Session()
+    session.compile(loop)
+    session.compile(loop, config=SchedulerConfig(p_max=0.5))
+    assert session.stats.compiles == 2
+
+
+def test_arch_change_recompiles(loop):
+    session = Session()
+    session.compile(loop)
+    session.compile(loop, arch=ArchConfig.paper_default().with_cores(8))
+    assert session.stats.compiles == 2
+
+
+def test_explicit_defaults_share_key_with_implicit(loop):
+    session = Session()
+    session.compile(loop)
+    session.compile(loop, arch=ArchConfig.paper_default(),
+                    config=SchedulerConfig())
+    assert session.stats.compiles == 1
+
+
+def test_compile_many_dedups_and_preserves_order(loop):
+    session = Session()
+    other = parse_loop(SRC.replace("loop sess", "loop other"))
+    out = session.compile_many([loop, other, loop])
+    assert session.stats.compiles == 2
+    assert out[0] is out[2]
+    assert out[0].name == "sess" and out[1].name == "other"
+
+
+def test_compile_many_on_error_skip(loop, monkeypatch):
+    from repro.experiments import pipeline
+
+    real = pipeline.compile_loop_uncached
+
+    def flaky(source, *args, **kwargs):
+        if source.name == "bad":
+            raise RuntimeError("pathological loop")
+        return real(source, *args, **kwargs)
+
+    monkeypatch.setattr(pipeline, "compile_loop_uncached", flaky)
+    bad = parse_loop(SRC.replace("loop sess", "loop bad"))
+    session = Session()
+    out = session.compile_many([loop, bad], on_error="skip")
+    assert out[0] is not None and out[0].name == "sess"
+    assert out[1] is None
+    with pytest.raises(RuntimeError):
+        session.compile_many([bad], on_error="raise")
+
+
+def test_simulate_matches_direct_simulator(loop):
+    session = Session()
+    compiled = session.compile(loop)
+    arch = ArchConfig.paper_default()
+    got = session.simulate(compiled.tms, arch, iterations=200, seed=7)
+    want = simulate(compiled.tms.pipelined, arch,
+                    SimConfig(iterations=200, seed=7))
+    assert got.total_cycles == want.total_cycles
+    assert got.sync_stall_cycles == want.sync_stall_cycles
+
+
+def test_template_memoised_across_simulations(loop):
+    session = Session()
+    compiled = session.compile(loop)
+    session.simulate(compiled.tms, iterations=50)
+    session.simulate(compiled.tms, iterations=100)
+    assert session.stats.template_builds == 1
+    assert session.stats.template_hits == 1
+    assert session.stats.simulations == 2
+
+
+def test_simulate_many_parallel_matches_sequential(loop):
+    session = Session()
+    compiled = session.compile(loop)
+    kernels = [compiled.sms, compiled.tms]
+    seq = session.simulate_many(kernels, iterations=100, jobs=1)
+    par = session.simulate_many(kernels, iterations=100, jobs=2)
+    assert [s.total_cycles for s in seq] == [s.total_cycles for s in par]
+
+
+def test_simulate_rejects_junk():
+    with pytest.raises(TypeError):
+        Session().simulate("not a kernel")
+
+
+def test_disk_tier_warm_session_compiles_nothing(loop, tmp_path):
+    cold = Session(cache_dir=tmp_path)
+    cold.compile(loop)
+    assert cold.stats.compiles == 1
+    warm = Session(cache_dir=tmp_path)
+    warm.compile(loop)
+    assert warm.stats.compiles == 0
+    assert warm.stats.cache.disk_hits == 1
+
+
+def test_cache_dir_env(loop, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    Session().compile(loop)
+    warm = Session()
+    warm.compile(loop)
+    assert warm.stats.compiles == 0
+
+
+def test_cache_size_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_SIZE", "17")
+    assert Session().cache.maxsize == 17
+    monkeypatch.setenv("REPRO_CACHE_SIZE", "many")
+    with pytest.raises(ValueError):
+        Session()
+
+
+def test_default_session_is_process_wide(loop):
+    assert get_session() is get_session()
+    mine = Session()
+    assert set_session(mine) is not mine
+    assert get_session() is mine
+    reset_session()
+    assert get_session() is not mine
+
+
+def test_compile_and_simulate_routes_through_session(loop):
+    from repro import compile_and_simulate
+
+    session = Session()
+    r1 = compile_and_simulate(loop, iterations=50, session=session)
+    r2 = compile_and_simulate(loop, iterations=50, session=session)
+    assert session.stats.compiles == 1
+    assert r1["tms"].total_cycles == r2["tms"].total_cycles
+    assert {"compiled", "sms", "tms", "sequential"} <= r1.keys()
+
+
+def test_report_mentions_counters(loop):
+    session = Session()
+    session.compile(loop)
+    text = session.report()
+    assert text.startswith("session:")
+    assert "1 compilations" in text

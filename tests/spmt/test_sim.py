@@ -111,3 +111,46 @@ def test_cache_draws_deterministic(fig1_pipelined_sms):
     a = simulate(fig1_pipelined_sms, arch, cfg)
     b = simulate(fig1_pipelined_sms, arch, cfg)
     assert a.total_cycles == b.total_cycles
+
+
+def test_cache_same_seed_identical_stats(fig1_pipelined_sms):
+    """The probabilistic cache is fully seeded: every counter repeats."""
+    arch = ArchConfig(l1_miss_rate=0.4, l2_miss_rate=0.5)
+    cfg = SimConfig(iterations=300, seed=21)
+    a = simulate(fig1_pipelined_sms, arch, cfg)
+    b = simulate(fig1_pipelined_sms, arch, cfg)
+    for field in ("total_cycles", "sync_stall_cycles", "misspeculations",
+                  "squashed_threads", "wasted_execution_cycles",
+                  "invalidation_cycles"):
+        assert getattr(a, field) == getattr(b, field), field
+
+
+def test_cache_seed_changes_stall_totals(fig1_pipelined_sms):
+    arch = ArchConfig(l1_miss_rate=0.4, l2_miss_rate=0.5)
+    a = simulate(fig1_pipelined_sms, arch, SimConfig(iterations=300, seed=1))
+    b = simulate(fig1_pipelined_sms, arch, SimConfig(iterations=300, seed=2))
+    assert (a.sync_stall_cycles != b.sync_stall_cycles
+            or a.total_cycles != b.total_cycles)
+
+
+def test_zero_miss_rate_draws_nothing(fig1_pipelined_sms):
+    from repro.spmt.sim import SpMTSimulator
+    deterministic = SpMTSimulator(fig1_pipelined_sms,
+                                  ArchConfig.paper_default())
+    assert deterministic._cache_rng is None
+    assert deterministic._draw_cache_extra() is None
+    probabilistic = SpMTSimulator(fig1_pipelined_sms,
+                                  ArchConfig(l1_miss_rate=0.9))
+    extra = probabilistic._draw_cache_extra()
+    assert extra is not None and any(e > 0 for e in extra)
+
+
+def test_squash_counts_wasted_spawn_work(fig1_pipelined_tms, arch):
+    """More-speculative threads' partial executions are charged to
+    wasted_execution_cycles (estimated from the spawn chain), so the
+    wasted total at least covers the violated threads' own work."""
+    stats = simulate(fig1_pipelined_tms, arch, SimConfig(iterations=2000))
+    assert stats.misspeculations > 0
+    assert stats.squashed_threads >= stats.misspeculations
+    assert stats.squashed_threads <= stats.misspeculations * arch.ncore
+    assert stats.wasted_execution_cycles > 0
