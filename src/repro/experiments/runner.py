@@ -9,11 +9,23 @@ Regenerates any (or all) of the paper's tables and figures:
     tms-experiments table3 fig5 fig6 speculation
     tms-experiments all --quick
     tms-experiments all --quick --jobs 4      # parallel fan-out
+    tms-experiments all --quick --stats       # cache/metrics dump on stderr
+    tms-experiments table2 --trace out/run    # JSONL + Chrome trace export
+    tms-experiments validate --quick          # cost model vs simulator
 
 Everything routes through the process :class:`repro.session.Session`;
 set ``REPRO_CACHE_DIR`` to persist compiled artifacts across runs (a
 warm rerun recompiles nothing — the session report printed on stderr
 shows the hit/miss counters) and ``REPRO_JOBS`` to default ``--jobs``.
+
+``--stats`` dumps the session-cache counters and the full metrics
+registry (:mod:`repro.obs.metrics`) to stderr.  ``--trace PREFIX``
+enables structured event tracing (:mod:`repro.obs.events`) and writes
+``PREFIX.jsonl`` (the event log) plus ``PREFIX.trace.json`` (Chrome
+``chrome://tracing`` format) — deterministic for a given seed.  The
+``validate`` subcommand compares the Section 4.2 cost model against the
+simulator per kernel and reports aggregate MAPE
+(:mod:`repro.experiments.validate`).
 """
 
 from __future__ import annotations
@@ -55,7 +67,92 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="unroll factor (thread granularity)")
     comp.add_argument("--json", dest="json_out", default=None,
                       help="also write the full report as JSON")
+    val = sub.add_parser(
+        "validate", help="compare the Section 4.2 cost model against the "
+                         "simulator per kernel and report aggregate MAPE")
+    val.add_argument("--suite", choices=("table2", "table3", "both"),
+                     default="table2",
+                     help="kernel suite(s) to validate (default: table2)")
+    val.add_argument("--max-loops", type=int, default=None)
+    val.add_argument("--iterations", type=int, default=None)
+    val.add_argument("--quick", action="store_true",
+                     help="small populations and short runs")
+    val.add_argument("--cores", type=int, default=4)
+    val.add_argument("--seed", type=int, default=0xACE5)
+    val.add_argument("--jobs", type=int, default=None)
+    val.add_argument("--out", default=None,
+                     help="also write the report as JSON (stable schema)")
+    _add_obs_flags(val)
     return parser
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--stats", action="store_true",
+                        help="dump session-cache counters and the metrics "
+                             "registry to stderr at exit")
+    parser.add_argument("--trace", metavar="PREFIX", default=None,
+                        help="enable event tracing; write PREFIX.jsonl and "
+                             "PREFIX.trace.json (Chrome trace format)")
+
+
+def _begin_trace(prefix: str | None) -> None:
+    if prefix:
+        from ..obs import enable_tracing
+        enable_tracing(True).clear()
+
+
+def _finish_trace(prefix: str | None) -> None:
+    """Write the collected events as JSONL + Chrome trace files."""
+    if not prefix:
+        return
+    from ..obs import (enable_tracing, get_tracer, write_chrome_trace,
+                       write_events_jsonl)
+    tracer = get_tracer()
+    enable_tracing(False)
+    jsonl = f"{prefix}.jsonl"
+    chrome = f"{prefix}.trace.json"
+    write_events_jsonl(tracer.events, jsonl)
+    write_chrome_trace(tracer.events, chrome)
+    print(f"[trace: {len(tracer.events)} events -> {jsonl}, {chrome}]",
+          file=sys.stderr)
+
+
+def _print_stats() -> None:
+    """Session-cache counters plus the full metrics registry, on stderr."""
+    from ..obs import get_registry
+    from ..session import get_session
+    session = get_session()
+    print(f"[cache: {session.cache.stats.summary()}]", file=sys.stderr)
+    rendered = get_registry().render()
+    if rendered:
+        print("[metrics]", file=sys.stderr)
+        print(rendered, file=sys.stderr)
+
+
+def _run_validate_command(ns: argparse.Namespace) -> int:
+    from .validate import run_validate, write_report_json
+    suites = ("table2", "table3") if ns.suite == "both" else (ns.suite,)
+    max_loops = ns.max_loops if ns.max_loops is not None \
+        else (2 if ns.quick else None)
+    iterations = ns.iterations if ns.iterations is not None \
+        else (200 if ns.quick else 1000)
+    arch = ArchConfig.paper_default().with_cores(ns.cores)
+    _begin_trace(ns.trace)
+    start = time.time()
+    report = run_validate(arch, SchedulerConfig(), suites=suites,
+                          max_loops=max_loops, iterations=iterations,
+                          seed=ns.seed, jobs=ns.jobs)
+    print(report.render())
+    if ns.out:
+        write_report_json(report, ns.out)
+        print(f"[report -> {ns.out}]", file=sys.stderr)
+    print(f"[validate: {time.time() - start:.1f}s]", file=sys.stderr)
+    _finish_trace(ns.trace)
+    if ns.stats:
+        _print_stats()
+    from ..session import get_session
+    print(f"[{get_session().report()}]", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,6 +165,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_compile_command(ns.path, cores=ns.cores,
                                    iterations=ns.iterations,
                                    unroll=ns.unroll, json_out=ns.json_out)
+    if raw and raw[0] == "validate":
+        return _run_validate_command(_build_parser().parse_args(raw))
     parser = argparse.ArgumentParser(
         prog="tms-experiments",
         description="Regenerate the paper's tables and figures "
@@ -87,6 +186,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes for compiles/simulations "
                              "(default: $REPRO_JOBS or sequential; "
                              "-1 = all cores)")
+    _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
     wanted = list(_EXPERIMENTS) if "all" in args.experiments \
@@ -100,6 +200,7 @@ def main(argv: list[str] | None = None) -> int:
     arch = ArchConfig.paper_default().with_cores(args.cores)
     config = SchedulerConfig()
     jobs = args.jobs
+    _begin_trace(args.trace)
 
     table2_rows = None
     table3_rows = None
@@ -137,6 +238,9 @@ def main(argv: list[str] | None = None) -> int:
         elif name == "ablation":
             _print_ablation(iterations, jobs)
         print(f"[{name}: {time.time() - start:.1f}s]\n", file=sys.stderr)
+    _finish_trace(args.trace)
+    if args.stats:
+        _print_stats()
     from ..session import get_session
     print(f"[{get_session().report()}]", file=sys.stderr)
     return 0

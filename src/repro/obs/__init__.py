@@ -1,0 +1,68 @@
+"""Observability: metrics, structured event tracing, trace exports and
+the cost-model-vs-simulator discrepancy report.
+
+* :mod:`repro.obs.metrics` — a zero-dependency registry of counters,
+  gauges, histograms and timing spans.  The schedulers, simulator,
+  session cache and parallel runner all publish into the process-wide
+  registry; ``tms-experiments --stats`` dumps it.
+* :mod:`repro.obs.events` — the :class:`Tracer` the schedulers and
+  simulator emit structured events into when tracing is enabled
+  (``tms-experiments --trace`` or :func:`repro.obs.events.tracing`).
+  Off by default; hot paths pay one attribute read.
+* :mod:`repro.obs.export` — deterministic JSONL and Chrome
+  trace-event (``chrome://tracing``) serialisation of those events.
+* :mod:`repro.obs.report` — the :class:`DiscrepancyReport` comparing
+  the Section 4.2 cost model's predicted ``T`` against simulated
+  ``total_cycles`` per kernel (built by ``tms-experiments validate``).
+
+See ``docs/observability.md`` for metric names, the event schema and
+the trace-export workflow.
+"""
+
+from __future__ import annotations
+
+from .events import Event, Tracer, enable_tracing, get_tracer, tracing
+from .export import (
+    events_to_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+    set_registry,
+)
+from .report import (
+    REPORT_SCHEMA,
+    DiscrepancyReport,
+    DiscrepancyRow,
+    validate_report_dict,
+)
+
+__all__ = [
+    "Counter",
+    "DiscrepancyReport",
+    "DiscrepancyRow",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REPORT_SCHEMA",
+    "Timer",
+    "Tracer",
+    "enable_tracing",
+    "events_to_jsonl",
+    "get_registry",
+    "get_tracer",
+    "set_registry",
+    "to_chrome_trace",
+    "tracing",
+    "validate_report_dict",
+    "write_chrome_trace",
+    "write_events_jsonl",
+]

@@ -1,0 +1,133 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects :class:`Event` records from the schedulers
+(per-``(II, C_delay)`` TMS search candidates, per-node SMS/IMS
+placements) and the simulator (spawn / recv-stall / violation / squash /
+commit, one timeline per thread).  Tracing is off by default; hot paths
+guard every emission with ``tracer.enabled`` so the disabled cost is one
+attribute read.
+
+Events are **deterministic**: they carry a monotonically increasing
+sequence number plus *domain* timestamps (scheduler decision order,
+simulated cycles) — never wall-clock time — so two runs with the same
+seed produce byte-identical exports (:mod:`repro.obs.export`).
+
+Usage::
+
+    from repro.obs import events
+
+    with events.tracing() as tracer:
+        compile_and_simulate(loop)
+    print(len(tracer))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Event", "Tracer", "enable_tracing", "get_tracer", "tracing"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One trace record.
+
+    ``ts``/``dur`` are in the emitting layer's own time domain (simulated
+    cycles for the simulator, decision index for the schedulers); ``None``
+    means "ordering only" — exporters fall back to ``seq``.
+    """
+
+    seq: int                 #: global emission order (deterministic)
+    cat: str                 #: layer, e.g. "sched", "sim"
+    name: str                #: event type, e.g. "tms.candidate"
+    ts: float | None = None
+    dur: float | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {"seq": self.seq, "cat": self.cat,
+                             "name": self.name}
+        if self.ts is not None:
+            d["ts"] = self.ts
+        if self.dur is not None:
+            d["dur"] = self.dur
+        if self.args:
+            d["args"] = self.args
+        return d
+
+
+class Tracer:
+    """An append-only event sink with a cheap on/off switch."""
+
+    __slots__ = ("enabled", "events", "_seq")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.events: list[Event] = []
+        self._seq = 0
+
+    def emit(self, cat: str, name: str, ts: float | None = None,
+             dur: float | None = None, **args: Any) -> Event | None:
+        """Record one event (no-op returning ``None`` when disabled).
+
+        Hot call sites should still guard with ``if tracer.enabled`` to
+        avoid building the ``args`` dict at all.
+        """
+        if not self.enabled:
+            return None
+        event = Event(seq=self._seq, cat=cat, name=name, ts=ts, dur=dur,
+                      args=args)
+        self._seq += 1
+        self.events.append(event)
+        return event
+
+    def select(self, cat: str | None = None,
+               name: str | None = None) -> list[Event]:
+        """Events filtered by category and/or name, in emission order."""
+        return [e for e in self.events
+                if (cat is None or e.cat == cat)
+                and (name is None or e.name == name)]
+
+    def clear(self) -> None:
+        """Drop all events and restart the sequence counter."""
+        self.events.clear()
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+
+# -- the process-wide default tracer -----------------------------------------
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (instrumented code emits here)."""
+    return _TRACER
+
+
+def enable_tracing(on: bool = True) -> Tracer:
+    """Switch the default tracer on/off; returns it."""
+    _TRACER.enabled = on
+    return _TRACER
+
+
+@contextmanager
+def tracing(clear: bool = True) -> Iterator[Tracer]:
+    """Enable the default tracer for a block, restoring the previous
+    state on exit.  ``clear`` starts the block with an empty buffer."""
+    tracer = _TRACER
+    previous = tracer.enabled
+    if clear:
+        tracer.clear()
+    tracer.enabled = True
+    try:
+        yield tracer
+    finally:
+        tracer.enabled = previous

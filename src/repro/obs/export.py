@@ -1,0 +1,88 @@
+"""Trace exports: JSONL event logs and Chrome trace-event files.
+
+Two formats, both deterministic (stable key order, no wall-clock data):
+
+* **JSONL** — one :meth:`Event.to_dict` object per line; the lossless
+  machine-readable log.
+* **Chrome trace-event JSON** — loadable in ``chrome://tracing`` /
+  https://ui.perfetto.dev for a visual timeline.  Events with a duration
+  become complete (``"X"``) slices, the rest instant (``"i"``) marks.
+  Categories map to trace *processes* (named via metadata records) and
+  the emitting core — ``args["tid"]`` when present — to trace threads.
+  Timestamps are exported as-is: one simulated cycle (or one scheduler
+  decision) renders as one microsecond.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Sequence
+
+from .events import Event
+
+__all__ = [
+    "events_to_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_events_jsonl",
+]
+
+
+def events_to_jsonl(events: Iterable[Event]) -> str:
+    """Serialise events as JSON Lines (one object per line)."""
+    return "\n".join(
+        json.dumps(e.to_dict(), separators=(",", ":")) for e in events)
+
+
+def write_events_jsonl(events: Iterable[Event], path: str | os.PathLike) -> None:
+    """Write the JSONL log to ``path`` (trailing newline included)."""
+    text = events_to_jsonl(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        if text:
+            fh.write("\n")
+
+
+def to_chrome_trace(events: Sequence[Event]) -> dict:
+    """Convert events to the Chrome trace-event format (JSON object form).
+
+    Deterministic for a deterministic event sequence: pids are assigned
+    by category in order of first appearance.
+    """
+    pids: dict[str, int] = {}
+    trace_events: list[dict] = []
+    for e in events:
+        pid = pids.get(e.cat)
+        if pid is None:
+            pid = len(pids)
+            pids[e.cat] = pid
+            trace_events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": e.cat},
+            })
+        tid = e.args.get("tid", 0)
+        ts = e.ts if e.ts is not None else float(e.seq)
+        record: dict = {
+            "name": e.name,
+            "cat": e.cat,
+            "pid": pid,
+            "tid": tid,
+            "ts": ts,
+            "args": {k: v for k, v in e.args.items() if k != "tid"},
+        }
+        if e.dur is not None:
+            record["ph"] = "X"
+            record["dur"] = e.dur
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Sequence[Event], path: str | os.PathLike) -> None:
+    """Write a ``chrome://tracing``-loadable JSON file to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(events), fh, separators=(",", ":"))
+        fh.write("\n")

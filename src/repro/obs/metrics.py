@@ -1,0 +1,281 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms and
+timing spans.
+
+Every layer of the pipeline publishes into the process-wide registry
+(:func:`get_registry`): the schedulers count searches and placements, the
+simulator counts threads and violations, the session cache mirrors its
+hit/miss/eviction counters, and the parallel runner times its fan-outs.
+Instruments are cheap — one attribute check plus an integer add — and the
+whole registry can be switched off (``enabled = False``, or
+``REPRO_METRICS=0`` in the environment), after which every ``inc`` /
+``set`` / ``observe`` returns immediately.
+
+Instruments are created idempotently by name::
+
+    from repro.obs import metrics
+
+    hits = metrics.counter("cache.hits")
+    hits.inc()
+    with metrics.timer("compile.seconds").time():
+        ...
+    print(metrics.get_registry().render())
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "set_registry",
+    "timer",
+]
+
+
+class _Instrument:
+    """Base: a named instrument bound to its registry's enable switch."""
+
+    __slots__ = ("name", "help", "_registry")
+
+    def __init__(self, name: str, help: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self.help = help
+        self._registry = registry
+
+    @property
+    def enabled(self) -> bool:
+        return self._registry.enabled
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, help, registry)
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if self._registry.enabled:
+            self.value += n
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (last write wins)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, help, registry)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._registry.enabled:
+            self.value = value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram(_Instrument):
+    """Streaming summary of observed values (count/sum/min/max/mean)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, help, registry)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class Timer(Histogram):
+    """A histogram of elapsed wall-clock seconds with a ``time()`` span."""
+
+    __slots__ = ()
+
+    kind = "timer"
+
+    @contextmanager
+    def time(self, clock: Callable[[], float] = time.perf_counter
+             ) -> Iterator[None]:
+        """Context manager observing the elapsed seconds of its body."""
+        if not self._registry.enabled:
+            yield
+            return
+        start = clock()
+        try:
+            yield
+        finally:
+            self.observe(clock() - start)
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and shared thereafter.
+
+    ``enabled`` gates every mutation; reading (``snapshot`` / ``render``)
+    always works.  Asking for an existing name with a different
+    instrument kind raises — names are global, so a collision is a bug.
+    """
+
+    def __init__(self, enabled: bool | None = None) -> None:
+        if enabled is None:
+            enabled = os.environ.get("REPRO_METRICS", "").strip() != "0"
+        self.enabled = enabled
+        self._instruments: dict[str, _Instrument] = {}
+
+    # -- instrument factories ----------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, help, Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, help, Gauge)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(name, help, Histogram)
+
+    def timer(self, name: str, help: str = "") -> Timer:
+        return self._get_or_create(name, help, Timer)
+
+    def _get_or_create(self, name: str, help: str, cls: type) -> "_Instrument":
+        inst = self._instruments.get(name)
+        if inst is not None:
+            if type(inst) is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, requested {cls.__name__}")
+            return inst
+        inst = cls(name, help, self)
+        self._instruments[name] = inst
+        return inst
+
+    # -- introspection ------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def get(self, name: str) -> _Instrument | None:
+        return self._instruments.get(name)
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments' values, keyed by name (sorted)."""
+        return {name: self._instruments[name].snapshot()
+                for name in sorted(self._instruments)}
+
+    def render(self) -> str:
+        """Aligned one-line-per-instrument dump for terminals."""
+        lines = []
+        for name, snap in self.snapshot().items():
+            if snap["kind"] in ("counter", "gauge"):
+                lines.append(f"{name:<36} {snap['value']}")
+            else:
+                unit = "s" if snap["kind"] == "timer" else ""
+                lines.append(
+                    f"{name:<36} count={snap['count']} "
+                    f"sum={snap['sum']:.3f}{unit} mean={snap['mean']:.3f}{unit} "
+                    f"max={snap['max']:.3f}{unit}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Zero every instrument (the instruments stay registered)."""
+        for inst in self._instruments.values():
+            inst.reset()
+
+
+# -- the process-wide default registry ---------------------------------------
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the default registry; returns the previous one."""
+    global _REGISTRY
+    previous, _REGISTRY = _REGISTRY, registry
+    return previous
+
+
+def counter(name: str, help: str = "") -> Counter:
+    """Shortcut: a counter in the default registry."""
+    return _REGISTRY.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    """Shortcut: a gauge in the default registry."""
+    return _REGISTRY.gauge(name, help)
+
+
+def histogram(name: str, help: str = "") -> Histogram:
+    """Shortcut: a histogram in the default registry."""
+    return _REGISTRY.histogram(name, help)
+
+
+def timer(name: str, help: str = "") -> Timer:
+    """Shortcut: a timer in the default registry."""
+    return _REGISTRY.timer(name, help)

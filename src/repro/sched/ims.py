@@ -20,6 +20,8 @@ from ..graph.mii import compute_mii
 from ..graph.paths import compute_metrics, longest_dependence_path
 from ..machine.reservation import ModuloReservationTable
 from ..machine.resources import ResourceModel
+from ..obs import metrics
+from ..obs.events import get_tracer
 from .schedule import Schedule, validate_schedule
 
 __all__ = ["IterativeModuloScheduler", "schedule_ims"]
@@ -61,6 +63,10 @@ class IterativeModuloScheduler:
     # -- one attempt -----------------------------------------------------------
 
     def _try_ii(self, ii: int) -> dict[str, int] | None:
+        tracer = get_tracer()
+        metrics.counter(
+            "sched.attempts",
+            "scheduling attempts (one try_ii call per II candidate)").inc()
         budget = self.config.budget_ratio_ii * len(self.ddg) + 32
         mrt = ModuloReservationTable(ii, self.resources)
         placed: dict[str, int] = {}
@@ -108,17 +114,34 @@ class IterativeModuloScheduler:
             mrt.place(v, node.opcode, slot)
             placed[v] = slot
             never_scheduled.discard(v)
+            if tracer.enabled:
+                tracer.emit("sched", "place", alg=self.algorithm_name,
+                            loop=self.ddg.name, ii=ii, node=v, cycle=slot,
+                            row=slot % ii, stage=slot // ii)
             # eject dependence-violating already-placed neighbours
             for e in self.ddg.succs(v):
                 if e.dst in placed and e.dst != v:
                     if placed[e.dst] < slot + e.delay - ii * e.distance:
                         mrt.remove(e.dst)
                         del placed[e.dst]
+                        if tracer.enabled:
+                            tracer.emit("sched", "eject",
+                                        alg=self.algorithm_name,
+                                        loop=self.ddg.name, ii=ii,
+                                        node=e.dst, by=v)
             for e in self.ddg.preds(v):
                 if e.src in placed and e.src != v:
                     if slot < placed[e.src] + e.delay - ii * e.distance:
                         mrt.remove(e.src)
                         del placed[e.src]
+                        if tracer.enabled:
+                            tracer.emit("sched", "eject",
+                                        alg=self.algorithm_name,
+                                        loop=self.ddg.name, ii=ii,
+                                        node=e.src, by=v)
+        metrics.counter(
+            "sched.placements",
+            "nodes placed in completed scheduling attempts").inc(len(placed))
         return placed
 
 

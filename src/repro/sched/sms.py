@@ -26,6 +26,8 @@ from ..graph.mii import compute_mii
 from ..graph.paths import compute_metrics, longest_dependence_path
 from ..machine.reservation import ModuloReservationTable
 from ..machine.resources import ResourceModel
+from ..obs import metrics
+from ..obs.events import get_tracer
 from .ordering import compute_node_order_with_directions
 from .schedule import Schedule, validate_schedule
 from .window import compute_window
@@ -102,6 +104,10 @@ class SwingModuloScheduler:
 
         Returns the slot map, or None on failure.
         """
+        tracer = get_tracer()
+        metrics.counter(
+            "sched.attempts",
+            "scheduling attempts (one try_ii call per II candidate)").inc()
         mrt = ModuloReservationTable(ii, self.resources)
         partial: dict[str, int] = {}
         for v in self.order:
@@ -125,11 +131,23 @@ class SwingModuloScheduler:
                     if s <= 0.0:
                         break  # cannot do better than "no new sync at all"
             if best_cycle is None:
+                if tracer.enabled:
+                    tracer.emit("sched", "place_fail",
+                                alg=self.algorithm_name, loop=self.ddg.name,
+                                ii=ii, node=v)
                 return None
             mrt.place(v, node.opcode, best_cycle)
             partial[v] = best_cycle
+            if tracer.enabled:
+                tracer.emit("sched", "place", alg=self.algorithm_name,
+                            loop=self.ddg.name, ii=ii, node=v,
+                            cycle=best_cycle, row=best_cycle % ii,
+                            stage=best_cycle // ii)
             if on_place is not None:
                 on_place(v, best_cycle, partial)
+        metrics.counter(
+            "sched.placements",
+            "nodes placed in completed scheduling attempts").inc(len(partial))
         return partial
 
 

@@ -36,11 +36,14 @@ from ..costmodel.exectime import (
     estimate_execution_time,
     kernel_misspec_probability,
     objective_f,
+    t_lower_bound,
 )
 from ..errors import SchedulingError
 from ..graph.ddg import DDG
 from ..graph.dependence import Dependence
 from ..machine.resources import ResourceModel
+from ..obs import metrics
+from ..obs.events import get_tracer
 from .schedule import Schedule, validate_schedule
 from .sms import SwingModuloScheduler
 
@@ -114,18 +117,39 @@ class ThreadSensitiveScheduler(SwingModuloScheduler):
     # -- main search ----------------------------------------------------------
 
     def _schedule_with_pmax(self, p_max: float) -> Schedule:
+        tracer = get_tracer()
+        metrics.counter(
+            "tms.searches", "TMS (II, C_delay) searches started").inc()
+        if tracer.enabled:
+            tracer.emit("sched", "tms.search", loop=self.ddg.name,
+                        p_max=p_max, mii=self.mii, max_ii=self.max_ii(),
+                        ncore=self.arch.ncore)
         attempts = 0
         highest_failed_cd: dict[int, int] = {}
-        for f_value, cd, ii in self._candidates():
+        for index, (f_value, cd, ii) in enumerate(self._candidates()):
             if cd <= highest_failed_cd.get(ii, -1):
+                if tracer.enabled:
+                    self._emit_candidate(tracer, index, ii, cd, f_value,
+                                         "pruned")
                 continue
             attempts += 1
             if attempts > min(_MAX_ATTEMPTS, self.config.max_candidates):
+                if tracer.enabled:
+                    tracer.emit("sched", "tms.budget_exhausted",
+                                loop=self.ddg.name, attempts=attempts - 1)
                 break
+            metrics.counter(
+                "tms.candidates",
+                "TMS (II, C_delay) candidates attempted").inc()
             slots = self._try_tms(ii, cd, p_max)
             if slots is None:
                 highest_failed_cd[ii] = cd
+                if tracer.enabled:
+                    self._emit_candidate(tracer, index, ii, cd, f_value,
+                                         "reject")
                 continue
+            if tracer.enabled:
+                self._emit_candidate(tracer, index, ii, cd, f_value, "accept")
             return self._finish(ii, slots, cd, p_max, f_value, fallback=False)
         # Fallback: unconstrained C1 (threshold at cap) and C2 disabled —
         # degenerates to SMS placement; keeps suite runs robust on
@@ -134,11 +158,33 @@ class ThreadSensitiveScheduler(SwingModuloScheduler):
             cd = self._c_delay_cap(ii)
             slots = self.try_ii(ii)
             if slots is not None:
+                metrics.counter(
+                    "tms.fallbacks",
+                    "TMS searches resolved by the SMS-placement "
+                    "fallback").inc()
+                if tracer.enabled:
+                    tracer.emit("sched", "tms.fallback", loop=self.ddg.name,
+                                ii=ii, c_delay=cd, outcome="accept")
                 return self._finish(ii, slots, cd, 1.0,
                                     objective_f(ii, cd, self.arch), fallback=True)
         raise SchedulingError(
             f"TMS failed on {self.ddg.name!r}: no schedule up to II "
             f"{self.max_ii()} even without thread-sensitivity constraints")
+
+    def _emit_candidate(self, tracer, index: int, ii: int, cd: int,
+                        f_value: float, outcome: str) -> None:
+        """One ``tms.candidate`` event: the (II, C_delay) pair, the full
+        ``F`` objective breakdown (its four max-terms), and the outcome
+        (``accept`` / ``reject`` / ``pruned``)."""
+        arch = self.arch
+        tracer.emit(
+            "sched", "tms.candidate", loop=self.ddg.name, index=index,
+            ii=ii, c_delay=cd, f=f_value,
+            f_c_spn=float(arch.spawn_overhead),
+            f_c_ci=float(arch.commit_overhead),
+            f_c_delay=float(cd),
+            f_t_lb_share=t_lower_bound(ii, cd, arch) / arch.ncore,
+            outcome=outcome)
 
     def _finish(self, ii: int, slots: Mapping[str, int], cd: int, p_max: float,
                 f_value: float, *, fallback: bool) -> Schedule:

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
+from ..obs import metrics
+
 __all__ = ["MISS", "ArtifactCache", "CacheStats"]
 
 #: Sentinel distinguishing "no cached value" from a cached ``None``.
@@ -79,6 +81,15 @@ class ArtifactCache:
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.stats = CacheStats()
         self._mem: OrderedDict[str, Any] = OrderedDict()
+        # aggregate counters in the process metrics registry (shared by
+        # every cache instance; the per-instance view stays in `stats`).
+        self._m = {
+            name: metrics.counter(f"cache.{name}",
+                                  f"artifact-cache {name} (all instances)")
+            for name in ("hits", "misses", "stores", "evictions",
+                         "invalidations", "disk_hits", "disk_stores",
+                         "disk_errors")
+        }
 
     # -- lookup / store -----------------------------------------------------
 
@@ -88,20 +99,24 @@ class ArtifactCache:
         if key in self._mem:
             self._mem.move_to_end(key)
             self.stats.hits += 1
+            self._m["hits"].inc()
             return self._mem[key]
         if self.disk_dir is not None:
             value = self._disk_read(key)
             if value is not MISS:
                 self.stats.disk_hits += 1
+                self._m["disk_hits"].inc()
                 self._mem_put(key, value)
                 return value
         self.stats.misses += 1
+        self._m["misses"].inc()
         return MISS
 
     def put(self, key: str, value: Any) -> None:
         """Insert ``value`` under ``key`` in both tiers."""
         self._mem_put(key, value)
         self.stats.stores += 1
+        self._m["stores"].inc()
         if self.disk_dir is not None:
             self._disk_write(key, value)
 
@@ -115,8 +130,10 @@ class ArtifactCache:
                 removed = True
             except OSError:
                 self.stats.disk_errors += 1
+                self._m["disk_errors"].inc()
         if removed:
             self.stats.invalidations += 1
+            self._m["invalidations"].inc()
         return removed
 
     def clear(self) -> None:
@@ -143,6 +160,7 @@ class ArtifactCache:
             while len(self._mem) > self.maxsize:
                 self._mem.popitem(last=False)
                 self.stats.evictions += 1
+                self._m["evictions"].inc()
 
     # -- disk tier ----------------------------------------------------------
 
@@ -162,6 +180,7 @@ class ArtifactCache:
             # corrupt / truncated / version-incompatible entry: discard so
             # the recompiled artifact can replace it.
             self.stats.disk_errors += 1
+            self._m["disk_errors"].inc()
             try:
                 path.unlink()
             except OSError:
@@ -185,6 +204,8 @@ class ArtifactCache:
                     pass
                 raise
             self.stats.disk_stores += 1
+            self._m["disk_stores"].inc()
         except (OSError, pickle.PicklingError):
             # persistence is an optimisation; never fail a compile on it.
             self.stats.disk_errors += 1
+            self._m["disk_errors"].inc()

@@ -25,6 +25,8 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..obs import metrics
+
 __all__ = ["ParallelRunner", "TaskResult", "resolve_jobs"]
 
 
@@ -101,24 +103,29 @@ class ParallelRunner:
                              f"got {on_error!r}")
         items = list(items)
         workers = min(self.resolved_jobs, len(items)) if items else 0
-        if workers <= 1:
-            results = [_call(fn, i, item) for i, item in enumerate(items)]
-        else:
-            results = [TaskResult(index=i) for i in range(len(items))]
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_call, fn, i, item): i
-                    for i, item in enumerate(items)
-                }
-                for fut in concurrent.futures.as_completed(futures):
-                    i = futures[fut]
-                    try:
-                        results[i] = fut.result()
-                    except BaseException as exc:  # pool/pickling failure
-                        results[i] = TaskResult(
-                            index=i, error=exc,
-                            error_traceback=traceback.format_exc())
+        metrics.counter("runner.tasks", "tasks dispatched").inc(len(items))
+        with metrics.timer("runner.map_seconds",
+                           "wall time of ParallelRunner.map calls").time():
+            if workers <= 1:
+                results = [_call(fn, i, item) for i, item in enumerate(items)]
+            else:
+                results = [TaskResult(index=i) for i in range(len(items))]
+                with concurrent.futures.ProcessPoolExecutor(
+                        max_workers=workers) as pool:
+                    futures = {
+                        pool.submit(_call, fn, i, item): i
+                        for i, item in enumerate(items)
+                    }
+                    for fut in concurrent.futures.as_completed(futures):
+                        i = futures[fut]
+                        try:
+                            results[i] = fut.result()
+                        except BaseException as exc:  # pool/pickling failure
+                            results[i] = TaskResult(
+                                index=i, error=exc,
+                                error_traceback=traceback.format_exc())
+        metrics.counter("runner.failures", "tasks that raised").inc(
+            sum(1 for r in results if not r.ok))
         if on_error == "raise":
             for res in results:
                 if not res.ok:

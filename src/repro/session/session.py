@@ -29,6 +29,7 @@ from ..graph.ddg import DDG
 from ..ir.loop import Loop
 from ..machine.latency import LatencyModel
 from ..machine.resources import ResourceModel
+from ..obs import metrics
 from .cache import MISS, ArtifactCache, CacheStats
 from .fingerprint import artifact_key
 from .runner import ParallelRunner, TaskResult
@@ -155,9 +156,13 @@ class Session:
         cached = self.cache.get(key)
         if cached is not MISS:
             return cached
-        compiled = _compile_uncached(
-            (source, arch, resources, config, latency))
+        with metrics.timer("session.compile_seconds",
+                           "wall time of uncached compiles").time():
+            compiled = _compile_uncached(
+                (source, arch, resources, config, latency))
         self.stats.compiles += 1
+        metrics.counter("session.compiles",
+                        "compilations performed (cache misses)").inc()
         self.cache.put(key, compiled)
         return compiled
 
@@ -202,6 +207,9 @@ class Session:
             for key, result in zip(keys, results):
                 if result.ok:
                     self.stats.compiles += 1
+                    metrics.counter(
+                        "session.compiles",
+                        "compilations performed (cache misses)").inc()
                     self.cache.put(key, result.value)
                     for i in pending[key]:
                         out[i] = result.value
@@ -225,7 +233,11 @@ class Session:
         sim = sim or SimConfig(iterations=iterations, seed=seed)
         template = self._template_for(pipelined, arch)
         self.stats.simulations += 1
-        return SpMTSimulator(pipelined, arch, sim, template=template).run()
+        metrics.counter("session.simulations",
+                        "simulations dispatched through sessions").inc()
+        with metrics.timer("session.simulate_seconds",
+                           "wall time of session simulations").time():
+            return SpMTSimulator(pipelined, arch, sim, template=template).run()
 
     def simulate_many(self, targets: Sequence["AlgResult | PipelinedLoop"],
                       arch: ArchConfig | None = None, iterations: int = 500,
@@ -247,7 +259,10 @@ class Session:
         sim = SimConfig(iterations=iterations, seed=seed)
         results = runner.map(_simulate_task,
                              [(p, arch, sim) for p in pipelined])
-        self.stats.simulations += sum(1 for r in results if r.ok)
+        ok = sum(1 for r in results if r.ok)
+        self.stats.simulations += ok
+        metrics.counter("session.simulations",
+                        "simulations dispatched through sessions").inc(ok)
         if on_error == "raise":
             for r in results:
                 if not r.ok:

@@ -107,12 +107,17 @@ class ThreadTiming:
     @classmethod
     def resolve(cls, template: KernelTimingTemplate, start: float,
                 arrivals: Sequence[float],
-                extra_latency: Sequence[int] | None = None) -> "ThreadTiming":
+                extra_latency: Sequence[int] | None = None,
+                stall_log: list[tuple[int, float, float]] | None = None
+                ) -> "ThreadTiming":
         """Dataflow timing given per-channel value-arrival times.
 
         ``arrivals[i]`` is the absolute time channel ``i``'s value is ready
         in this thread's receive queue.  ``extra_latency`` optionally
-        lengthens individual instructions (cache misses).
+        lengthens individual instructions (cache misses).  ``stall_log``,
+        when given, collects one ``(channel_index, ready_rel, wait)``
+        entry per RECV that actually stalled — the tracer's per-channel
+        view of ``total_stall``.
         """
         row = template.row
         lat = template.latency
@@ -131,6 +136,8 @@ class ThreadTiming:
             for ci in template.channels_into[i]:
                 arr_rel = arrivals[ci] - start
                 if arr_rel > t:
+                    if stall_log is not None:
+                        stall_log.append((ci, t, arr_rel - t))
                     stall += arr_rel - t
                     t = arr_rel
             issue[i] = t

@@ -31,6 +31,8 @@ import numpy as np
 
 from ..config import ArchConfig, SimConfig
 from ..errors import SimulationError
+from ..obs import metrics
+from ..obs.events import get_tracer
 from ..sched.postpass import PipelinedLoop
 from .channels import KernelTimingTemplate, ThreadTiming
 from .stats import SimStats
@@ -81,16 +83,20 @@ class SpMTSimulator:
         events = 0
 
         trace = self.sim.trace
+        tracer = get_tracer()
         for j in range(n):
             core = j % arch.ncore
             start = max(prev_start + arch.spawn_overhead, core_free[core])
             restarts = 0
+            stall_log: list[tuple[int, float, float]] | None = None
             while True:
                 events += 1
                 if events > self.sim.max_events:
                     raise SimulationError(
                         f"simulation exceeded max_events={self.sim.max_events}")
-                timing = self._execute(j, start, timings)
+                if tracer.enabled:
+                    stall_log = []
+                timing = self._execute(j, start, timings, stall_log=stall_log)
                 timings[j] = timing
                 violation = detect_violation(
                     template, timings, realisations.realised(j), j)
@@ -120,6 +126,13 @@ class SpMTSimulator:
                 for i in range(1, started_after + 1):
                     stats.wasted_execution_cycles += max(
                         0.0, detected - (start + i * arch.spawn_overhead))
+                if tracer.enabled:
+                    tracer.emit("sim", "violation", ts=detected,
+                                thread=j, attempt=restarts, tid=core)
+                    tracer.emit("sim", "squash", ts=detected,
+                                dur=float(arch.invalidation_overhead),
+                                thread=j, squashed=1 + started_after,
+                                tid=core)
                 # re-execute on the same core after invalidation
                 start = detected + arch.invalidation_overhead
             # committed execution: account its stalls
@@ -136,6 +149,9 @@ class SpMTSimulator:
                     finish=timings[j].finish, commit=commit,
                     stall_cycles=timings[j].total_stall,
                     restarts=restarts))
+            if tracer.enabled:
+                self._emit_thread_events(tracer, j, core, timings[j],
+                                         commit, restarts, stall_log)
             # bound memory: drop state no longer reachable by any kernel
             # distance (communication hops or speculated distances)
             max_hops = max(
@@ -150,12 +166,60 @@ class SpMTSimulator:
         stats.send_recv_pairs = self.pipelined.comm.pairs_per_iteration * n
         stats.spawn_cycles = arch.spawn_overhead * n
         stats.commit_cycles = arch.commit_overhead * n
+        metrics.counter("sim.runs", "simulations completed").inc()
+        metrics.counter("sim.threads", "threads committed").inc(n)
+        metrics.counter("sim.violations", "misspeculations detected").inc(
+            stats.misspeculations)
+        metrics.counter("sim.squashed_threads", "threads squashed").inc(
+            stats.squashed_threads)
+        metrics.histogram(
+            "sim.total_cycles", "total cycles per run").observe(
+            stats.total_cycles)
+        metrics.histogram(
+            "sim.stall_cycles", "sync stall cycles per run").observe(
+            stats.sync_stall_cycles)
         return stats
+
+    # -- event emission ---------------------------------------------------------
+
+    def _emit_thread_events(self, tracer, j: int, core: int,
+                            timing: ThreadTiming, commit: float,
+                            restarts: int,
+                            stall_log: list[tuple[int, float, float]] | None
+                            ) -> None:
+        """Per-thread trace events for the *committed* execution: the
+        spawn of the successor, the execution span, each stalled RECV,
+        every produced SEND, and the in-order commit."""
+        arch = self.arch
+        template = self.template
+        start = timing.start
+        tracer.emit("sim", "spawn", ts=start,
+                    dur=float(arch.spawn_overhead),
+                    thread=j, spawns=j + 1, tid=core)
+        tracer.emit("sim", "exec", ts=start, dur=timing.finish - start,
+                    thread=j, restarts=restarts,
+                    stall=timing.total_stall, tid=core)
+        if stall_log:
+            for ci, ready_rel, wait in stall_log:
+                ch = template.channels[ci]
+                tracer.emit("sim", "recv_stall", ts=start + ready_rel,
+                            dur=wait, thread=j, channel=ci,
+                            producer=ch.producer, consumer=ch.consumer,
+                            hops=ch.hops, tid=core)
+        for ci, ch in enumerate(template.channels):
+            tracer.emit("sim", "send",
+                        ts=timing.completion_time(template, ch.producer),
+                        thread=j, channel=ci, producer=ch.producer,
+                        consumer=ch.consumer, hops=ch.hops, tid=core)
+        tracer.emit("sim", "commit", ts=commit - arch.commit_overhead,
+                    dur=float(arch.commit_overhead), thread=j, tid=core)
 
     # -- one thread execution ---------------------------------------------------
 
     def _execute(self, j: int, start: float,
-                 timings: dict[int, ThreadTiming]) -> ThreadTiming:
+                 timings: dict[int, ThreadTiming], *,
+                 stall_log: list[tuple[int, float, float]] | None = None
+                 ) -> ThreadTiming:
         """Resolve thread ``j``'s timing given all earlier threads."""
         template = self.template
         arrivals: list[float] = []
@@ -169,7 +233,8 @@ class SpMTSimulator:
                 arrivals.append(
                     timings[producer_thread].value_arrival(template, idx))
         return ThreadTiming.resolve(template, start, arrivals,
-                                    extra_latency=self._draw_cache_extra())
+                                    extra_latency=self._draw_cache_extra(),
+                                    stall_log=stall_log)
 
     def _draw_cache_extra(self) -> list[int] | None:
         """Per-load latency perturbation from the probabilistic cache

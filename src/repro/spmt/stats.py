@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..config import ArchConfig
+
 if TYPE_CHECKING:  # pragma: no cover
     from .trace import ThreadRecord
 
@@ -43,7 +45,12 @@ class SimStats:
     #: spawn / commit overhead cycles (N * C_spn, N * C_ci by construction).
     spawn_cycles: float = 0.0
     commit_cycles: float = 0.0
-    reg_comm_latency: int = 3
+    #: ``C_reg_com`` of the simulated machine.  The default is derived
+    #: from :class:`~repro.config.ArchConfig` (the simulator overwrites
+    #: it with the actual run's value) so it cannot drift from the
+    #: machine model.
+    reg_comm_latency: int = field(
+        default_factory=lambda: ArchConfig.paper_default().reg_comm_latency)
     #: per-thread timeline, populated when ``SimConfig.trace`` is set.
     thread_records: list["ThreadRecord"] = field(default_factory=list)
 

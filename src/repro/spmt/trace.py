@@ -33,7 +33,12 @@ class ThreadRecord:
 
 
 def format_trace(records: list[ThreadRecord], limit: int = 20) -> str:
-    """Human-readable thread timeline (first ``limit`` threads)."""
+    """Human-readable thread timeline (first ``limit`` threads).
+
+    Truncation is explicit (a ``... (N more)`` footer) and the aggregate
+    restart/stall totals always cover *every* record, not just the shown
+    ones, so the summary line is trustworthy regardless of ``limit``.
+    """
     lines = [f"{'thr':>4} {'core':>4} {'start':>9} {'finish':>9} "
              f"{'commit':>9} {'stall':>7} {'restarts':>8}"]
     for rec in records[:limit]:
@@ -43,4 +48,8 @@ def format_trace(records: list[ThreadRecord], limit: int = 20) -> str:
             f"{rec.stall_cycles:>7.1f} {rec.restarts:>8}")
     if len(records) > limit:
         lines.append(f"... ({len(records) - limit} more)")
+    lines.append(
+        f"totals: {len(records)} threads, "
+        f"{sum(r.restarts for r in records)} restarts, "
+        f"{sum(r.stall_cycles for r in records):.1f} stall cycles")
     return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Cost-model-vs-simulator validation harness."""
+
+import json
+
+import pytest
+
+from repro.config import ArchConfig, SchedulerConfig
+from repro.experiments.validate import run_validate, write_report_json
+from repro.obs.report import validate_report_dict
+
+
+@pytest.fixture(scope="module")
+def table3_report():
+    return run_validate(ArchConfig.paper_default(), SchedulerConfig(),
+                        suites=("table3",), iterations=100, seed=42)
+
+
+def test_rows_cover_suite(table3_report):
+    from repro.workloads.doacross import DOACROSS_LOOPS
+    # one row per (kernel, algorithm); compiles may soft-fail but the
+    # Table 3 suite is known-good
+    assert len(table3_report.rows) == 2 * len(DOACROSS_LOOPS)
+    assert {r.algorithm for r in table3_report.rows} == {"sms", "tms"}
+
+
+def test_rows_are_consistent(table3_report):
+    for row in table3_report.rows:
+        assert row.ii >= 1
+        assert row.predicted_cycles > 0
+        assert row.simulated_cycles > 0
+        assert 0.0 <= row.p_m <= 1.0
+        assert row.error_cycles == pytest.approx(
+            row.simulated_cycles - row.predicted_cycles)
+
+
+def test_report_matches_golden_schema(table3_report):
+    validate_report_dict(table3_report.to_dict())
+
+
+def test_written_json_round_trips_schema(table3_report, tmp_path):
+    path = tmp_path / "report.json"
+    write_report_json(table3_report, path)
+    data = json.loads(path.read_text())
+    validate_report_dict(data)
+    assert data["summary"]["n_rows"] == len(table3_report.rows)
+    assert data["summary"]["mape"] == pytest.approx(table3_report.mape)
+
+
+def test_render_summarises(table3_report):
+    text = table3_report.render()
+    assert "MAPE (overall" in text
+    assert "Worst kernel:" in text
+
+
+def test_deterministic(table3_report):
+    again = run_validate(ArchConfig.paper_default(), SchedulerConfig(),
+                         suites=("table3",), iterations=100, seed=42)
+    assert again.to_dict() == table3_report.to_dict()
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(ValueError, match="unknown suite"):
+        run_validate(suites=("table9",))

@@ -1,0 +1,31 @@
+"""Keep the process-wide registry/tracer isolated per test."""
+
+import pytest
+
+from repro.obs.events import get_tracer
+from repro.obs.metrics import MetricsRegistry, set_registry
+
+
+@pytest.fixture
+def registry():
+    """A fresh enabled registry installed as the process default."""
+    fresh = MetricsRegistry(enabled=True)
+    previous = set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_registry(previous)
+
+
+@pytest.fixture
+def tracer():
+    """The default tracer, enabled and empty; state restored on exit."""
+    t = get_tracer()
+    previous = t.enabled
+    t.clear()
+    t.enabled = True
+    try:
+        yield t
+    finally:
+        t.enabled = previous
+        t.clear()

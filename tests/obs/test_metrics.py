@@ -1,0 +1,122 @@
+"""Metrics registry: counters, gauges, histograms, timers."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import Counter, MetricsRegistry, Timer
+
+
+def test_counter_inc(registry):
+    c = registry.counter("a.hits", "hits")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+
+
+def test_idempotent_creation(registry):
+    assert registry.counter("x") is registry.counter("x")
+    assert len(registry) == 1
+
+
+def test_kind_collision_raises(registry):
+    registry.counter("x")
+    with pytest.raises(TypeError, match="already registered"):
+        registry.gauge("x")
+
+
+def test_timer_is_not_a_plain_histogram(registry):
+    registry.timer("t")
+    with pytest.raises(TypeError):
+        registry.histogram("t")
+
+
+def test_disabled_registry_is_inert():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("c")
+    g = reg.gauge("g")
+    h = reg.histogram("h")
+    c.inc()
+    g.set(7.0)
+    h.observe(1.0)
+    assert c.value == 0 and g.value == 0.0 and h.count == 0
+
+
+def test_gauge_last_write_wins(registry):
+    g = registry.gauge("g")
+    g.set(3.0)
+    g.set(1.5)
+    assert g.value == 1.5
+
+
+def test_histogram_summary(registry):
+    h = registry.histogram("h")
+    for v in (2.0, 4.0, 6.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 3
+    assert snap["sum"] == pytest.approx(12.0)
+    assert snap["min"] == 2.0 and snap["max"] == 6.0
+    assert snap["mean"] == pytest.approx(4.0)
+
+
+def test_empty_histogram_snapshot(registry):
+    snap = registry.histogram("h").snapshot()
+    assert snap["count"] == 0
+    assert snap["min"] == 0.0 and snap["max"] == 0.0 and snap["mean"] == 0.0
+
+
+def test_timer_observes_elapsed(registry):
+    t = registry.timer("t")
+    fake = iter([10.0, 10.25])
+    with t.time(clock=lambda: next(fake)):
+        pass
+    assert t.count == 1
+    assert t.total == pytest.approx(0.25)
+
+
+def test_timer_observes_on_exception(registry):
+    t = registry.timer("t")
+    fake = iter([0.0, 1.0])
+    with pytest.raises(RuntimeError):
+        with t.time(clock=lambda: next(fake)):
+            raise RuntimeError("boom")
+    assert t.count == 1
+
+
+def test_disabled_timer_skips_clock():
+    reg = MetricsRegistry(enabled=False)
+    with reg.timer("t").time(clock=lambda: 1 / 0):  # clock never called
+        pass
+
+
+def test_snapshot_sorted_and_render(registry):
+    registry.counter("b").inc(2)
+    registry.gauge("a").set(1.0)
+    snap = registry.snapshot()
+    assert list(snap) == ["a", "b"]
+    text = registry.render()
+    assert "a" in text and "2" in text
+
+
+def test_reset_keeps_instruments(registry):
+    c = registry.counter("c")
+    c.inc(9)
+    registry.reset()
+    assert c.value == 0
+    assert "c" in registry
+
+
+def test_module_shortcuts_use_default_registry(registry):
+    metrics.counter("short").inc()
+    assert registry.get("short").value == 1
+    assert isinstance(registry.get("short"), Counter)
+    assert isinstance(metrics.timer("short.t"), Timer)
+
+
+def test_env_kill_switch(monkeypatch):
+    monkeypatch.setenv("REPRO_METRICS", "0")
+    assert MetricsRegistry().enabled is False
+    monkeypatch.setenv("REPRO_METRICS", "1")
+    assert MetricsRegistry().enabled is True
+    monkeypatch.delenv("REPRO_METRICS")
+    assert MetricsRegistry().enabled is True

@@ -1,0 +1,100 @@
+"""Discrepancy report data model and golden schema."""
+
+import pytest
+
+from repro.obs.report import (
+    SCHEMA_VERSION,
+    DiscrepancyReport,
+    DiscrepancyRow,
+    mape,
+    validate_report_dict,
+)
+
+
+def _row(kernel="k0", alg="tms", predicted=900.0, simulated=1000.0):
+    return DiscrepancyRow(kernel=kernel, benchmark="bench", algorithm=alg,
+                          ii=8, c_delay=4.0, p_m=0.01,
+                          predicted_cycles=predicted,
+                          simulated_cycles=simulated)
+
+
+def _report(rows=None):
+    if rows is None:
+        rows = (_row(), _row("k1", "sms", 1200.0, 1000.0))
+    return DiscrepancyReport(rows=tuple(rows), iterations=300, seed=7,
+                             ncore=4)
+
+
+def test_row_error_fields():
+    row = _row(predicted=900.0, simulated=1000.0)
+    assert row.error_cycles == pytest.approx(100.0)
+    assert row.abs_pct_error == pytest.approx(10.0)
+
+
+def test_row_zero_simulated_guard():
+    assert _row(simulated=0.0).abs_pct_error == 0.0
+
+
+def test_mape():
+    rows = [_row(predicted=900.0, simulated=1000.0),
+            _row(predicted=1300.0, simulated=1000.0)]
+    assert mape(rows) == pytest.approx(20.0)
+    assert mape([]) == 0.0
+
+
+def test_report_aggregates():
+    report = _report()
+    assert report.mape == pytest.approx(15.0)
+    assert report.mape_by_algorithm() == {
+        "sms": pytest.approx(20.0), "tms": pytest.approx(10.0)}
+    assert report.worst().kernel == "k1"
+
+
+def test_empty_report():
+    report = _report(rows=())
+    assert report.mape == 0.0
+    assert report.worst() is None
+    validate_report_dict(report.to_dict())
+
+
+def test_to_dict_matches_schema():
+    data = _report().to_dict()
+    validate_report_dict(data)  # does not raise
+    assert data["schema_version"] == SCHEMA_VERSION
+    assert data["summary"]["n_rows"] == 2
+    assert data["summary"]["worst_kernel"] == "k1"
+
+
+def test_render_contains_table_and_mape():
+    text = _report().render()
+    assert "Cost model vs simulator" in text
+    assert "MAPE (TMS)" in text and "MAPE (overall, 2 rows)" in text
+    assert "Worst kernel: k1" in text
+
+
+def test_validate_rejects_missing_key():
+    data = _report().to_dict()
+    del data["summary"]["mape"]
+    with pytest.raises(ValueError, match="mape"):
+        validate_report_dict(data)
+
+
+def test_validate_rejects_mistyped_row_field():
+    data = _report().to_dict()
+    data["rows"][0]["ii"] = "8"
+    with pytest.raises(ValueError, match="ii"):
+        validate_report_dict(data)
+
+
+def test_validate_rejects_bool_for_int():
+    data = _report().to_dict()
+    data["iterations"] = True
+    with pytest.raises(ValueError, match="iterations"):
+        validate_report_dict(data)
+
+
+def test_validate_rejects_wrong_version():
+    data = _report().to_dict()
+    data["schema_version"] = SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema_version"):
+        validate_report_dict(data)

@@ -18,3 +18,21 @@ def test_zero_iterations_safe():
     stats = SimStats()
     assert stats.cycles_per_iteration == 0.0
     assert stats.misspec_frequency == 0.0
+
+
+def test_default_reg_comm_latency_tracks_config():
+    from repro.config import ArchConfig
+    # the default is derived from the paper's architecture, not a
+    # hardcoded literal duplicated in two modules
+    assert SimStats().reg_comm_latency == \
+        ArchConfig.paper_default().reg_comm_latency
+
+
+def test_simulator_stamps_arch_latency(fig1_ddg, fig1_machine):
+    from repro.config import ArchConfig, SimConfig
+    from repro.sched import run_postpass, schedule_sms
+    from repro.spmt import simulate
+    arch = ArchConfig(ncore=4, reg_comm_latency=7)
+    pipelined = run_postpass(schedule_sms(fig1_ddg, fig1_machine), arch)
+    stats = simulate(pipelined, arch, SimConfig(iterations=8))
+    assert stats.reg_comm_latency == 7

@@ -54,3 +54,73 @@ def test_trace_off_by_default(fig1_ddg, fig1_machine, arch):
 def test_format_trace(traced_stats):
     text = format_trace(traced_stats.thread_records, limit=5)
     assert "core" in text and "more" in text
+
+
+def test_format_trace_totals_cover_all_records(traced_stats):
+    records = traced_stats.thread_records
+    text = format_trace(records, limit=5)
+    # the totals line aggregates every record, not just the shown ones
+    assert f"... ({len(records) - 5} more)" in text
+    expected = (f"totals: {len(records)} threads, "
+                f"{sum(r.restarts for r in records)} restarts, "
+                f"{sum(r.stall_cycles for r in records):.1f} stall cycles")
+    assert text.splitlines()[-1] == expected
+
+
+def test_format_trace_totals_without_truncation(traced_stats):
+    records = traced_stats.thread_records[:3]
+    text = format_trace(records, limit=20)
+    assert "more" not in text
+    assert text.splitlines()[-1].startswith("totals: 3 threads")
+
+
+# -- timelines under squash/re-execute ---------------------------------------
+
+
+@pytest.fixture
+def squashed_stats(fig1_ddg, fig1_machine, arch):
+    """A TMS run long enough that violations (and hence squash +
+    re-execute rounds) are guaranteed to occur."""
+    from repro.sched import schedule_tms
+    pipelined = run_postpass(schedule_tms(fig1_ddg, fig1_machine, arch), arch)
+    return simulate(pipelined, arch,
+                    SimConfig(iterations=2000, seed=1, trace=True))
+
+
+def test_squashes_occurred(squashed_stats):
+    assert squashed_stats.misspeculations > 0
+    assert any(r.restarts > 0 for r in squashed_stats.thread_records)
+
+
+def test_restarted_threads_keep_valid_timeline(squashed_stats):
+    for rec in squashed_stats.thread_records:
+        assert rec.start <= rec.finish <= rec.commit
+
+
+def test_per_core_monotonic_under_restarts(squashed_stats, arch):
+    """A core runs its threads strictly in order even when some of them
+    are squashed and re-executed: starts and commits never interleave."""
+    by_core = {c: [] for c in range(arch.ncore)}
+    for rec in squashed_stats.thread_records:
+        by_core[rec.core].append(rec)
+    for records in by_core.values():
+        starts = [r.start for r in records]
+        commits = [r.commit for r in records]
+        assert starts == sorted(starts)
+        assert commits == sorted(commits)
+        # a core never starts iteration j before committing iteration
+        # j - ncore (the double-buffered core becomes free at commit)
+        for prev, nxt in zip(records, records[1:]):
+            assert nxt.start >= prev.commit
+
+
+def test_stall_accounting_with_restarts(squashed_stats):
+    """Committed executions' stalls still sum exactly to the aggregate,
+    i.e. squashed attempts' stalls are excluded from both."""
+    assert sum(r.stall_cycles for r in squashed_stats.thread_records) == \
+        pytest.approx(squashed_stats.sync_stall_cycles)
+
+
+def test_restart_totals_with_restarts(squashed_stats):
+    assert sum(r.restarts for r in squashed_stats.thread_records) == \
+        squashed_stats.misspeculations
