@@ -1,0 +1,44 @@
+"""Design-space exploration: a tiny core-count sweep through the full
+engine (space -> grid strategy -> trial evaluation -> Pareto report),
+plus the warm-cache path that makes repeated sweeps free."""
+
+from repro.dse import (SweepEngine, SweepReport, WorkloadSpec,
+                       make_strategy, space_from_dict)
+
+from conftest import FULL, LOOP_ITERATIONS
+
+
+def _run_sweep(session, fidelity):
+    space = space_from_dict({"arch.ncore": [2, 4, 8]})
+    strategy = make_strategy("grid", space, fidelity=fidelity)
+    workload = WorkloadSpec(suite="table3",
+                            max_kernels=None if FULL else 2)
+    engine = SweepEngine(space, strategy, workload=workload,
+                         session=session)
+    outcome = engine.run()
+    return space, strategy, outcome
+
+
+def test_dse_core_sweep(benchmark, repro_session):
+    space, strategy, outcome = benchmark.pedantic(
+        _run_sweep, args=(repro_session, LOOP_ITERATIONS // 5),
+        rounds=1, iterations=1)
+    report = SweepReport.build(space, strategy.name, 0xACE5,
+                               outcome.results)
+    print("\n" + report.render_markdown())
+    assert len(outcome.results) == 3
+    frontier = report.pareto()
+    assert 1 <= len(frontier) <= 3
+    # every kernel found some configuration where TMS beats SMS
+    assert all(info["speedup"] > 1.0
+               for info in report.best_configs().values())
+
+
+def test_dse_warm_sweep_is_free(benchmark, repro_session):
+    fidelity = LOOP_ITERATIONS // 5
+    _run_sweep(repro_session, fidelity)          # prime the trial cache
+    space, strategy, outcome = benchmark.pedantic(
+        _run_sweep, args=(repro_session, fidelity), rounds=1, iterations=1)
+    print(f"\nwarm sweep: {outcome.summary()}")
+    assert outcome.evaluated == 0
+    assert outcome.from_cache == len(outcome.results) == 3

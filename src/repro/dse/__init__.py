@@ -1,0 +1,87 @@
+"""Design-space exploration & autotuning (``repro.dse``).
+
+The paper's evaluation is itself a design-space walk — TMS vs SMS
+across core counts, scalar-network latencies, spawn/commit/squash
+overheads and misspeculation probabilities.  This subsystem makes that
+walk a first-class, resumable artifact instead of a pile of one-off
+scripts:
+
+* :mod:`repro.dse.space` — declarative parameter spaces over
+  ``arch.*`` / ``sched.*`` / ``workload.*`` fields (TOML/JSON files or
+  dicts; validated against the config dataclasses);
+* :mod:`repro.dse.strategies` — exhaustive grid, seeded random
+  sampling, and adaptive successive halving (cheap low-fidelity rungs
+  promote configs by simulated TMS speedup);
+* :mod:`repro.dse.engine` — the sweep engine: every trial resolves
+  through checkpoint → content-addressed artifact cache → evaluation,
+  fans compiles/simulations out through the session layer, publishes
+  ``dse.*`` metrics, and checkpoints JSONL after every batch so
+  ``--resume`` continues an interrupted sweep exactly;
+* :mod:`repro.dse.analysis` — per-kernel best configs, the speedup
+  Pareto frontier, per-parameter sensitivity; versioned JSON +
+  markdown reports (byte-identical across cold/warm/resumed runs);
+* :mod:`repro.dse.presets` — named sweeps reproducing the paper's
+  2/4/8-core and latency/overhead walks;
+* :mod:`repro.dse.cli` — the ``tms-experiments dse`` subcommand.
+
+See ``docs/dse.md`` for the space-file format and a walkthrough.
+"""
+
+from __future__ import annotations
+
+from ..session import trial_key  # the trial cache key lives in session
+from .analysis import (
+    DSE_REPORT_SCHEMA,
+    SweepReport,
+    pareto_frontier,
+    validate_dse_report_dict,
+    write_report_json,
+)
+from .engine import SweepEngine, SweepInterrupted, SweepOutcome, evaluate_trial
+from .presets import PRESETS, get_preset
+from .space import Dimension, ParameterSpace, space_from_dict, space_from_file
+from .strategies import (
+    GridSearch,
+    RandomSearch,
+    SearchStrategy,
+    SuccessiveHalving,
+    make_strategy,
+)
+from .trial import (
+    KernelOutcome,
+    TrialResult,
+    TrialSpec,
+    WorkloadSpec,
+    build_trial,
+    build_workload_loops,
+)
+
+__all__ = [
+    "DSE_REPORT_SCHEMA",
+    "Dimension",
+    "GridSearch",
+    "KernelOutcome",
+    "PRESETS",
+    "ParameterSpace",
+    "RandomSearch",
+    "SearchStrategy",
+    "SuccessiveHalving",
+    "SweepEngine",
+    "SweepInterrupted",
+    "SweepOutcome",
+    "SweepReport",
+    "TrialResult",
+    "TrialSpec",
+    "WorkloadSpec",
+    "build_trial",
+    "build_workload_loops",
+    "evaluate_trial",
+    "get_preset",
+    "make_strategy",
+    "pareto_frontier",
+    "space_from_dict",
+    "space_from_file",
+    "trial_key",
+    "validate_dse_report_dict",
+    "write_report_json",
+]

@@ -1,0 +1,140 @@
+"""``tms-experiments dse``: the sweep subcommand.
+
+Resolves a sweep definition (``--preset`` or ``--space FILE``, with CLI
+overrides for strategy, trial budget, seed, suite and fidelity), runs
+the :class:`~repro.dse.engine.SweepEngine`, and writes the output
+directory::
+
+    <out>/trials.jsonl   checkpoint / raw result log (--resume reads it)
+    <out>/report.json    versioned report (schema-checked in CI)
+    <out>/report.md      the same report as markdown
+
+``--quick`` shrinks fidelity and kernel counts the same way the other
+subcommands do; ``--resume`` continues an interrupted sweep from the
+checkpoint.  Warm reruns with ``REPRO_CACHE_DIR`` set evaluate nothing
+(every trial is served by the artifact cache) and still produce
+byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from ..config import ArchConfig, SchedulerConfig
+from ..errors import MachineError
+from .analysis import SweepReport, write_report_json
+from .engine import SweepEngine, SweepInterrupted
+from .presets import get_preset
+from .space import space_from_dict, space_from_file
+from .strategies import make_strategy
+from .trial import WorkloadSpec
+
+__all__ = ["add_dse_arguments", "run_dse_command"]
+
+
+def add_dse_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", default=None,
+                        help="named sweep (e.g. paper-cores, paper-comm, "
+                             "paper-overheads, pmax, synthetic-pm)")
+    parser.add_argument("--space", default=None, metavar="FILE",
+                        help="TOML/JSON parameter-space file (see "
+                             "docs/dse.md)")
+    parser.add_argument("--strategy", default=None,
+                        choices=("grid", "random", "halving"))
+    parser.add_argument("--trials", type=int, default=None,
+                        help="trial budget for random/halving searches")
+    parser.add_argument("--suite", default=None,
+                        choices=("table3", "table2", "synthetic"),
+                        help="workload suite each trial evaluates")
+    parser.add_argument("--kernels", type=int, default=None,
+                        help="cap the kernel count per trial")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="simulated trip count at full fidelity")
+    parser.add_argument("--seed", type=int, default=0xACE5,
+                        help="seed for sampling, simulation and "
+                             "synthetic workload generation")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny kernels/fidelity for smoke runs")
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--out", default="dse-out",
+                        help="output directory (default: dse-out)")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue from <out>/trials.jsonl")
+    parser.add_argument("--markdown", action="store_true",
+                        help="also print the markdown report to stdout")
+
+
+def run_dse_command(ns: argparse.Namespace) -> int:
+    if bool(ns.preset) == bool(ns.space):
+        print("dse: exactly one of --preset or --space is required",
+              file=sys.stderr)
+        return 2
+    try:
+        if ns.preset:
+            preset = get_preset(ns.preset)
+            space = space_from_dict(preset["space"])
+        else:
+            preset = {}
+            space = space_from_file(ns.space)
+    except (MachineError, OSError) as exc:
+        print(f"dse: {exc}", file=sys.stderr)
+        return 2
+
+    suite = ns.suite or preset.get("suite", "table3")
+    strategy_name = ns.strategy or preset.get("strategy", "grid")
+    trials = ns.trials if ns.trials is not None else preset.get("trials")
+    iterations = ns.iterations if ns.iterations is not None \
+        else (60 if ns.quick else 300)
+    max_kernels = ns.kernels if ns.kernels is not None \
+        else (2 if ns.quick else None)
+    workload = WorkloadSpec(suite=suite, max_kernels=max_kernels,
+                            n_loops=(2 if ns.quick else 4), seed=ns.seed)
+
+    strategy = make_strategy(strategy_name, space, fidelity=iterations,
+                             n_trials=trials, seed=ns.seed)
+    out = Path(ns.out)
+    out.mkdir(parents=True, exist_ok=True)
+    engine = SweepEngine(
+        space, strategy,
+        base_arch=ArchConfig.paper_default(),
+        base_sched=SchedulerConfig(),
+        workload=workload, seed=ns.seed, jobs=ns.jobs,
+        checkpoint=out / "trials.jsonl", resume=ns.resume)
+
+    start = time.time()
+    try:
+        outcome = engine.run()
+    except (MachineError, SweepInterrupted) as exc:
+        print(f"dse: {exc}", file=sys.stderr)
+        return 1
+    report = SweepReport.build(space, strategy_name, ns.seed,
+                               outcome.results)
+    write_report_json(report, out / "report.json")
+    (out / "report.md").write_text(report.render_markdown(),
+                                   encoding="utf-8")
+
+    frontier = report.pareto()
+    print(f"dse: {outcome.summary()}")
+    print(f"dse: space size {space.size}, objectives "
+          f"{', '.join(f'{d} {n}' for n, d in report.objectives)}")
+    print(f"dse: Pareto frontier ({len(frontier)} points):")
+    for r in frontier:
+        print(f"  {json.dumps(r.params_dict)}  "
+              f"mean_speedup={r.mean_speedup:.3f}  "
+              f"fidelity={r.fidelity}")
+    best = report.best_configs()
+    if best:
+        print(f"dse: best config per kernel:")
+        for kernel, info in best.items():
+            print(f"  {kernel}: speedup {info['speedup']:.3f} at "
+                  f"{json.dumps(info['params'])}")
+    if ns.markdown:
+        print()
+        print(report.render_markdown(), end="")
+    print(f"[dse: {time.time() - start:.1f}s -> {out}/report.json]",
+          file=sys.stderr)
+    return 0

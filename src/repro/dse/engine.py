@@ -1,0 +1,304 @@
+"""The sweep engine: strategy-driven, cached, checkpointed, resumable.
+
+One :class:`SweepEngine` drives a :class:`~repro.dse.strategies.
+SearchStrategy` over a :class:`~repro.dse.space.ParameterSpace`.  Every
+trial resolves through three layers, cheapest first:
+
+1. the **checkpoint** — a JSONL file the engine appends to after every
+   batch, so ``--resume`` continues an interrupted sweep exactly where
+   it stopped (the file also doubles as the sweep's raw-result log);
+2. the session :class:`~repro.session.cache.ArtifactCache`, under the
+   trial's content key (:func:`~repro.session.fingerprint.trial_key`) —
+   with ``REPRO_CACHE_DIR`` set, a repeated or overlapping sweep
+   re-evaluates (and recompiles) nothing;
+3. actual evaluation: compile the trial's kernels (SMS + TMS) and
+   simulate both through :class:`~repro.session.session.Session`
+   fan-out (``--jobs`` / ``REPRO_JOBS``).
+
+Progress is published as ``dse.*`` metrics (and ``dse.trial`` trace
+events when tracing is on).  All ordering is deterministic — ask order
+decides result order — so cold, warm, parallel and resumed runs of the
+same sweep produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..config import ArchConfig, SchedulerConfig
+from ..errors import MachineError
+from ..machine.resources import ResourceModel
+from ..obs import get_tracer, metrics
+from ..session import get_session, trial_key
+from ..session.fingerprint import fingerprint
+from .space import ParameterSpace
+from .strategies import SearchStrategy
+from .trial import (KernelOutcome, TrialResult, TrialSpec, WorkloadSpec,
+                    build_trial, build_workload_loops)
+
+__all__ = ["SweepEngine", "SweepInterrupted", "SweepOutcome",
+           "evaluate_trial"]
+
+#: checkpoint file schema version
+CHECKPOINT_VERSION = 1
+
+
+class SweepInterrupted(RuntimeError):
+    """Raised when a sweep stops early (``stop_after``); the checkpoint
+    holds everything completed so far, ready for ``--resume``."""
+
+
+def evaluate_trial(spec: TrialSpec, session=None,
+                   jobs: int | None = None) -> TrialResult:
+    """Compile + simulate one trial (SMS and TMS over its kernels).
+
+    Kernels whose compilation or simulation fails are recorded in
+    ``failed_kernels`` and skipped (soft-fail, like the suite drivers),
+    so one pathological configuration cannot kill a sweep.
+    """
+    session = session or get_session()
+    key = trial_key(spec)
+    pairs = build_workload_loops(spec.workload)
+    resources = ResourceModel.default(spec.arch.issue_width)
+    compiled = session.compile_many(
+        [loop for _name, loop in pairs], spec.arch, resources, spec.sched,
+        jobs=jobs, on_error="skip")
+    failed = [name for (name, _l), comp in zip(pairs, compiled)
+              if comp is None]
+    points = [(name, comp) for (name, _l), comp in zip(pairs, compiled)
+              if comp is not None]
+    targets: list[Any] = []
+    for _name, comp in points:
+        targets.append(comp.sms)
+        targets.append(comp.tms)
+    stats = session.simulate_many(targets, spec.arch, spec.iterations,
+                                  spec.seed, jobs=jobs, on_error="skip")
+    kernels: list[KernelOutcome] = []
+    for i, (name, _comp) in enumerate(points):
+        sms, tms = stats[2 * i], stats[2 * i + 1]
+        if sms is None or tms is None:
+            failed.append(name)
+            continue
+        kernels.append(KernelOutcome(
+            kernel=name,
+            sms_cycles=float(sms.total_cycles),
+            tms_cycles=float(tms.total_cycles),
+            tms_misspec_frequency=float(tms.misspec_frequency)))
+    return TrialResult(key=key, params=spec.params,
+                       fidelity=spec.iterations, seed=spec.seed,
+                       kernels=tuple(kernels),
+                       failed_kernels=tuple(failed))
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one engine run produced, in deterministic ask order."""
+
+    results: list[TrialResult]
+    evaluated: int = 0            #: trials actually compiled+simulated
+    from_checkpoint: int = 0      #: trials served by the resume file
+    from_cache: int = 0           #: trials served by the artifact cache
+    batches: int = 0
+
+    def summary(self) -> str:
+        return (f"{len(self.results)} trials ({self.evaluated} evaluated, "
+                f"{self.from_checkpoint} from checkpoint, "
+                f"{self.from_cache} from cache) in {self.batches} batches")
+
+
+class SweepEngine:
+    """Drives one strategy over one space, with caching + checkpoints.
+
+    Parameters
+    ----------
+    space / strategy:
+        What to explore and how to walk it.
+    base_arch / base_sched / workload:
+        The configuration every trial starts from before its space
+        assignment is applied.
+    seed:
+        Simulation seed for every trial (also recorded in the header).
+    checkpoint:
+        JSONL path.  ``resume=True`` requires the file's header to match
+        this sweep's identity (space + strategy + seed + workload) and
+        reuses its completed trials; ``resume=False`` truncates it.
+    stop_after:
+        Abort (with :class:`SweepInterrupted`) after this many *newly
+        evaluated* trials have been checkpointed — the hook the
+        interruption tests use.
+    """
+
+    def __init__(self, space: ParameterSpace, strategy: SearchStrategy, *,
+                 base_arch: ArchConfig | None = None,
+                 base_sched: SchedulerConfig | None = None,
+                 workload: WorkloadSpec | None = None,
+                 seed: int = 0xACE5,
+                 session=None, jobs: int | None = None,
+                 checkpoint: str | os.PathLike | None = None,
+                 resume: bool = False,
+                 stop_after: int | None = None) -> None:
+        self.space = space
+        self.strategy = strategy
+        self.base_arch = base_arch or ArchConfig.paper_default()
+        self.base_sched = base_sched or SchedulerConfig()
+        self.workload = workload or WorkloadSpec()
+        self.seed = seed
+        self.session = session or get_session()
+        self.jobs = jobs
+        self.checkpoint = Path(checkpoint) if checkpoint else None
+        self.resume = resume
+        self.stop_after = stop_after
+        self._completed: dict[str, TrialResult] = {}
+
+    # -- sweep identity ------------------------------------------------------
+
+    def sweep_fingerprint(self) -> str:
+        """Content identity of this sweep: what a checkpoint must match."""
+        return fingerprint({
+            "space": self.space.to_dict(),
+            "strategy": self.strategy.name,
+            "seed": self.seed,
+            "base_arch": self.base_arch,
+            "base_sched": self.base_sched,
+            "workload": self.workload,
+        })
+
+    # -- checkpoint I/O ------------------------------------------------------
+
+    def _load_checkpoint(self) -> None:
+        assert self.checkpoint is not None
+        with self.checkpoint.open("r", encoding="utf-8") as fh:
+            lines = [line for line in fh if line.strip()]
+        if not lines:
+            raise MachineError(
+                f"checkpoint {self.checkpoint} is empty; rerun without "
+                f"--resume")
+        header = json.loads(lines[0])
+        if header.get("kind") != "header" \
+                or header.get("schema_version") != CHECKPOINT_VERSION:
+            raise MachineError(
+                f"checkpoint {self.checkpoint} has an unrecognised header")
+        if header.get("sweep") != self.sweep_fingerprint():
+            raise MachineError(
+                f"checkpoint {self.checkpoint} belongs to a different "
+                f"sweep (space/strategy/seed/workload changed); rerun "
+                f"without --resume")
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail from the interruption: drop it
+            if record.get("kind") != "trial":
+                continue
+            result = TrialResult.from_dict(record["trial"])
+            self._completed[result.key] = result
+
+    def _open_checkpoint(self) -> Any:
+        assert self.checkpoint is not None
+        self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
+        preload = len(self._completed)
+        if self.resume and self.checkpoint.exists() and preload:
+            return self.checkpoint.open("a", encoding="utf-8")
+        fh = self.checkpoint.open("w", encoding="utf-8")
+        fh.write(json.dumps({
+            "kind": "header",
+            "schema_version": CHECKPOINT_VERSION,
+            "sweep": self.sweep_fingerprint(),
+            "strategy": self.strategy.name,
+            "seed": self.seed,
+            "space": self.space.to_dict(),
+        }, sort_keys=True) + "\n")
+        fh.flush()
+        return fh
+
+    # -- the main loop -------------------------------------------------------
+
+    def run(self) -> SweepOutcome:
+        """Walk the strategy to exhaustion; return results in ask order."""
+        outcome = SweepOutcome(results=[])
+        tracer = get_tracer()
+        metrics.gauge("dse.space_size",
+                      "points in the current sweep's space").set(
+            self.space.size)
+        if self.checkpoint is not None and self.resume \
+                and self.checkpoint.exists():
+            self._load_checkpoint()
+        ck = self._open_checkpoint() if self.checkpoint is not None else None
+        seen: set[str] = set()
+        newly_evaluated = 0
+        try:
+            while (batch := self.strategy.ask()) is not None:
+                outcome.batches += 1
+                metrics.counter("dse.batches", "sweep batches run").inc()
+                batch_results: list[TrialResult] = []
+                for params, fidelity in batch:
+                    spec = build_trial(
+                        params, base_arch=self.base_arch,
+                        base_sched=self.base_sched,
+                        base_workload=self.workload,
+                        iterations=fidelity, seed=self.seed)
+                    result, source = self._resolve_trial(spec)
+                    metrics.counter("dse.trials",
+                                    "trials resolved (any source)").inc()
+                    if source == "evaluated":
+                        outcome.evaluated += 1
+                        newly_evaluated += 1
+                        if ck is not None:
+                            ck.write(json.dumps(
+                                {"kind": "trial",
+                                 "trial": result.to_dict()},
+                                sort_keys=True) + "\n")
+                    elif source == "checkpoint":
+                        outcome.from_checkpoint += 1
+                    else:
+                        outcome.from_cache += 1
+                    if tracer.enabled:
+                        tracer.emit("dse", "trial", source=source,
+                                    params=dict(result.params),
+                                    fidelity=result.fidelity,
+                                    mean_speedup=result.mean_speedup)
+                    batch_results.append(result)
+                    if result.key not in seen:
+                        seen.add(result.key)
+                        outcome.results.append(result)
+                if ck is not None:
+                    ck.flush()
+                self.strategy.tell(batch_results)
+                if self.stop_after is not None \
+                        and newly_evaluated >= self.stop_after:
+                    raise SweepInterrupted(
+                        f"stopped after {newly_evaluated} newly evaluated "
+                        f"trials ({len(outcome.results)} checkpointed)")
+        finally:
+            if ck is not None:
+                ck.close()
+        return outcome
+
+    def _resolve_trial(self, spec: TrialSpec) -> tuple[TrialResult, str]:
+        """Checkpoint -> artifact cache -> evaluate; returns the source."""
+        from ..session.cache import MISS
+
+        key = trial_key(spec)
+        hit = self._completed.get(key)
+        if hit is not None:
+            metrics.counter("dse.checkpoint_hits",
+                            "trials served by the resume file").inc()
+            return hit, "checkpoint"
+        cached = self.session.cache.get(key)
+        if cached is not MISS:
+            metrics.counter("dse.trial_cache_hits",
+                            "trials served by the artifact cache").inc()
+            return cached, "cache"
+        with metrics.timer("dse.trial_seconds",
+                           "wall time of evaluated trials").time():
+            result = evaluate_trial(spec, session=self.session,
+                                    jobs=self.jobs)
+        metrics.counter("dse.evaluations",
+                        "trials actually compiled+simulated").inc()
+        self.session.cache.put(key, result)
+        self._completed[key] = result
+        return result, "evaluated"

@@ -1,0 +1,77 @@
+"""Named sweep presets reproducing (and extending) the paper's walks.
+
+A preset is exactly the dict a space/config file would parse to:
+a ``space`` table plus base-settings defaults the CLI can still
+override.  ``paper-cores`` is the paper's 2/4/8-core scaling sweep over
+the Table-3 DOACROSS loops; ``paper-comm`` sweeps the scalar operand
+network's SEND/RECV latency (Section 5's sensitivity axis);
+``paper-overheads`` walks the spawn/commit/squash cost space; ``pmax``
+replays the Section 5.2 ``P_max`` ablation as a sweep; ``synthetic-pm``
+explores the misspeculation probability ``P_M`` of a synthetic DOACROSS
+population jointly with the core count, using the adaptive strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import MachineError
+
+__all__ = ["PRESETS", "get_preset"]
+
+PRESETS: dict[str, dict[str, Any]] = {
+    "paper-cores": {
+        "description": "TMS vs SMS across 2/4/8 cores (Table-3 loops)",
+        "space": {"arch.ncore": [2, 4, 8]},
+        "suite": "table3",
+        "strategy": "grid",
+    },
+    "paper-comm": {
+        "description": "scalar-network latency sensitivity (C_reg_com)",
+        "space": {"arch.reg_comm_latency": {"min": 1, "max": 7,
+                                            "step": 2}},
+        "suite": "table3",
+        "strategy": "grid",
+    },
+    "paper-overheads": {
+        "description": "spawn/commit/invalidation overhead space",
+        "space": {
+            "arch.spawn_overhead": [1, 3, 6],
+            "arch.commit_overhead": [1, 2, 4],
+            "arch.invalidation_overhead": [5, 15, 30],
+        },
+        "suite": "table3",
+        "strategy": "random",
+        "trials": 10,
+    },
+    "pmax": {
+        "description": "TMS P_max pruning-bound sweep (Section 5.2)",
+        "space": {"sched.p_max": [0.0, 0.01, 0.05, 0.2, 1.0]},
+        "suite": "table3",
+        "strategy": "grid",
+    },
+    "synthetic-pm": {
+        "description": "misspeculation probability P_M x cores, "
+                       "adaptive search on a synthetic population",
+        "space": {
+            "workload.spec_probability": {"min": 0.0, "max": 0.2,
+                                          "steps": 5},
+            "arch.ncore": [2, 4, 8],
+        },
+        "suite": "synthetic",
+        "strategy": "halving",
+        "trials": 8,
+    },
+}
+
+
+def get_preset(name: str) -> dict[str, Any]:
+    """The preset dict for ``name`` (a copy; callers may mutate)."""
+    try:
+        preset = PRESETS[name]
+    except KeyError:
+        raise MachineError(
+            f"unknown preset {name!r}; choose from "
+            f"{sorted(PRESETS)}") from None
+    return {k: (dict(v) if isinstance(v, dict) else v)
+            for k, v in preset.items()}

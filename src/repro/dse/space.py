@@ -1,0 +1,194 @@
+"""Declarative parameter spaces for design-space exploration.
+
+A :class:`ParameterSpace` is an ordered tuple of :class:`Dimension`\\ s,
+each naming one tunable in a dotted namespace and the values it may
+take:
+
+* ``arch.<field>``     — any :class:`~repro.config.ArchConfig` field
+  (``ncore``, ``reg_comm_latency``, ``spawn_overhead``, …);
+* ``sched.<field>``    — any :class:`~repro.config.SchedulerConfig`
+  field (``p_max``, the TMS ``(II, C_delay)`` pruning bounds
+  ``max_ii_factor`` / ``max_candidates``, ``speculation``, …);
+* ``workload.<field>`` — any :class:`~repro.workloads.generator.
+  LoopShape` field of the synthetic suite (``spec_probability`` — the
+  knob behind the paper's misspeculation probability ``P_M`` —
+  ``n_instr``, ``n_mem_recurrences``, …) plus ``workload.n_loops``.
+
+Dimension names are validated against the target dataclasses at
+construction (via :func:`repro.config.coerce_field_value`), so a typo
+fails when the space is built, not after an hour of sweeping.  Spaces
+parse from plain dicts — and therefore from TOML or JSON files (see
+:func:`space_from_file`) — where each value is either an explicit
+choice list, ``{"min", "max", "steps"}`` (inclusive linspace) or
+``{"min", "max", "step"}`` (inclusive integer range)::
+
+    [space]
+    "arch.ncore" = [2, 4, 8]
+    "arch.reg_comm_latency" = {min = 1, max = 7, step = 2}
+    "sched.p_max" = {min = 0.0, max = 0.2, steps = 5}
+
+Point enumeration (:meth:`ParameterSpace.points`) is lexicographic over
+the dimensions in declaration order, and :meth:`ParameterSpace.point_at`
+decodes a single mixed-radix index without materialising the grid, so
+random strategies can sample spaces far too large to enumerate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from ..config import ArchConfig, SchedulerConfig, coerce_field_value
+from ..errors import MachineError
+from ..workloads.generator import LoopShape
+
+__all__ = ["Dimension", "ParameterSpace", "space_from_dict",
+           "space_from_file"]
+
+#: dimension namespace -> dataclass its fields are validated against
+_NAMESPACES: dict[str, type] = {
+    "arch": ArchConfig,
+    "sched": SchedulerConfig,
+    "workload": LoopShape,
+}
+
+#: workload dimensions that are population-level, not LoopShape fields
+_WORKLOAD_EXTRA = ("n_loops",)
+
+
+def _validate_value(name: str, value: Any) -> Any:
+    """Coerce one dimension value against its namespace dataclass."""
+    namespace, _, field = name.partition(".")
+    if namespace not in _NAMESPACES or not field:
+        raise MachineError(
+            f"dimension {name!r} must be '<namespace>.<field>' with "
+            f"namespace in {sorted(_NAMESPACES)}")
+    if namespace == "workload" and field in _WORKLOAD_EXTRA:
+        return coerce_field_value(_PopulationKnobs, field, value)
+    return coerce_field_value(_NAMESPACES[namespace], field, value)
+
+
+@dataclass(frozen=True)
+class _PopulationKnobs:
+    """Typed home for workload dimensions that sit outside LoopShape."""
+
+    n_loops: int = 4
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One tunable: a dotted name and the ordered values it may take."""
+
+    name: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise MachineError(f"dimension {self.name!r} has no values")
+        coerced = tuple(_validate_value(self.name, v) for v in self.values)
+        if len(set(map(repr, coerced))) != len(coerced):
+            raise MachineError(
+                f"dimension {self.name!r} has duplicate values: "
+                f"{self.values}")
+        object.__setattr__(self, "values", coerced)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """An ordered, finite cartesian product of :class:`Dimension`\\ s."""
+
+    dimensions: tuple[Dimension, ...]
+
+    def __post_init__(self) -> None:
+        names = [d.name for d in self.dimensions]
+        if len(set(names)) != len(names):
+            raise MachineError(f"duplicate dimension names in {names}")
+
+    @property
+    def size(self) -> int:
+        """Number of points in the full grid."""
+        return math.prod(len(d) for d in self.dimensions) \
+            if self.dimensions else 1
+
+    def point_at(self, index: int) -> dict[str, Any]:
+        """Decode grid point ``index`` (mixed radix, last dimension
+        fastest — the same order :meth:`points` enumerates)."""
+        if not 0 <= index < self.size:
+            raise IndexError(
+                f"point index {index} out of range [0, {self.size})")
+        assignment: dict[str, Any] = {}
+        for dim in reversed(self.dimensions):
+            index, digit = divmod(index, len(dim))
+            assignment[dim.name] = dim.values[digit]
+        return {d.name: assignment[d.name] for d in self.dimensions}
+
+    def points(self) -> Iterator[dict[str, Any]]:
+        """Every grid point, in deterministic lexicographic order."""
+        for index in range(self.size):
+            yield self.point_at(index)
+
+    def to_dict(self) -> dict[str, list[Any]]:
+        """Plain-dict form (choice lists only; ranges are pre-expanded)."""
+        return {d.name: list(d.values) for d in self.dimensions}
+
+
+def _expand_values(name: str, spec: Any) -> tuple[Any, ...]:
+    """One dimension's value spec -> explicit tuple of choices."""
+    if isinstance(spec, (list, tuple)):
+        return tuple(spec)
+    if isinstance(spec, Mapping):
+        keys = set(spec)
+        if keys == {"min", "max", "steps"}:
+            lo, hi, steps = spec["min"], spec["max"], spec["steps"]
+            if steps < 2:
+                raise MachineError(
+                    f"dimension {name!r}: steps must be >= 2, got {steps}")
+            return tuple(
+                round(lo + (hi - lo) * i / (steps - 1), 12)
+                for i in range(steps))
+        if keys == {"min", "max", "step"}:
+            lo, hi, step = spec["min"], spec["max"], spec["step"]
+            if step < 1 or int(step) != step:
+                raise MachineError(
+                    f"dimension {name!r}: step must be a positive int, "
+                    f"got {step}")
+            return tuple(range(int(lo), int(hi) + 1, int(step)))
+        if keys == {"choices"}:
+            return tuple(spec["choices"])
+        raise MachineError(
+            f"dimension {name!r}: expected a list, "
+            f"{{min,max,steps}}, {{min,max,step}} or {{choices}}, "
+            f"got keys {sorted(keys)}")
+    raise MachineError(
+        f"dimension {name!r}: expected a list or mapping, got "
+        f"{type(spec).__name__}")
+
+
+def space_from_dict(spec: Mapping[str, Any]) -> ParameterSpace:
+    """Build a space from ``{dotted-name: value-spec}`` (see module doc)."""
+    return ParameterSpace(tuple(
+        Dimension(name, _expand_values(name, values))
+        for name, values in spec.items()))
+
+
+def space_from_file(path: str | os.PathLike) -> ParameterSpace:
+    """Load a space from a TOML or JSON file.
+
+    The file holds either a top-level ``[space]`` table (TOML) / a
+    ``"space"`` object (JSON), or the dimension mapping directly.
+    """
+    text = open(path, "rb").read()
+    if str(path).endswith(".toml"):
+        import tomllib
+        data = tomllib.loads(text.decode("utf-8"))
+    else:
+        data = json.loads(text.decode("utf-8"))
+    if not isinstance(data, Mapping):
+        raise MachineError(f"space file {path} must hold a mapping")
+    return space_from_dict(data.get("space", data))

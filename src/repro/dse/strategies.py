@@ -1,0 +1,209 @@
+"""Search strategies: how a sweep walks a :class:`ParameterSpace`.
+
+Strategies speak an *ask/tell* protocol the engine drives::
+
+    while (batch := strategy.ask()) is not None:   # [(params, fidelity)]
+        results = engine.evaluate(batch)
+        strategy.tell(results)
+
+Each asked batch is a checkpoint boundary: the engine persists every
+result before asking again, so an interrupted sweep resumes at the last
+completed batch.  Everything a strategy does is deterministic in its
+constructor arguments (seeded ``random.Random``, stable sorts, ties
+broken by ask order), which is what makes resumed and warm-cache reruns
+byte-identical.
+
+* :class:`GridSearch` — exhaustive lexicographic enumeration.
+* :class:`RandomSearch` — seeded sampling without replacement (by grid
+  index, so huge spaces need no materialisation).
+* :class:`SuccessiveHalving` — the adaptive strategy: evaluate a wide
+  rung of configs at cheap fidelity (few simulated iterations — the
+  ``--quick`` trick), promote the top ``1/eta`` by simulated TMS
+  speedup to ``eta``× the fidelity, repeat until the survivors run at
+  full fidelity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from ..errors import MachineError
+from .space import ParameterSpace
+from .trial import TrialResult
+
+__all__ = ["GridSearch", "RandomSearch", "SearchStrategy",
+           "SuccessiveHalving", "make_strategy"]
+
+#: (space assignment, simulation fidelity) — what the engine evaluates
+Trial = tuple[dict[str, Any], int]
+
+
+class SearchStrategy:
+    """Base ask/tell strategy over one space."""
+
+    name = "base"
+
+    def __init__(self, space: ParameterSpace, *, fidelity: int,
+                 batch_size: int = 8) -> None:
+        if fidelity < 1:
+            raise MachineError(f"fidelity must be >= 1, got {fidelity}")
+        if batch_size < 1:
+            raise MachineError(f"batch_size must be >= 1, got {batch_size}")
+        self.space = space
+        self.fidelity = fidelity
+        self.batch_size = batch_size
+
+    def ask(self) -> list[Trial] | None:
+        """The next batch of trials, or ``None`` when the search is done."""
+        raise NotImplementedError
+
+    def tell(self, results: Sequence[TrialResult]) -> None:
+        """Feed back the results of the last asked batch (in ask order)."""
+
+
+class _QueueStrategy(SearchStrategy):
+    """Feedback-free strategies: a precomputed queue served in batches."""
+
+    def __init__(self, space: ParameterSpace, *, fidelity: int,
+                 batch_size: int = 8) -> None:
+        super().__init__(space, fidelity=fidelity, batch_size=batch_size)
+        self._queue: list[dict[str, Any]] = self._enumerate()
+        self._cursor = 0
+
+    def _enumerate(self) -> list[dict[str, Any]]:
+        raise NotImplementedError
+
+    def ask(self) -> list[Trial] | None:
+        if self._cursor >= len(self._queue):
+            return None
+        chunk = self._queue[self._cursor:self._cursor + self.batch_size]
+        self._cursor += len(chunk)
+        return [(params, self.fidelity) for params in chunk]
+
+
+class GridSearch(_QueueStrategy):
+    """Every point of the space, in enumeration order."""
+
+    name = "grid"
+
+    def _enumerate(self) -> list[dict[str, Any]]:
+        return list(self.space.points())
+
+
+class RandomSearch(_QueueStrategy):
+    """``n_trials`` distinct points sampled by seeded grid index."""
+
+    name = "random"
+
+    def __init__(self, space: ParameterSpace, *, n_trials: int, seed: int,
+                 fidelity: int, batch_size: int = 8) -> None:
+        if n_trials < 1:
+            raise MachineError(f"n_trials must be >= 1, got {n_trials}")
+        self.n_trials = n_trials
+        self.seed = seed
+        super().__init__(space, fidelity=fidelity, batch_size=batch_size)
+
+    def _enumerate(self) -> list[dict[str, Any]]:
+        rng = random.Random(self.seed)
+        size = self.space.size
+        n = min(self.n_trials, size)
+        if size <= 4 * n:
+            # small space: exact sample without replacement
+            indices = rng.sample(range(size), n)
+        else:
+            # huge space: draw-and-dedupe, never materialising the grid
+            seen: set[int] = set()
+            indices = []
+            while len(indices) < n:
+                i = rng.randrange(size)
+                if i not in seen:
+                    seen.add(i)
+                    indices.append(i)
+        return [self.space.point_at(i) for i in indices]
+
+
+class SuccessiveHalving(SearchStrategy):
+    """Adaptive rung-based search (successive halving).
+
+    Rung 0 holds ``n_initial`` seeded-random configs (the whole grid if
+    the space is smaller) at ``min_fidelity``; after each rung the top
+    ``ceil(n / eta)`` configs by ``metric`` move up at ``eta``× the
+    fidelity, capped at ``max_fidelity`` — where the final rung runs.
+    """
+
+    name = "halving"
+
+    def __init__(self, space: ParameterSpace, *, n_initial: int,
+                 min_fidelity: int, max_fidelity: int, seed: int,
+                 eta: int = 2, metric: str = "mean_speedup",
+                 batch_size: int = 8) -> None:
+        super().__init__(space, fidelity=max_fidelity,
+                         batch_size=batch_size)
+        if eta < 2:
+            raise MachineError(f"eta must be >= 2, got {eta}")
+        if not 1 <= min_fidelity <= max_fidelity:
+            raise MachineError(
+                f"need 1 <= min_fidelity <= max_fidelity, got "
+                f"{min_fidelity}..{max_fidelity}")
+        self.eta = eta
+        self.metric = metric
+        self.min_fidelity = min_fidelity
+        self.max_fidelity = max_fidelity
+        sampler = RandomSearch(space, n_trials=n_initial, seed=seed,
+                               fidelity=min_fidelity)
+        self._rung: list[dict[str, Any]] = list(sampler._queue)
+        self._rung_fidelity = min_fidelity
+        self._rung_results: list[TrialResult] = []
+        self._cursor = 0
+        self._done = False
+
+    def ask(self) -> list[Trial] | None:
+        if self._done:
+            return None
+        chunk = self._rung[self._cursor:self._cursor + self.batch_size]
+        self._cursor += len(chunk)
+        if not chunk:
+            return None
+        return [(params, self._rung_fidelity) for params in chunk]
+
+    def tell(self, results: Sequence[TrialResult]) -> None:
+        self._rung_results.extend(results)
+        if self._cursor < len(self._rung):
+            return  # rung still in flight
+        if self._rung_fidelity >= self.max_fidelity \
+                or len(self._rung) <= 1:
+            self._done = True
+            return
+        # promote the top 1/eta (stable: ties keep ask order) to eta×
+        # the fidelity, capped at max_fidelity.
+        ranked = sorted(
+            range(len(self._rung_results)),
+            key=lambda i: (-self._rung_results[i].metric(self.metric), i))
+        n_keep = max(1, -(-len(ranked) // self.eta))  # ceil
+        keep = sorted(ranked[:n_keep])
+        self._rung = [dict(self._rung_results[i].params) for i in keep]
+        self._rung_fidelity = min(self._rung_fidelity * self.eta,
+                                  self.max_fidelity)
+        self._rung_results = []
+        self._cursor = 0
+
+
+def make_strategy(name: str, space: ParameterSpace, *, fidelity: int,
+                  n_trials: int | None = None, seed: int = 0,
+                  min_fidelity: int | None = None,
+                  batch_size: int = 8) -> SearchStrategy:
+    """Construct a strategy by CLI name (``grid``/``random``/``halving``)."""
+    if name == "grid":
+        return GridSearch(space, fidelity=fidelity, batch_size=batch_size)
+    if name == "random":
+        return RandomSearch(space, n_trials=n_trials or space.size,
+                            seed=seed, fidelity=fidelity,
+                            batch_size=batch_size)
+    if name == "halving":
+        return SuccessiveHalving(
+            space, n_initial=n_trials or space.size,
+            min_fidelity=min_fidelity or max(1, fidelity // 8),
+            max_fidelity=fidelity, seed=seed, batch_size=batch_size)
+    raise MachineError(
+        f"unknown strategy {name!r}; choose grid, random or halving")

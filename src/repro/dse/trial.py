@@ -1,0 +1,275 @@
+"""Trial specs and results: one evaluated point of a parameter space.
+
+A :class:`TrialSpec` is fully concrete — the resolved
+:class:`~repro.config.ArchConfig` / :class:`~repro.config.
+SchedulerConfig`, the workload recipe and the simulation fidelity
+(trip count + seed) — so its content fingerprint
+(:func:`repro.session.fingerprint.trial_key`) identifies the trial's
+*result*: the sweep engine stores evaluated :class:`TrialResult`\\ s in
+the session :class:`~repro.session.cache.ArtifactCache` under that key,
+which is what makes overlapping or repeated sweeps free.
+
+Workloads come in three suites:
+
+* ``table3`` — the paper's seven selected DOACROSS loops;
+* ``table2`` — the calibrated synthetic SPECfp populations;
+* ``synthetic`` — a fresh seeded population from one
+  :class:`~repro.workloads.generator.LoopShape`, whose fields (notably
+  ``spec_probability``, the misspeculation-probability knob ``P_M``)
+  are exactly the ``workload.*`` dimensions of a space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from ..config import ArchConfig, SchedulerConfig, replace_config
+from ..errors import MachineError
+from ..ir.loop import Loop
+from ..workloads.generator import LoopShape, generate_population
+
+__all__ = ["KernelOutcome", "TrialResult", "TrialSpec", "WorkloadSpec",
+           "build_trial", "build_workload_loops"]
+
+#: workload suites a trial can evaluate against
+SUITES = ("table3", "table2", "synthetic")
+
+#: LoopShape used when a synthetic sweep overrides nothing: a small
+#: DOACROSS-ish body with one accumulator recurrence and one speculated
+#: dependence, cheap enough for adaptive low-fidelity rungs.
+DEFAULT_SHAPE = LoopShape(n_instr=12, n_counters=1, n_reg_recurrences=1,
+                          reg_recurrence_len=2, n_spec_deps=1,
+                          spec_probability=0.02)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Deterministic recipe for a trial's kernel list.
+
+    ``seed`` offsets every synthetic population (both the ``synthetic``
+    suite and the perturbed ``table2`` populations), threading the CLI's
+    ``--seed`` end to end; ``max_kernels`` caps the kernel count for
+    quick runs (the cap keeps the head of the deterministic order).
+    """
+
+    suite: str = "table3"
+    max_kernels: int | None = None
+    benchmarks: tuple[str, ...] | None = None
+    n_loops: int = 4
+    seed: int = 0
+    shape: LoopShape = DEFAULT_SHAPE
+
+    def __post_init__(self) -> None:
+        if self.suite not in SUITES:
+            raise MachineError(
+                f"unknown workload suite {self.suite!r}; choose from "
+                f"{SUITES}")
+        if self.n_loops < 1:
+            raise MachineError(f"n_loops must be >= 1, got {self.n_loops}")
+
+
+def build_workload_loops(spec: WorkloadSpec) -> list[tuple[str, Loop]]:
+    """The (kernel-name, loop) list of one workload spec (deterministic)."""
+    pairs: list[tuple[str, Loop]] = []
+    if spec.suite == "table3":
+        from ..workloads.doacross import DOACROSS_LOOPS
+        pairs = [(sl.loop.name, sl.loop) for sl in DOACROSS_LOOPS]
+    elif spec.suite == "table2":
+        from ..workloads.specfp import SPECFP_BENCHMARKS, generate_benchmark_loops
+        for bspec in SPECFP_BENCHMARKS:
+            if spec.benchmarks is not None \
+                    and bspec.name not in spec.benchmarks:
+                continue
+            for loop in generate_benchmark_loops(
+                    bspec, max_loops=spec.max_kernels, seed=spec.seed):
+                pairs.append((loop.name, loop))
+    else:  # synthetic
+        loops = generate_population(spec.shape, spec.n_loops,
+                                    seed=spec.seed, prefix="syn")
+        pairs = [(loop.name, loop) for loop in loops]
+    if spec.max_kernels is not None:
+        pairs = pairs[:spec.max_kernels]
+    return pairs
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully concrete design point (what :func:`~repro.session.
+    fingerprint.trial_key` fingerprints)."""
+
+    params: tuple[tuple[str, Any], ...]  #: the space assignment, ordered
+    arch: ArchConfig
+    sched: SchedulerConfig
+    workload: WorkloadSpec
+    iterations: int
+    seed: int
+
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def with_iterations(self, iterations: int) -> "TrialSpec":
+        """The same design point at a different simulation fidelity."""
+        return replace(self, iterations=iterations)
+
+
+def build_trial(params: Mapping[str, Any], *,
+                base_arch: ArchConfig | None = None,
+                base_sched: SchedulerConfig | None = None,
+                base_workload: WorkloadSpec | None = None,
+                iterations: int = 300, seed: int = 0xACE5) -> TrialSpec:
+    """Apply one space assignment to the base configs -> a concrete trial.
+
+    ``arch.*`` / ``sched.*`` params go through
+    :func:`repro.config.replace_config` (typed, validated);
+    ``workload.*`` params override the synthetic
+    :class:`~repro.workloads.generator.LoopShape` (or ``n_loops``).
+    """
+    arch = base_arch or ArchConfig.paper_default()
+    sched = base_sched or SchedulerConfig()
+    workload = base_workload or WorkloadSpec()
+    arch_updates: dict[str, Any] = {}
+    sched_updates: dict[str, Any] = {}
+    shape_updates: dict[str, Any] = {}
+    n_loops: int | None = None
+    for name, value in params.items():
+        namespace, _, fieldname = name.partition(".")
+        if namespace == "arch":
+            arch_updates[fieldname] = value
+        elif namespace == "sched":
+            sched_updates[fieldname] = value
+        elif namespace == "workload":
+            if fieldname == "n_loops":
+                n_loops = int(value)
+            else:
+                shape_updates[fieldname] = value
+        else:
+            raise MachineError(f"unknown parameter namespace in {name!r}")
+    if (shape_updates or n_loops is not None) \
+            and workload.suite != "synthetic":
+        raise MachineError(
+            "workload.* dimensions require the 'synthetic' suite, not "
+            f"{workload.suite!r}")
+    if shape_updates:
+        workload = replace(workload,
+                           shape=replace_config(workload.shape,
+                                                shape_updates))
+    if n_loops is not None:
+        workload = replace(workload, n_loops=n_loops)
+    return TrialSpec(
+        params=tuple(sorted(params.items())),
+        arch=replace_config(arch, arch_updates),
+        sched=replace_config(sched, sched_updates),
+        workload=workload,
+        iterations=iterations,
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class KernelOutcome:
+    """SMS-vs-TMS simulated outcome of one kernel under one trial."""
+
+    kernel: str
+    sms_cycles: float
+    tms_cycles: float
+    tms_misspec_frequency: float
+
+    @property
+    def speedup(self) -> float:
+        """TMS speedup over SMS on the same machine (>1 = TMS wins)."""
+        return self.sms_cycles / self.tms_cycles if self.tms_cycles else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "sms_cycles": self.sms_cycles,
+            "tms_cycles": self.tms_cycles,
+            "tms_misspec_frequency": self.tms_misspec_frequency,
+            "speedup": self.speedup,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "KernelOutcome":
+        return cls(kernel=data["kernel"],
+                   sms_cycles=data["sms_cycles"],
+                   tms_cycles=data["tms_cycles"],
+                   tms_misspec_frequency=data["tms_misspec_frequency"])
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Everything the analysis layer needs about one evaluated trial."""
+
+    key: str                             #: trial_key(spec)
+    params: tuple[tuple[str, Any], ...]  #: the space assignment
+    fidelity: int                        #: simulated trip count
+    seed: int
+    kernels: tuple[KernelOutcome, ...]
+    failed_kernels: tuple[str, ...] = field(default=())
+
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def mean_speedup(self) -> float:
+        """Arithmetic mean of per-kernel TMS-over-SMS speedups."""
+        if not self.kernels:
+            return 0.0
+        return sum(k.speedup for k in self.kernels) / len(self.kernels)
+
+    @property
+    def min_speedup(self) -> float:
+        return min((k.speedup for k in self.kernels), default=0.0)
+
+    @property
+    def mean_misspec_frequency(self) -> float:
+        if not self.kernels:
+            return 0.0
+        return sum(k.tms_misspec_frequency for k in self.kernels) \
+            / len(self.kernels)
+
+    def metric(self, name: str) -> float:
+        """Numeric objective by name: an aggregate metric or a swept
+        parameter (used by strategies and the Pareto frontier)."""
+        if name in ("mean_speedup", "min_speedup",
+                    "mean_misspec_frequency"):
+            return float(getattr(self, name))
+        params = self.params_dict
+        if name in params:
+            value = params[name]
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise MachineError(
+                    f"parameter {name!r} is not numeric: {value!r}")
+            return float(value)
+        raise MachineError(f"unknown objective {name!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "params": dict(self.params),
+            "fidelity": self.fidelity,
+            "seed": self.seed,
+            "kernels": [k.to_dict() for k in self.kernels],
+            "failed_kernels": list(self.failed_kernels),
+            "metrics": {
+                "mean_speedup": self.mean_speedup,
+                "min_speedup": self.min_speedup,
+                "mean_misspec_frequency": self.mean_misspec_frequency,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrialResult":
+        return cls(
+            key=data["key"],
+            params=tuple(sorted(data["params"].items())),
+            fidelity=data["fidelity"],
+            seed=data["seed"],
+            kernels=tuple(KernelOutcome.from_dict(k)
+                          for k in data["kernels"]),
+            failed_kernels=tuple(data.get("failed_kernels", ())),
+        )

@@ -1,3 +1,6 @@
+"""``python -m repro.experiments`` — same CLI as ``tms-experiments``:
+tables/figures, ``compile``, ``validate`` and ``dse`` subcommands."""
+
 from .runner import main
 
 raise SystemExit(main())

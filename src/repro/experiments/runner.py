@@ -12,6 +12,7 @@ Regenerates any (or all) of the paper's tables and figures:
     tms-experiments all --quick --stats       # cache/metrics dump on stderr
     tms-experiments table2 --trace out/run    # JSONL + Chrome trace export
     tms-experiments validate --quick          # cost model vs simulator
+    tms-experiments dse --preset paper-cores  # design-space sweep
 
 Everything routes through the process :class:`repro.session.Session`;
 set ``REPRO_CACHE_DIR`` to persist compiled artifacts across runs (a
@@ -25,7 +26,11 @@ enables structured event tracing (:mod:`repro.obs.events`) and writes
 ``chrome://tracing`` format) — deterministic for a given seed.  The
 ``validate`` subcommand compares the Section 4.2 cost model against the
 simulator per kernel and reports aggregate MAPE
-(:mod:`repro.experiments.validate`).
+(:mod:`repro.experiments.validate`).  The ``dse`` subcommand runs a
+design-space sweep (:mod:`repro.dse`): a preset or TOML/JSON space,
+grid/random/adaptive search, checkpointed to JSONL (``--resume``) and
+reported as versioned JSON + markdown with a Pareto frontier — see
+``docs/dse.md``.
 """
 
 from __future__ import annotations
@@ -83,6 +88,13 @@ def _build_parser() -> argparse.ArgumentParser:
     val.add_argument("--out", default=None,
                      help="also write the report as JSON (stable schema)")
     _add_obs_flags(val)
+    dse = sub.add_parser(
+        "dse", help="design-space sweep: grid/random/adaptive search over "
+                    "arch/scheduler/workload parameters with Pareto "
+                    "reporting and resumable checkpoints")
+    from ..dse.cli import add_dse_arguments
+    add_dse_arguments(dse)
+    _add_obs_flags(dse)
     return parser
 
 
@@ -155,6 +167,18 @@ def _run_validate_command(ns: argparse.Namespace) -> int:
     return 0
 
 
+def _run_dse_command(ns: argparse.Namespace) -> int:
+    from ..dse.cli import run_dse_command
+    _begin_trace(ns.trace)
+    code = run_dse_command(ns)
+    _finish_trace(ns.trace)
+    if ns.stats:
+        _print_stats()
+    from ..session import get_session
+    print(f"[{get_session().report()}]", file=sys.stderr)
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     args_list = list(argv) if argv is not None else None
     import sys as _sys
@@ -167,6 +191,8 @@ def main(argv: list[str] | None = None) -> int:
                                    unroll=ns.unroll, json_out=ns.json_out)
     if raw and raw[0] == "validate":
         return _run_validate_command(_build_parser().parse_args(raw))
+    if raw and raw[0] == "dse":
+        return _run_dse_command(_build_parser().parse_args(raw))
     parser = argparse.ArgumentParser(
         prog="tms-experiments",
         description="Regenerate the paper's tables and figures "
@@ -186,6 +212,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes for compiles/simulations "
                              "(default: $REPRO_JOBS or sequential; "
                              "-1 = all cores)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="perturb the synthetic workload populations "
+                             "(reproducible; default: the calibrated "
+                             "Table-2 populations)")
     _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
@@ -210,12 +240,13 @@ def main(argv: list[str] | None = None) -> int:
             print(table1(arch))
         elif name == "table2":
             table2_rows = run_table2(arch, config, max_loops=max_loops,
-                                     jobs=jobs)
+                                     jobs=jobs, workload_seed=args.seed)
             print(render_table2(table2_rows))
         elif name == "fig4":
             if table2_rows is None:
                 table2_rows = run_table2(arch, config, max_loops=max_loops,
-                                         jobs=jobs)
+                                         jobs=jobs,
+                                         workload_seed=args.seed)
             print(render_fig4(run_fig4(arch, config,
                                        iterations=suite_iterations,
                                        table2_rows=table2_rows, jobs=jobs)))

@@ -52,13 +52,16 @@ def run_table2(arch: ArchConfig | None = None,
                max_loops: int | None = None,
                benchmarks: list[str] | None = None,
                keep_compiled: bool = True,
-               session=None, jobs: int | None = None) -> list[Table2Row]:
+               session=None, jobs: int | None = None,
+               workload_seed: int | None = None) -> list[Table2Row]:
     """Compile the suite and aggregate per benchmark.
 
     ``max_loops`` caps each benchmark's population for quick runs;
     ``benchmarks`` selects a subset by name.  Compilation goes through
     ``session`` (default: the process session, so reruns hit the cache)
     and fans cache misses out over ``jobs`` processes (``REPRO_JOBS``).
+    ``workload_seed`` perturbs the synthetic populations (CLI
+    ``--seed``); ``None``/0 keeps the canonical Table-2 suite.
     """
     from ..session import get_session
     arch = arch or ArchConfig.paper_default()
@@ -69,7 +72,8 @@ def run_table2(arch: ArchConfig | None = None,
     for spec in SPECFP_BENCHMARKS:
         if benchmarks is not None and spec.name not in benchmarks:
             continue
-        loops = generate_benchmark_loops(spec, max_loops=max_loops)
+        loops = generate_benchmark_loops(spec, max_loops=max_loops,
+                                         seed=workload_seed)
         compiled = session.compile_many(loops, arch, resources, config,
                                         jobs=jobs)
         n = len(compiled)

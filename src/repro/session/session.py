@@ -89,6 +89,21 @@ def _resolve_cache_size() -> int:
     return 2048
 
 
+def _resolve_max_disk_mb() -> float | None:
+    env = os.environ.get("REPRO_CACHE_MAX_MB", "").strip()
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_CACHE_MAX_MB must be a number, got {env!r}") from None
+    if value <= 0:
+        raise ValueError(
+            f"REPRO_CACHE_MAX_MB must be > 0, got {env!r}")
+    return value
+
+
 class Session:
     """A reusable compile→simulate context.
 
@@ -118,7 +133,8 @@ class Session:
         self.cache = ArtifactCache(
             maxsize=cache_size if cache_size is not None
             else _resolve_cache_size(),
-            disk_dir=_resolve_cache_dir(cache_dir))
+            disk_dir=_resolve_cache_dir(cache_dir),
+            max_disk_mb=_resolve_max_disk_mb())
         self.stats = SessionStats(cache=self.cache.stats)
         # (id(pipelined), reg_comm_latency) -> (pipelined, template); the
         # pipelined object is pinned so its id cannot be recycled while

@@ -187,18 +187,24 @@ def benchmark_by_name(name: str) -> BenchmarkSpec:
 
 
 def generate_benchmark_loops(spec: BenchmarkSpec,
-                             max_loops: int | None = None) -> list[Loop]:
+                             max_loops: int | None = None,
+                             seed: int | None = None) -> list[Loop]:
     """Generate the loop population of one benchmark (deterministic).
 
     ``max_loops`` caps the population for quick runs; the cap takes the
-    first loops, which carry the largest coverage weights.
+    first loops, which carry the largest coverage weights.  ``seed``
+    perturbs the benchmark's calibrated base seed (``None`` / 0 keeps
+    the canonical Table-2 population), producing a fresh but fully
+    reproducible population for the same calibration — the hook the
+    experiments CLI's ``--seed`` option threads through.
     """
-    rng = np.random.default_rng(spec.seed)
+    base = spec.seed + (seed or 0)
+    rng = np.random.default_rng(base)
     n = spec.n_loops if max_loops is None else min(spec.n_loops, max_loops)
     loops: list[Loop] = []
     for idx in range(n):
         shape = _draw_shape(spec, rng, idx)
-        gen = SyntheticLoopGenerator(shape, seed=spec.seed + 7919 * idx + 1)
+        gen = SyntheticLoopGenerator(shape, seed=base + 7919 * idx + 1)
         loops.append(gen.generate(f"{spec.name}_loop{idx}"))
     return loops
 

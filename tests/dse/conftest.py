@@ -1,0 +1,18 @@
+"""DSE test fixtures: an isolated session so trial-result caching in
+the process-wide session never leaks between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.session import Session, set_session
+
+
+@pytest.fixture()
+def fresh_session():
+    """Install a fresh memory-only default session for one test."""
+    previous = set_session(Session())
+    try:
+        yield
+    finally:
+        set_session(previous)

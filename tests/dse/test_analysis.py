@@ -1,0 +1,112 @@
+"""Analysis: Pareto correctness on hand-built results, report schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dse import (KernelOutcome, SweepReport, TrialResult,
+                       pareto_frontier, space_from_dict,
+                       validate_dse_report_dict, write_report_json)
+from repro.errors import MachineError
+
+
+def _trial(key, ncore, speedup, fidelity=10, kernel="k"):
+    return TrialResult(
+        key=key, params=(("arch.ncore", ncore),), fidelity=fidelity,
+        seed=0,
+        kernels=(KernelOutcome(kernel=kernel, sms_cycles=speedup * 100.0,
+                               tms_cycles=100.0,
+                               tms_misspec_frequency=0.0),))
+
+
+OBJECTIVES = (("mean_speedup", "max"), ("arch.ncore", "min"))
+
+
+def test_pareto_frontier_on_hand_built_results():
+    a = _trial("a", ncore=2, speedup=1.0)   # cheapest: on the frontier
+    b = _trial("b", ncore=4, speedup=1.5)   # best speedup at mid cost
+    c = _trial("c", ncore=8, speedup=1.4)   # dominated by b (slower, dearer)
+    d = _trial("d", ncore=4, speedup=1.2)   # dominated by b (same cost)
+    frontier = pareto_frontier([a, b, c, d], OBJECTIVES)
+    assert frontier == [a, b]
+
+
+def test_pareto_keeps_first_of_duplicate_vectors():
+    a = _trial("a", ncore=2, speedup=1.3)
+    twin = _trial("twin", ncore=2, speedup=1.3)
+    assert pareto_frontier([a, twin], OBJECTIVES) == [a]
+
+
+def test_pareto_rejects_bad_direction():
+    with pytest.raises(MachineError, match="max.*min|direction"):
+        pareto_frontier([_trial("a", 2, 1.0)], [("mean_speedup", "up")])
+
+
+def test_final_results_keep_highest_fidelity_per_point():
+    lo = _trial("lo", ncore=4, speedup=1.1, fidelity=10)
+    hi = _trial("hi", ncore=4, speedup=1.2, fidelity=40)
+    space = space_from_dict({"arch.ncore": [2, 4]})
+    report = SweepReport.build(space, "halving", 0, [lo, hi])
+    finals = report.final_results()
+    assert finals == [hi]
+
+
+def test_best_configs_pick_fastest_per_kernel():
+    space = space_from_dict({"arch.ncore": [2, 4]})
+    report = SweepReport.build(space, "grid", 0, [
+        _trial("a", ncore=2, speedup=1.1, kernel="alpha"),
+        _trial("b", ncore=4, speedup=1.6, kernel="alpha"),
+    ])
+    best = report.best_configs()
+    assert best["alpha"]["params"] == {"arch.ncore": 4}
+    assert best["alpha"]["speedup"] == pytest.approx(1.6)
+
+
+def test_report_dict_validates_and_is_deterministic(tmp_path):
+    space = space_from_dict({"arch.ncore": [2, 4, 8]})
+    results = [_trial(k, n, s) for k, n, s in
+               [("a", 2, 1.0), ("b", 4, 1.5), ("c", 8, 1.4)]]
+    report = SweepReport.build(space, "grid", 7, results)
+    data = report.to_dict()
+    validate_dse_report_dict(data)
+    # default objectives: max mean_speedup, min each swept cost axis
+    assert data["objectives"] == [["mean_speedup", "max"],
+                                  ["arch.ncore", "min"]]
+    assert [p["params"] for p in data["pareto"]] == [
+        {"arch.ncore": 2}, {"arch.ncore": 4}]
+    assert data["sensitivity"]["arch.ncore"]["delta"] == pytest.approx(0.5)
+    p1 = tmp_path / "r1.json"
+    p2 = tmp_path / "r2.json"
+    write_report_json(report, p1)
+    write_report_json(SweepReport.build(space, "grid", 7, results), p2)
+    assert p1.read_bytes() == p2.read_bytes()
+    assert json.loads(p1.read_text())["schema_version"] == 1
+
+
+def test_validate_rejects_broken_reports():
+    space = space_from_dict({"arch.ncore": [2]})
+    data = SweepReport.build(space, "grid", 0,
+                             [_trial("a", 2, 1.0)]).to_dict()
+    with pytest.raises(ValueError, match="schema_version"):
+        validate_dse_report_dict({**data, "schema_version": 99})
+    broken = dict(data)
+    del broken["pareto"]
+    with pytest.raises(ValueError, match="pareto"):
+        validate_dse_report_dict(broken)
+    with pytest.raises(ValueError, match="n_trials"):
+        validate_dse_report_dict({**data, "n_trials": "three"})
+
+
+def test_render_markdown_lists_frontier_and_best_configs():
+    space = space_from_dict({"arch.ncore": [2, 4]})
+    report = SweepReport.build(space, "grid", 0, [
+        _trial("a", ncore=2, speedup=1.0, kernel="alpha"),
+        _trial("b", ncore=4, speedup=1.5, kernel="alpha"),
+    ])
+    md = report.render_markdown()
+    assert "## Pareto frontier" in md
+    assert "## Best configuration per kernel" in md
+    assert "alpha" in md
+    assert "1.500" in md

@@ -1,0 +1,79 @@
+"""The ``tms-experiments dse`` subcommand, end to end (quick runs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dse import validate_dse_report_dict
+from repro.experiments.runner import main
+
+pytestmark = pytest.mark.usefixtures("fresh_session")
+
+
+def _space_file(tmp_path):
+    path = tmp_path / "space.json"
+    path.write_text(json.dumps({"arch.ncore": [2, 4]}))
+    return path
+
+
+def test_dse_space_file_quick_run(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["dse", "--space", str(_space_file(tmp_path)),
+                 "--suite", "synthetic", "--iterations", "20",
+                 "--quick", "--jobs", "1", "--out", "out"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Pareto frontier" in out
+    assert "best config per kernel" in out
+    report = json.loads((tmp_path / "out" / "report.json").read_text())
+    validate_dse_report_dict(report)
+    assert report["n_trials"] == 2
+    assert (tmp_path / "out" / "report.md").read_text().startswith(
+        "# Design-space exploration report")
+    assert (tmp_path / "out" / "trials.jsonl").exists()
+
+
+def test_dse_warm_rerun_reuses_cache_and_matches(tmp_path, capsys,
+                                                 monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    argv = ["dse", "--space", str(_space_file(tmp_path)),
+            "--suite", "synthetic", "--iterations", "20",
+            "--quick", "--jobs", "1"]
+    assert main(argv + ["--out", "cold"]) == 0
+    cold_out = capsys.readouterr().out
+    assert "2 evaluated" in cold_out
+    # same process session: the artifact cache serves every trial
+    assert main(argv + ["--out", "warm"]) == 0
+    warm_out = capsys.readouterr().out
+    assert "0 evaluated" in warm_out
+    assert "2 from cache" in warm_out
+    assert (tmp_path / "cold" / "report.json").read_bytes() \
+        == (tmp_path / "warm" / "report.json").read_bytes()
+
+
+def test_dse_preset_quick_run(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["dse", "--preset", "paper-cores", "--quick",
+                 "--iterations", "15", "--kernels", "1",
+                 "--jobs", "1", "--out", "out"])
+    assert code == 0
+    report = json.loads((tmp_path / "out" / "report.json").read_text())
+    validate_dse_report_dict(report)
+    assert report["n_trials"] == 3  # ncore in {2, 4, 8}
+
+
+def test_dse_requires_exactly_one_source(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["dse"]) == 2
+    assert main(["dse", "--preset", "paper-cores",
+                 "--space", str(_space_file(tmp_path))]) == 2
+    err = capsys.readouterr().err
+    assert "exactly one of --preset or --space" in err
+
+
+def test_dse_unknown_preset_fails_cleanly(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["dse", "--preset", "nope"]) == 2
+    assert "dse:" in capsys.readouterr().err

@@ -1,0 +1,102 @@
+"""Sweep engine: caching, checkpoint/resume round-trip, interruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dse import (SweepEngine, SweepInterrupted, SweepReport,
+                       WorkloadSpec, build_trial, evaluate_trial,
+                       make_strategy, space_from_dict, trial_key,
+                       write_report_json)
+from repro.errors import MachineError
+from repro.session import Session
+
+SPACE = space_from_dict({"arch.ncore": [2, 4]})
+WORKLOAD = WorkloadSpec(suite="synthetic", n_loops=1, seed=3)
+FIDELITY = 20
+
+
+def _engine(session, batch_size=8, **kw):
+    # batch_size=1 makes every trial a checkpoint boundary, so
+    # stop_after=1 interrupts after exactly one evaluated trial
+    strategy = make_strategy("grid", SPACE, fidelity=FIDELITY,
+                             batch_size=batch_size)
+    return SweepEngine(SPACE, strategy, workload=WORKLOAD, seed=7,
+                       session=session, jobs=1, **kw)
+
+
+def _report_bytes(outcome, tmp_path, name):
+    report = SweepReport.build(SPACE, "grid", 7, outcome.results)
+    path = tmp_path / name
+    write_report_json(report, path)
+    return path.read_bytes()
+
+
+def test_evaluate_trial_produces_speedups():
+    spec = build_trial({"arch.ncore": 4}, base_workload=WORKLOAD,
+                       iterations=FIDELITY, seed=7)
+    result = evaluate_trial(spec, session=Session(), jobs=1)
+    assert result.key == trial_key(spec)
+    assert result.fidelity == FIDELITY
+    assert not result.failed_kernels
+    assert len(result.kernels) == 1
+    assert result.kernels[0].sms_cycles > 0
+    assert result.kernels[0].tms_cycles > 0
+    assert result.mean_speedup > 0
+
+
+def test_warm_cache_rerun_evaluates_nothing(tmp_path):
+    session = Session()
+    cold = _engine(session).run()
+    assert cold.evaluated == 2 and cold.from_cache == 0
+    warm = _engine(session).run()
+    assert warm.evaluated == 0 and warm.from_cache == 2
+    assert session.stats.compiles == 2  # cold run only
+    assert _report_bytes(cold, tmp_path, "cold.json") \
+        == _report_bytes(warm, tmp_path, "warm.json")
+
+
+def test_checkpoint_resume_round_trip_byte_identical(tmp_path):
+    # the uninterrupted reference run
+    clean = _engine(Session(), checkpoint=tmp_path / "clean.jsonl").run()
+    reference = _report_bytes(clean, tmp_path, "clean.json")
+
+    # interrupted run: killed after one newly evaluated trial
+    ck = tmp_path / "trials.jsonl"
+    with pytest.raises(SweepInterrupted):
+        _engine(Session(), batch_size=1, checkpoint=ck,
+                stop_after=1).run()
+    lines = [json.loads(l) for l in ck.read_text().splitlines()]
+    assert lines[0]["kind"] == "header"
+    assert len([l for l in lines if l["kind"] == "trial"]) == 1
+
+    # resume with a fresh session (no artifact cache to lean on)
+    resumed = _engine(Session(), checkpoint=ck, resume=True).run()
+    assert resumed.from_checkpoint == 1
+    assert resumed.evaluated == 1
+    assert _report_bytes(resumed, tmp_path, "resumed.json") == reference
+
+
+def test_resume_rejects_checkpoint_from_different_sweep(tmp_path):
+    ck = tmp_path / "trials.jsonl"
+    _engine(Session(), checkpoint=ck).run()
+    strategy = make_strategy("grid", SPACE, fidelity=FIDELITY)
+    other = SweepEngine(SPACE, strategy, workload=WORKLOAD, seed=8,
+                        session=Session(), jobs=1, checkpoint=ck,
+                        resume=True)
+    with pytest.raises(MachineError, match="different sweep"):
+        other.run()
+
+
+def test_resume_drops_torn_tail_line(tmp_path):
+    ck = tmp_path / "trials.jsonl"
+    with pytest.raises(SweepInterrupted):
+        _engine(Session(), batch_size=1, checkpoint=ck,
+                stop_after=1).run()
+    with ck.open("a", encoding="utf-8") as fh:
+        fh.write('{"kind": "trial", "trial": {"key": ')  # torn write
+    resumed = _engine(Session(), checkpoint=ck, resume=True).run()
+    assert resumed.from_checkpoint == 1
+    assert len(resumed.results) == 2

@@ -1,0 +1,107 @@
+"""Parameter spaces: enumeration, ranges, validation, file parsing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import (ArchConfig, coerce_field_value,
+                          config_field_types, replace_config)
+from repro.dse import Dimension, ParameterSpace, space_from_dict, space_from_file
+from repro.errors import MachineError
+
+
+def test_grid_size_and_enumeration_order():
+    space = space_from_dict({
+        "arch.ncore": [2, 4, 8],
+        "sched.p_max": [0.01, 0.05],
+    })
+    assert space.size == 6
+    points = list(space.points())
+    assert len(points) == 6
+    # lexicographic: first dimension slowest, last fastest
+    assert points[0] == {"arch.ncore": 2, "sched.p_max": 0.01}
+    assert points[1] == {"arch.ncore": 2, "sched.p_max": 0.05}
+    assert points[5] == {"arch.ncore": 8, "sched.p_max": 0.05}
+    # point_at agrees with enumeration
+    for i, p in enumerate(points):
+        assert space.point_at(i) == p
+
+
+def test_point_at_bounds():
+    space = space_from_dict({"arch.ncore": [2, 4]})
+    with pytest.raises(IndexError):
+        space.point_at(2)
+    with pytest.raises(IndexError):
+        space.point_at(-1)
+
+
+def test_int_range_and_linspace_expansion():
+    space = space_from_dict({
+        "arch.reg_comm_latency": {"min": 1, "max": 7, "step": 2},
+        "sched.p_max": {"min": 0.0, "max": 0.2, "steps": 5},
+    })
+    dims = {d.name: d.values for d in space.dimensions}
+    assert dims["arch.reg_comm_latency"] == (1, 3, 5, 7)
+    assert dims["sched.p_max"] == (0.0, 0.05, 0.1, 0.15, 0.2)
+
+
+def test_unknown_field_rejected_at_construction():
+    with pytest.raises(MachineError, match="no field"):
+        space_from_dict({"arch.ncors": [2, 4]})
+    with pytest.raises(MachineError, match="namespace"):
+        space_from_dict({"bogus.ncore": [2]})
+    with pytest.raises(MachineError):
+        Dimension("arch.ncore", ())
+
+
+def test_workload_dimensions_validate_against_loopshape():
+    space = space_from_dict({"workload.spec_probability": [0.0, 0.1],
+                             "workload.n_loops": [2, 4]})
+    assert space.size == 4
+    with pytest.raises(MachineError, match="no field"):
+        space_from_dict({"workload.nope": [1]})
+
+
+def test_value_coercion_to_field_types():
+    space = space_from_dict({"arch.ncore": [2.0, 4.0],
+                             "sched.p_max": [0, 1]})
+    dims = {d.name: d.values for d in space.dimensions}
+    assert dims["arch.ncore"] == (2, 4)
+    assert all(isinstance(v, int) for v in dims["arch.ncore"])
+    assert dims["sched.p_max"] == (0.0, 1.0)
+    assert all(isinstance(v, float) for v in dims["sched.p_max"])
+    with pytest.raises(MachineError):
+        space_from_dict({"arch.ncore": [2.5]})
+
+
+def test_duplicate_values_and_names_rejected():
+    with pytest.raises(MachineError, match="duplicate"):
+        space_from_dict({"arch.ncore": [2, 2]})
+    with pytest.raises(MachineError, match="duplicate"):
+        ParameterSpace((Dimension("arch.ncore", (2,)),
+                        Dimension("arch.ncore", (4,))))
+
+
+def test_space_from_json_and_toml_files(tmp_path):
+    spec = {"space": {"arch.ncore": [2, 4, 8]}}
+    jpath = tmp_path / "space.json"
+    jpath.write_text(json.dumps(spec))
+    tpath = tmp_path / "space.toml"
+    tpath.write_text('[space]\n"arch.ncore" = [2, 4, 8]\n')
+    for path in (jpath, tpath):
+        space = space_from_file(path)
+        assert space.size == 3
+        assert space.to_dict() == {"arch.ncore": [2, 4, 8]}
+
+
+def test_config_field_introspection():
+    types = config_field_types(ArchConfig)
+    assert types["ncore"] is int
+    assert types["l1_miss_rate"] is float
+    assert coerce_field_value(ArchConfig, "ncore", 4.0) == 4
+    with pytest.raises(MachineError):
+        coerce_field_value(ArchConfig, "ncore", True)
+    arch = replace_config(ArchConfig.paper_default(), {"ncore": 8})
+    assert arch.ncore == 8

@@ -1,0 +1,107 @@
+"""Search strategies: grid coverage, seeded-random determinism,
+successive-halving promotion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse import make_strategy, space_from_dict
+from repro.dse.trial import TrialResult, KernelOutcome
+from repro.errors import MachineError
+
+
+def _drain(strategy):
+    """Run a strategy to exhaustion with no feedback; return its trials."""
+    trials = []
+    while (batch := strategy.ask()) is not None:
+        trials.extend(batch)
+        strategy.tell([_result(params, fidelity, speedup=1.0)
+                       for params, fidelity in batch])
+    return trials
+
+
+def _result(params, fidelity, speedup):
+    return TrialResult(
+        key=f"k{sorted(params.items())}@{fidelity}",
+        params=tuple(sorted(params.items())), fidelity=fidelity, seed=0,
+        kernels=(KernelOutcome(kernel="k", sms_cycles=speedup * 100.0,
+                               tms_cycles=100.0,
+                               tms_misspec_frequency=0.0),))
+
+
+SPACE = space_from_dict({"arch.ncore": [2, 4, 8],
+                         "sched.p_max": [0.0, 0.05]})
+
+
+def test_grid_covers_every_point_once():
+    trials = _drain(make_strategy("grid", SPACE, fidelity=100))
+    assert len(trials) == SPACE.size
+    assert all(f == 100 for _p, f in trials)
+    seen = {tuple(sorted(p.items())) for p, _f in trials}
+    assert len(seen) == SPACE.size
+
+
+def test_grid_batching_respects_batch_size():
+    strategy = make_strategy("grid", SPACE, fidelity=10)
+    strategy.batch_size = 4
+    first = strategy.ask()
+    assert len(first) == 4
+    strategy.tell([])
+    second = strategy.ask()
+    assert len(second) == 2
+
+
+def test_random_same_seed_identical_trial_list():
+    a = _drain(make_strategy("random", SPACE, fidelity=10, n_trials=4,
+                             seed=123))
+    b = _drain(make_strategy("random", SPACE, fidelity=10, n_trials=4,
+                             seed=123))
+    assert a == b
+    c = _drain(make_strategy("random", SPACE, fidelity=10, n_trials=4,
+                             seed=124))
+    assert a != c
+
+
+def test_random_samples_without_replacement():
+    trials = _drain(make_strategy("random", SPACE, fidelity=10,
+                                  n_trials=100, seed=5))
+    assert len(trials) == SPACE.size  # capped at the grid
+    seen = {tuple(sorted(p.items())) for p, _f in trials}
+    assert len(seen) == SPACE.size
+
+
+def test_halving_promotes_best_by_speedup():
+    space = space_from_dict({"arch.ncore": [2, 4, 8, 16]})
+    strategy = make_strategy("halving", space, fidelity=80,
+                             n_trials=4, seed=0, min_fidelity=10)
+    # rung 0: all four configs at min fidelity (one batch, batch_size=8)
+    rung0 = strategy.ask()
+    assert all(f == 10 for _p, f in rung0)
+    assert len(rung0) == 4
+    # feed back: speedup grows with ncore -> big cores promoted
+    results = [_result(p, f, speedup=p["arch.ncore"] / 2.0)
+               for p, f in rung0]
+    strategy.tell(results)
+    rung1 = strategy.ask()
+    assert rung1 is not None
+    assert all(f == 20 for _p, f in rung1)
+    promoted = {p["arch.ncore"] for p, _f in rung1}
+    assert promoted == {8, 16}  # top 1/eta of four
+
+
+def test_halving_reaches_max_fidelity_and_stops():
+    space = space_from_dict({"arch.ncore": [2, 4, 8, 16]})
+    strategy = make_strategy("halving", space, fidelity=40,
+                             n_trials=4, seed=0, min_fidelity=10)
+    fidelities = []
+    while (batch := strategy.ask()) is not None:
+        fidelities.extend(f for _p, f in batch)
+        strategy.tell([_result(p, f, speedup=p["arch.ncore"] / 2.0)
+                       for p, f in batch])
+    assert max(fidelities) == 40
+    assert min(fidelities) == 10
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(MachineError):
+        make_strategy("annealing", SPACE, fidelity=10)

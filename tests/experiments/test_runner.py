@@ -51,3 +51,8 @@ def test_validate_subcommand(tmp_path, capsys):
     data = json.loads(out_json.read_text())
     validate_report_dict(data)
     assert data["summary"]["n_rows"] > 0
+
+
+def test_cli_table2_accepts_seed(capsys):
+    assert main(["table2", "--quick", "--seed", "9"]) == 0
+    assert "swim" in capsys.readouterr().out

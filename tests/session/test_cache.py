@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import pickle
 
 import pytest
@@ -110,3 +111,66 @@ def test_stats_summary_and_hit_rate():
     cache.get("gone")
     assert cache.stats.hit_rate == pytest.approx(0.5)
     assert "hit rate" in cache.stats.summary()
+
+
+def test_disk_truncated_pickle_is_miss_and_deleted(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path)
+    cache.put("ab99", [1, 2, 3])
+    path = tmp_path / "ab" / "ab99.pkl"
+    path.write_bytes(path.read_bytes()[:3])   # torn write survivor
+    fresh = ArtifactCache(disk_dir=tmp_path)  # cold memory tier
+    assert fresh.get("ab99") is MISS
+    assert fresh.stats.disk_errors == 1
+    assert not path.exists()
+    # the slot is reusable: a re-put round-trips again
+    fresh.put("ab99", [1, 2, 3])
+    assert ArtifactCache(disk_dir=tmp_path).get("ab99") == [1, 2, 3]
+
+
+def _put_sized(cache, key, n_bytes, mtime):
+    cache.put(key, b"x" * n_bytes)
+    path = cache._disk_path(key)
+    os.utime(path, (mtime, mtime))
+    return path
+
+
+def test_disk_size_cap_prunes_oldest_first(tmp_path):
+    # budget of 4 KiB; each entry pickles to a bit over 1 KiB
+    cache = ArtifactCache(disk_dir=tmp_path,
+                          max_disk_mb=4 / 1024)
+    paths = [_put_sized(cache, f"{i:02d}key", 1024, mtime=1000 + i)
+             for i in range(3)]
+    assert all(p.exists() for p in paths)     # still under the cap
+    assert cache.stats.disk_prunes == 0
+    newest = _put_sized(cache, "99key", 1024, mtime=2000)
+    # the write that crossed the cap pruned the oldest entry
+    assert cache.stats.disk_prunes >= 1
+    assert not paths[0].exists()
+    assert newest.exists()
+
+
+def test_disk_size_cap_never_prunes_fresh_write(tmp_path):
+    cache = ArtifactCache(disk_dir=tmp_path, max_disk_mb=1 / 1024)
+    path = _put_sized(cache, "ab00", 4096, mtime=1000)  # alone over budget
+    assert path.exists()                      # keep= spares it
+    assert cache.stats.disk_prunes == 0
+
+
+def test_max_disk_mb_validation():
+    with pytest.raises(ValueError, match="max_disk_mb"):
+        ArtifactCache(max_disk_mb=0)
+    with pytest.raises(ValueError, match="max_disk_mb"):
+        ArtifactCache(max_disk_mb=-1)
+
+
+def test_session_resolves_cache_max_mb_env(tmp_path, monkeypatch):
+    from repro.session import Session
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", "12.5")
+    assert Session().cache.max_disk_mb == 12.5
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", "zero")
+    with pytest.raises(ValueError, match="REPRO_CACHE_MAX_MB"):
+        Session()
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0")
+    with pytest.raises(ValueError, match="REPRO_CACHE_MAX_MB"):
+        Session()

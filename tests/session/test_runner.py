@@ -86,3 +86,44 @@ def test_invalid_on_error():
 
 def test_task_result_unwrap_value():
     assert TaskResult(index=0, value=42).unwrap() == 42
+
+
+def _crash_on_two(x):
+    if x == 2:
+        os._exit(13)          # hard worker death, not an exception
+    return x * 10
+
+
+def _sleep_inverse(x):
+    import time
+    time.sleep(0.05 * (3 - x))
+    return x
+
+
+def test_worker_hard_crash_is_soft_failure():
+    # a worker dying mid-task (os._exit) must not kill the sweep: the
+    # pool failure is captured per task and map() still returns one
+    # ordered TaskResult per input.
+    results = ParallelRunner(2).map(_crash_on_two, [1, 2, 3, 4])
+    assert len(results) == 4
+    assert [r.index for r in results] == [0, 1, 2, 3]
+    assert not results[1].ok
+    assert results[1].error is not None
+    failed = [r for r in results if not r.ok]
+    assert failed                      # the crash surfaced somewhere
+    # every task that did complete holds its correct value
+    for r in results:
+        if r.ok:
+            assert r.value == (r.index + 1) * 10
+
+
+def test_worker_crash_on_error_raise_reports_first_failure():
+    with pytest.raises(RuntimeError, match="task "):
+        ParallelRunner(2).map(_crash_on_two, [2, 1], on_error="raise")
+
+
+def test_parallel_results_ordered_despite_completion_order():
+    # task 0 sleeps longest, so completion order inverts input order
+    results = ParallelRunner(3).map(_sleep_inverse, [0, 1, 2])
+    assert [r.value for r in results] == [0, 1, 2]
+    assert all(r.ok for r in results)

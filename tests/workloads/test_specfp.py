@@ -60,3 +60,20 @@ def test_loop_weights_normalised():
 def test_coverages_physical():
     for spec in SPECFP_BENCHMARKS:
         assert 0.0 < spec.coverage < 1.0
+
+
+def test_seed_threads_into_benchmark_population():
+    from repro.session.fingerprint import fingerprint
+    spec = SPECFP_BENCHMARKS[0]
+    canonical = [fingerprint(l) for l in
+                 generate_benchmark_loops(spec, max_loops=3)]
+    # seed=None and seed=0 both keep the canonical Table-2 population
+    assert [fingerprint(l) for l in
+            generate_benchmark_loops(spec, max_loops=3, seed=0)] \
+        == canonical
+    # a nonzero seed perturbs it, reproducibly
+    seeded = [fingerprint(l) for l in
+              generate_benchmark_loops(spec, max_loops=3, seed=5)]
+    assert seeded != canonical
+    assert [fingerprint(l) for l in
+            generate_benchmark_loops(spec, max_loops=3, seed=5)] == seeded
