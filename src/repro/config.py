@@ -161,6 +161,13 @@ class SchedulerConfig:
         Include register anti/output dependences in the DDG.  Off by
         default: the schedulers assume virtual registers are renamed by the
         post-pass (modulo variable expansion), matching GCC's SMS.
+    max_schedule_seconds:
+        Wall-clock watchdog on one TMS ``(II, C_delay)`` search.  ``None``
+        (the default) disables the watchdog; when set, a search that
+        exceeds the budget raises
+        :class:`~repro.errors.SchedulingBudgetExceeded`, which
+        :func:`repro.sched.degrade.schedule_with_degradation` turns into a
+        TMS -> SMS -> sequential fallback instead of a hang.
     """
 
     p_max: float = 0.05
@@ -171,6 +178,7 @@ class SchedulerConfig:
     budget_ratio_ii: int = 3
     speculation: bool = True
     include_reg_anti_deps: bool = False
+    max_schedule_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.p_max <= 1.0:
@@ -179,6 +187,9 @@ class SchedulerConfig:
             raise MachineError("max_ii_factor must be >= 1.0")
         if self.max_candidates < 1:
             raise MachineError("max_candidates must be >= 1")
+        if self.max_schedule_seconds is not None \
+                and self.max_schedule_seconds < 0:
+            raise MachineError("max_schedule_seconds must be >= 0 or None")
 
 
 @dataclass(frozen=True)

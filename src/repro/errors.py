@@ -45,8 +45,30 @@ class ScheduleValidationError(SchedulingError):
     """A produced schedule violates a dependence or resource constraint."""
 
 
+class SchedulingBudgetExceeded(SchedulingError):
+    """A scheduler watchdog fired: the (II, C_delay) search exceeded its
+    wall-clock or candidate budget before finding a schedule.  Callers that
+    route through :func:`repro.sched.degrade.schedule_with_degradation`
+    recover by falling back to a cheaper algorithm."""
+
+
 class SimulationError(ReproError):
     """The SpMT simulator reached an inconsistent state."""
+
+
+class InvariantViolation(ReproError):
+    """A trace invariant sanitizer check failed: the recorded event stream
+    (or its :class:`~repro.spmt.stats.SimStats`) contradicts the SpMT
+    execution model (see :mod:`repro.faults.sanitizer`)."""
+
+
+class FaultPlanError(ReproError):
+    """A declarative fault plan (:mod:`repro.faults.plan`) is malformed."""
+
+
+class TaskTimeout(ReproError):
+    """A :class:`~repro.session.runner.ParallelRunner` task exceeded its
+    per-task timeout budget."""
 
 
 class WorkloadError(ReproError):

@@ -26,12 +26,12 @@ from ..graph.scc import strongly_connected_components
 from ..ir.loop import Loop
 from ..machine.latency import LatencyModel
 from ..machine.resources import ResourceModel
+from ..sched.degrade import schedule_with_degradation
 from ..sched.ims import IterativeModuloScheduler
 from ..sched.maxlive import max_live
 from ..sched.postpass import PipelinedLoop, run_postpass
 from ..sched.schedule import Schedule
 from ..sched.sms import SwingModuloScheduler
-from ..sched.tms import ThreadSensitiveScheduler
 from ..spmt.single import simulate_modulo_single_core, simulate_sequential
 from ..spmt.stats import SimStats
 
@@ -129,7 +129,10 @@ def compile_loop_uncached(source: Loop | DDG, arch: ArchConfig,
         # modulo scheduler so suite runs never die on one loop.
         sms_sched = IterativeModuloScheduler(ddg, resources, config).schedule()
         sms_sched.meta["fallback_from"] = "SMS"
-    tms_sched = ThreadSensitiveScheduler(ddg, resources, arch, config).schedule()
+    # TMS routes through the degradation chain: a budget-exhausted or
+    # failed (II, C_delay) search falls back TMS -> SMS -> IMS -> SEQ
+    # (recording sched.degraded) instead of killing the whole suite run.
+    tms_sched = schedule_with_degradation(ddg, resources, arch, config)
     sync_mem = not config.speculation
     return CompiledLoop(
         name=ddg.name,

@@ -95,6 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
     from ..dse.cli import add_dse_arguments
     add_dse_arguments(dse)
     _add_obs_flags(dse)
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign: squash storms, "
+                      "operand-network jitter/loss, flaky spawns — every "
+                      "run checked against the trace invariant sanitizer")
+    from ..faults.cli import add_chaos_arguments
+    add_chaos_arguments(chaos)
+    _add_obs_flags(chaos)
     return parser
 
 
@@ -179,6 +186,18 @@ def _run_dse_command(ns: argparse.Namespace) -> int:
     return code
 
 
+def _run_chaos_command(ns: argparse.Namespace) -> int:
+    from ..faults.cli import run_chaos_command
+    _begin_trace(ns.trace)
+    code = run_chaos_command(ns)
+    _finish_trace(ns.trace)
+    if ns.stats:
+        _print_stats()
+    from ..session import get_session
+    print(f"[{get_session().report()}]", file=sys.stderr)
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     args_list = list(argv) if argv is not None else None
     import sys as _sys
@@ -193,6 +212,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_validate_command(_build_parser().parse_args(raw))
     if raw and raw[0] == "dse":
         return _run_dse_command(_build_parser().parse_args(raw))
+    if raw and raw[0] == "chaos":
+        return _run_chaos_command(_build_parser().parse_args(raw))
     parser = argparse.ArgumentParser(
         prog="tms-experiments",
         description="Regenerate the paper's tables and figures "

@@ -28,14 +28,14 @@ from ..obs.report import DiscrepancyReport, DiscrepancyRow
 from ..workloads.doacross import DOACROSS_LOOPS
 from ..workloads.specfp import SPECFP_BENCHMARKS, generate_benchmark_loops
 
-__all__ = ["run_validate", "write_report_json"]
+__all__ = ["run_validate", "suite_loops", "write_report_json"]
 
 #: suites the validator knows how to enumerate
 _SUITES = ("table2", "table3")
 
 
-def _suite_loops(suites: Sequence[str],
-                 max_loops: int | None) -> list[tuple[str, Loop]]:
+def suite_loops(suites: Sequence[str],
+                max_loops: int | None) -> list[tuple[str, Loop]]:
     """(benchmark, loop) pairs of the requested kernel suites."""
     for s in suites:
         if s not in _SUITES:
@@ -49,6 +49,10 @@ def _suite_loops(suites: Sequence[str],
         for sl in DOACROSS_LOOPS:
             pairs.append((sl.benchmark, sl.loop))
     return pairs
+
+
+#: backwards-compatible alias (pre-chaos name)
+_suite_loops = suite_loops
 
 
 def run_validate(arch: ArchConfig | None = None,
@@ -72,7 +76,7 @@ def run_validate(arch: ArchConfig | None = None,
     resources = ResourceModel.default(arch.issue_width)
     session = session or get_session()
 
-    pairs = _suite_loops(suites, max_loops)
+    pairs = suite_loops(suites, max_loops)
     compiled = session.compile_many(
         [loop for _b, loop in pairs], arch, resources, config,
         jobs=jobs, on_error="skip")

@@ -1,0 +1,46 @@
+"""repro.faults: deterministic fault injection, trace invariant
+sanitizing, and chaos campaigns for the SpMT stack.
+
+Three pieces (see docs/robustness.md):
+
+* :mod:`repro.faults.plan` / :mod:`repro.faults.injector` — declarative,
+  seeded fault plans interpreted by a :class:`FaultInjectingSimulator`
+  (squash storms, operand-network jitter/loss, flaky spawns, core stall
+  bursts), byte-identical per seed;
+* :mod:`repro.faults.sanitizer` — replays ``repro.obs`` event streams
+  and checks the execution model's hard invariants (commit order,
+  send-before-recv, squash scope, clock monotonicity, cycle-accounting
+  conservation);
+* :mod:`repro.faults.campaign` / :mod:`repro.faults.report` — the
+  ``tms-experiments chaos`` campaign driver and its versioned report.
+"""
+
+from .campaign import SCENARIOS, build_plan, derive_seed, run_chaos
+from .injector import FaultInjectingSimulator, simulate_with_faults
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+from .report import (CHAOS_REPORT_SCHEMA, ChaosReport, ChaosRow,
+                     validate_chaos_report_dict, write_chaos_report_json)
+from .sanitizer import (INVARIANTS, SanitizerFinding, TraceSanitizer,
+                        assert_trace_invariants, sanitize_events)
+
+__all__ = [
+    "CHAOS_REPORT_SCHEMA",
+    "ChaosReport",
+    "ChaosRow",
+    "FAULT_KINDS",
+    "FaultInjectingSimulator",
+    "FaultPlan",
+    "FaultSpec",
+    "INVARIANTS",
+    "SCENARIOS",
+    "SanitizerFinding",
+    "TraceSanitizer",
+    "assert_trace_invariants",
+    "build_plan",
+    "derive_seed",
+    "run_chaos",
+    "sanitize_events",
+    "simulate_with_faults",
+    "validate_chaos_report_dict",
+    "write_chaos_report_json",
+]

@@ -1,0 +1,76 @@
+"""``tms-experiments chaos``: the robustness-campaign subcommand.
+
+Runs :func:`~repro.faults.campaign.run_chaos` over a kernel suite,
+prints the per-run robustness table, optionally writes the versioned
+JSON report (``--out``; byte-identical across same-seed reruns, the CI
+smoke job diffs it), and exits non-zero if any trace invariant was
+violated — a faulted run that breaks the SpMT execution model is a bug,
+not an experiment outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..config import ArchConfig, SchedulerConfig
+from .campaign import DEFAULT_SEED, SCENARIOS, run_chaos
+from .report import write_chaos_report_json
+
+__all__ = ["add_chaos_arguments", "run_chaos_command"]
+
+
+def add_chaos_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--suite", choices=("table2", "table3", "both"),
+                        default="table3",
+                        help="kernel suite(s) to stress (default: table3)")
+    parser.add_argument("--scenarios", default=None,
+                        help="comma-separated scenario list (default: all: "
+                             + ",".join(SCENARIOS) + ")")
+    parser.add_argument("--max-loops", type=int, default=None,
+                        help="cap the campaign's kernel count")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="simulated trip count per run")
+    parser.add_argument("--quick", action="store_true",
+                        help="2 kernels, short runs (the CI smoke shape)")
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="campaign seed; per-run fault seeds derive "
+                             "from (seed, kernel, scenario)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the compile phase")
+    parser.add_argument("--out", default=None,
+                        help="also write the report as JSON (stable "
+                             "schema, byte-identical per seed)")
+
+
+def run_chaos_command(ns: argparse.Namespace) -> int:
+    suites = ("table2", "table3") if ns.suite == "both" else (ns.suite,)
+    if ns.scenarios:
+        scenarios = tuple(s.strip() for s in ns.scenarios.split(",")
+                          if s.strip())
+    else:
+        scenarios = SCENARIOS
+    max_loops = ns.max_loops if ns.max_loops is not None \
+        else (2 if ns.quick else None)
+    iterations = ns.iterations if ns.iterations is not None \
+        else (120 if ns.quick else 300)
+    arch = ArchConfig.paper_default().with_cores(ns.cores)
+
+    start = time.time()
+    try:
+        report = run_chaos(arch, SchedulerConfig(), suites=suites,
+                           scenarios=scenarios, max_loops=max_loops,
+                           iterations=iterations, seed=ns.seed,
+                           jobs=ns.jobs)
+    except ValueError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if ns.out:
+        write_chaos_report_json(report, ns.out)
+        print(f"[report -> {ns.out}]", file=sys.stderr)
+    print(f"[chaos: {len(report.rows)} runs, {time.time() - start:.1f}s]",
+          file=sys.stderr)
+    return 1 if report.invariant_violations else 0

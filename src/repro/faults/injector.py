@@ -1,0 +1,125 @@
+"""Deterministic fault injection for the SpMT simulator.
+
+:class:`FaultInjectingSimulator` subclasses
+:class:`~repro.spmt.sim.SpMTSimulator` and overrides its three
+fault-injection hooks to interpret a :class:`~repro.faults.plan.FaultPlan`:
+
+* ``_start_delay`` — spawn failures and per-core stall bursts push a
+  thread's start back;
+* ``_perturb_arrivals`` — operand-network jitter/loss delays SEND->RECV
+  value arrivals (live-in broadcasts, which have no SEND, are exempt);
+* ``_inject_violation`` — forced extra memory-dependence violations
+  squash the thread (and, via the base loop's estimate, every
+  more-speculative in-flight thread) exactly like organic
+  misspeculations.
+
+All randomness is drawn from ``np.random.default_rng((seed, spec, thread))``
+so a plan replays byte-identically: the same thread sees the same faults
+on every attempt (re-executions converge, mirroring the paper's sticky
+dependence realisations) and runs are independent of evaluation order.
+
+The injector only ever *delays* events or *adds* violations — it cannot
+reorder commits or corrupt accounting — so every invariant checked by
+:mod:`repro.faults.sanitizer` must still hold on a faulted run.  That is
+the point: squash/recovery is proven to preserve the execution model
+under adversarial conditions, not just on happy paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ArchConfig, SimConfig
+from ..obs import metrics
+from ..sched.postpass import PipelinedLoop
+from ..spmt.channels import KernelTimingTemplate, ThreadTiming
+from ..spmt.sim import SpMTSimulator
+from ..spmt.stats import SimStats
+from .plan import FaultPlan, FaultSpec
+
+__all__ = ["FaultInjectingSimulator", "simulate_with_faults"]
+
+
+class FaultInjectingSimulator(SpMTSimulator):
+    """An :class:`SpMTSimulator` that perturbs execution per a fault plan."""
+
+    def __init__(self, pipelined: PipelinedLoop, arch: ArchConfig,
+                 sim: SimConfig | None = None, *, plan: FaultPlan,
+                 template: KernelTimingTemplate | None = None) -> None:
+        super().__init__(pipelined, arch, sim, template=template)
+        self.plan = plan
+        #: injected-fault tally per kind (filled during run()).
+        self.injected: dict[str, int] = {}
+        self._start_specs = [
+            (i, s) for i, s in enumerate(plan.specs) if s.delays_start]
+        self._comm_specs = [
+            (i, s) for i, s in enumerate(plan.specs) if s.delays_comm]
+        self._violation_specs = [
+            (i, s) for i, s in enumerate(plan.specs) if s.kind == "violation"]
+
+    # -- deterministic draws ----------------------------------------------------
+
+    def _fires(self, spec_index: int, spec: FaultSpec, thread: int,
+               n_draws: int = 1) -> np.ndarray:
+        """Bernoulli fire decisions for ``(spec, thread)``: keyed seeding
+        makes the draw independent of evaluation order and attempt count."""
+        rng = np.random.default_rng((self.plan.seed, spec_index, thread))
+        return rng.random(n_draws) < spec.probability
+
+    def _count(self, kind: str, n: int = 1) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + n
+        metrics.counter("faults.injected",
+                        "faults injected by FaultInjectingSimulator").inc(n)
+
+    # -- hook overrides ---------------------------------------------------------
+
+    def _start_delay(self, j: int, core: int) -> float:
+        delay = 0.0
+        for si, spec in self._start_specs:
+            if not spec.applies_to(j):
+                continue
+            if self._fires(si, spec, j)[0]:
+                delay += spec.magnitude
+                self._count(spec.kind)
+        return delay
+
+    def _perturb_arrivals(self, j: int, arrivals: list[float]) -> list[float]:
+        if not self._comm_specs:
+            return arrivals
+        for si, spec in self._comm_specs:
+            if not spec.applies_to(j):
+                continue
+            channels = range(len(arrivals)) if spec.channels is None \
+                else [c for c in spec.channels if c < len(arrivals)]
+            channels = list(channels)
+            if not channels:
+                continue
+            fires = self._fires(si, spec, j, n_draws=len(channels))
+            for ci, fired in zip(channels, fires):
+                # live-in broadcasts (-inf) have no SEND to delay
+                if fired and arrivals[ci] != float("-inf"):
+                    arrivals[ci] += spec.magnitude
+                    self._count(spec.kind)
+        return arrivals
+
+    def _inject_violation(self, j: int, core: int, attempt: int,
+                          timing: ThreadTiming) -> float | None:
+        for si, spec in self._violation_specs:
+            if attempt >= spec.max_per_thread or not spec.applies_to(j):
+                continue
+            if self._fires(si, spec, j, n_draws=spec.max_per_thread)[attempt]:
+                self._count(spec.kind)
+                span = max(1.0, timing.finish - timing.start)
+                return timing.start + spec.detect_frac * span
+        return None
+
+
+def simulate_with_faults(pipelined: PipelinedLoop, arch: ArchConfig,
+                         plan: FaultPlan, sim: SimConfig | None = None, *,
+                         template: KernelTimingTemplate | None = None
+                         ) -> tuple[SimStats, dict[str, int]]:
+    """Run one faulted simulation; returns ``(stats, injected_counts)``."""
+    injector = FaultInjectingSimulator(pipelined, arch, sim, plan=plan,
+                                       template=template)
+    stats = injector.run()
+    return stats, dict(injector.injected)

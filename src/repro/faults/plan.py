@@ -1,0 +1,191 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is a named list of :class:`FaultSpec` perturbations
+plus a seed; the :mod:`repro.faults.injector` interprets it against one
+simulation run.  Plans are plain data — buildable in code, loadable from
+JSON dicts (``FaultPlan.from_dict``) — and fully deterministic: every
+probabilistic draw is keyed by ``(plan seed, spec index, thread index)``,
+so a plan replays identically regardless of evaluation order or restart
+counts.
+
+Fault kinds
+-----------
+``violation``
+    Force an extra memory-dependence violation on matching threads: the
+    thread is squashed (paying ``C_inv``) and re-executed on the same
+    core, exactly like an organic misspeculation.  ``magnitude`` is
+    unused; ``detect_frac`` places the detection point as a fraction of
+    the thread's execution span (``> 1`` models detection during the
+    commit window); ``max_per_thread`` bounds back-to-back injections.
+``comm_jitter``
+    Delay matching SEND->RECV channel arrivals by ``magnitude`` cycles
+    (stressing the 3-cycle Voltron operand-network assumption).
+``comm_loss``
+    Model a lost operand-network packet: the value only arrives after a
+    retransmit, i.e. a (typically much larger) ``magnitude`` delay.
+``spawn_failure``
+    The spawn of a matching thread fails and is retried: the thread's
+    start is pushed back ``magnitude`` cycles.
+``stall_burst``
+    The core a matching thread runs on is unavailable for ``magnitude``
+    extra cycles before the thread may start.
+
+Thread selection composes ``threads`` (an explicit allow-list), ``every``
+/``phase`` (fire when ``thread % every == phase``) and ``probability``
+(an independent per-thread Bernoulli draw).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..errors import FaultPlanError
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec"]
+
+#: The fault kinds the injector understands.
+FAULT_KINDS = ("violation", "comm_jitter", "comm_loss", "spawn_failure",
+               "stall_burst")
+
+#: Kinds that delay a thread's start (interpreted by ``_start_delay``).
+_START_KINDS = frozenset({"spawn_failure", "stall_burst"})
+#: Kinds that delay channel arrivals (interpreted by ``_perturb_arrivals``).
+_COMM_KINDS = frozenset({"comm_jitter", "comm_loss"})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative perturbation (see the module docstring)."""
+
+    kind: str
+    probability: float = 1.0
+    magnitude: float = 0.0
+    threads: tuple[int, ...] | None = None
+    every: int | None = None
+    phase: int = 0
+    channels: tuple[int, ...] | None = None
+    detect_frac: float = 0.5
+    max_per_thread: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"{self.kind}: probability must be in [0, 1], got "
+                f"{self.probability}")
+        if self.magnitude < 0:
+            raise FaultPlanError(
+                f"{self.kind}: magnitude must be >= 0, got {self.magnitude}")
+        if self.every is not None and self.every < 1:
+            raise FaultPlanError(
+                f"{self.kind}: every must be >= 1, got {self.every}")
+        if self.phase < 0:
+            raise FaultPlanError(
+                f"{self.kind}: phase must be >= 0, got {self.phase}")
+        if self.detect_frac < 0:
+            raise FaultPlanError(
+                f"{self.kind}: detect_frac must be >= 0, got "
+                f"{self.detect_frac}")
+        if self.max_per_thread < 1:
+            raise FaultPlanError(
+                f"{self.kind}: max_per_thread must be >= 1, got "
+                f"{self.max_per_thread}")
+        if self.threads is not None:
+            object.__setattr__(self, "threads",
+                               tuple(int(t) for t in self.threads))
+            if any(t < 0 for t in self.threads):
+                raise FaultPlanError(
+                    f"{self.kind}: thread indices must be >= 0")
+        if self.channels is not None:
+            object.__setattr__(self, "channels",
+                               tuple(int(c) for c in self.channels))
+            if any(c < 0 for c in self.channels):
+                raise FaultPlanError(
+                    f"{self.kind}: channel indices must be >= 0")
+
+    @property
+    def delays_start(self) -> bool:
+        return self.kind in _START_KINDS
+
+    @property
+    def delays_comm(self) -> bool:
+        return self.kind in _COMM_KINDS
+
+    def applies_to(self, thread: int) -> bool:
+        """Structural thread match (the Bernoulli draw comes on top)."""
+        if self.threads is not None and thread not in self.threads:
+            return False
+        if self.every is not None and thread % self.every != self.phase:
+            return False
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        d = asdict(self)
+        d["threads"] = list(self.threads) if self.threads is not None else None
+        d["channels"] = list(self.channels) \
+            if self.channels is not None else None
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        known = set(cls.__dataclass_fields__)
+        extra = set(data) - known
+        if extra:
+            raise FaultPlanError(
+                f"unknown fault-spec keys {sorted(extra)}; known keys: "
+                f"{sorted(known)}")
+        if "kind" not in data:
+            raise FaultPlanError("fault spec missing required key 'kind'")
+        kwargs = dict(data)
+        for key in ("threads", "channels"):
+            if kwargs.get(key) is not None:
+                kwargs[key] = tuple(kwargs[key])
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise FaultPlanError(f"bad fault spec: {exc}") from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded collection of fault specs."""
+
+    name: str = "plan"
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise FaultPlanError(
+                    f"plan {self.name!r}: specs must be FaultSpec instances, "
+                    f"got {type(spec).__name__}")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "seed": self.seed,
+                "faults": [s.to_dict() for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        extra = set(data) - {"name", "seed", "faults"}
+        if extra:
+            raise FaultPlanError(
+                f"unknown fault-plan keys {sorted(extra)}; expected "
+                f"name/seed/faults")
+        faults: Sequence[Mapping[str, Any]] = data.get("faults", ())
+        if not isinstance(faults, (list, tuple)):
+            raise FaultPlanError("fault-plan 'faults' must be a list")
+        return cls(name=str(data.get("name", "plan")),
+                   seed=int(data.get("seed", 0)),
+                   specs=tuple(FaultSpec.from_dict(f) for f in faults))
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return FaultPlan(name=self.name, seed=seed, specs=self.specs)

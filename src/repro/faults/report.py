@@ -1,0 +1,251 @@
+"""Chaos-campaign robustness reporting.
+
+A :class:`ChaosReport` is the output of one ``tms-experiments chaos``
+campaign: one :class:`ChaosRow` per (kernel, scenario) run, recording the
+faults injected, the simulator's survival statistics, the trace
+sanitizer's findings, and the slowdown against the same kernel's clean
+baseline run.  Like :mod:`repro.obs.report`, the dictionary form is a
+stable versioned schema (:data:`CHAOS_REPORT_SCHEMA`, checked by
+:func:`validate_chaos_report_dict`) so CI can archive it, diff it across
+commits, and assert byte-identity across same-seed reruns.
+
+Campaigns are *built* by :mod:`repro.faults.campaign`; this module owns
+the pure data model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "CHAOS_REPORT_SCHEMA",
+    "ChaosReport",
+    "ChaosRow",
+    "validate_chaos_report_dict",
+    "write_chaos_report_json",
+]
+
+#: Schema version written into every chaos report dict.
+SCHEMA_VERSION = 1
+
+#: Golden schema of :meth:`ChaosReport.to_dict`: required keys and their
+#: types, with ``rows[*]`` and ``summary`` described one level deep.
+CHAOS_REPORT_SCHEMA: dict[str, Any] = {
+    "schema_version": int,
+    "seed": int,
+    "ncore": int,
+    "iterations": int,
+    "scenarios": list,
+    "rows": {
+        "kernel": str,
+        "benchmark": str,
+        "scenario": str,
+        "plan": str,
+        "seed": int,
+        "iterations": int,
+        "total_cycles": float,
+        "misspeculations": int,
+        "squashed_threads": int,
+        "wasted_execution_cycles": float,
+        "sync_stall_cycles": float,
+        "injected": dict,
+        "findings": list,
+        "ok": bool,
+        "slowdown": float,
+    },
+    "summary": {
+        "n_runs": int,
+        "n_kernels": int,
+        "n_scenarios": int,
+        "runs_ok": int,
+        "invariant_violations": int,
+        "injected_by_kind": dict,
+        "max_slowdown": float,
+        "max_slowdown_kernel": str,
+    },
+}
+
+
+@dataclass(frozen=True)
+class ChaosRow:
+    """One (kernel, scenario) faulted run's outcome."""
+
+    kernel: str
+    benchmark: str
+    scenario: str           #: campaign scenario name ("baseline", ...)
+    plan: str               #: fault-plan name ("" for baseline)
+    seed: int               #: the run's derived seed
+    iterations: int
+    total_cycles: float
+    misspeculations: int
+    squashed_threads: int
+    wasted_execution_cycles: float
+    sync_stall_cycles: float
+    injected: dict[str, int] = field(default_factory=dict)
+    findings: tuple[str, ...] = ()   #: sanitizer findings, rendered
+    slowdown: float = 1.0            #: total_cycles / baseline total_cycles
+
+    @property
+    def ok(self) -> bool:
+        """True when the run survived with zero invariant violations."""
+        return not self.findings
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "benchmark": self.benchmark,
+            "scenario": self.scenario,
+            "plan": self.plan,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "total_cycles": self.total_cycles,
+            "misspeculations": self.misspeculations,
+            "squashed_threads": self.squashed_threads,
+            "wasted_execution_cycles": self.wasted_execution_cycles,
+            "sync_stall_cycles": self.sync_stall_cycles,
+            "injected": dict(sorted(self.injected.items())),
+            "findings": list(self.findings),
+            "ok": self.ok,
+            "slowdown": self.slowdown,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """All rows of one chaos campaign plus campaign parameters."""
+
+    rows: tuple[ChaosRow, ...]
+    seed: int
+    ncore: int
+    iterations: int
+    scenarios: tuple[str, ...]
+
+    @property
+    def invariant_violations(self) -> int:
+        return sum(len(r.findings) for r in self.rows)
+
+    def injected_by_kind(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for row in self.rows:
+            for kind, n in row.injected.items():
+                totals[kind] = totals.get(kind, 0) + n
+        return dict(sorted(totals.items()))
+
+    def worst_slowdown(self) -> ChaosRow | None:
+        return max(self.rows, key=lambda r: r.slowdown, default=None)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The stable, versioned report form
+        (see :data:`CHAOS_REPORT_SCHEMA`)."""
+        worst = self.worst_slowdown()
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "seed": self.seed,
+            "ncore": self.ncore,
+            "iterations": self.iterations,
+            "scenarios": list(self.scenarios),
+            "rows": [row.to_dict() for row in self.rows],
+            "summary": {
+                "n_runs": len(self.rows),
+                "n_kernels": len({r.kernel for r in self.rows}),
+                "n_scenarios": len({r.scenario for r in self.rows}),
+                "runs_ok": sum(1 for r in self.rows if r.ok),
+                "invariant_violations": self.invariant_violations,
+                "injected_by_kind": self.injected_by_kind(),
+                "max_slowdown": worst.slowdown if worst else 0.0,
+                "max_slowdown_kernel": worst.kernel if worst else "",
+            },
+        }
+
+    def render(self) -> str:
+        """Per-run robustness table plus the campaign summary lines."""
+        # local import: repro.experiments imports this package's siblings.
+        from ..experiments.report import format_table
+
+        table = format_table(
+            ["Kernel", "Scenario", "Cycles", "Missp", "Squashed",
+             "Injected", "Slowdown", "Invariants"],
+            [[r.kernel, r.scenario, f"{r.total_cycles:.0f}",
+              r.misspeculations, r.squashed_threads,
+              sum(r.injected.values()), f"{r.slowdown:.2f}x",
+              "ok" if r.ok else f"{len(r.findings)} VIOLATED"]
+             for r in self.rows],
+            title="Chaos campaign: seeded fault injection + trace sanitizer.")
+        lines = [table, ""]
+        lines.append(f"Runs: {len(self.rows)} "
+                     f"({sum(1 for r in self.rows if r.ok)} ok)")
+        injected = self.injected_by_kind()
+        if injected:
+            lines.append("Injected: " + ", ".join(
+                f"{kind}={n}" for kind, n in injected.items()))
+        worst = self.worst_slowdown()
+        if worst is not None:
+            lines.append(f"Max slowdown: {worst.slowdown:.2f}x "
+                         f"({worst.kernel}, {worst.scenario})")
+        if self.invariant_violations:
+            lines.append(f"INVARIANT VIOLATIONS: "
+                         f"{self.invariant_violations}")
+            for row in self.rows:
+                for finding in row.findings:
+                    lines.append(f"  {row.kernel}/{row.scenario}: {finding}")
+        else:
+            lines.append("All trace invariants held under fault injection.")
+        return "\n".join(lines)
+
+
+def validate_chaos_report_dict(data: dict[str, Any]) -> None:
+    """Check ``data`` against :data:`CHAOS_REPORT_SCHEMA`; raises
+    ``ValueError`` on a missing key or mistyped value (the golden-schema
+    gate in CI)."""
+    def check(obj: dict, schema: dict, path: str) -> None:
+        for key, expected in schema.items():
+            if key not in obj:
+                raise ValueError(f"report missing key {path}{key!r}")
+            value = obj[key]
+            if isinstance(expected, dict) and key == "rows":
+                if not isinstance(value, list):
+                    raise ValueError(f"{path}{key!r} must be a list")
+                for i, row in enumerate(value):
+                    if not isinstance(row, dict):
+                        raise ValueError(f"{path}rows[{i}] must be an object")
+                    check(row, expected, f"{path}rows[{i}].")
+            elif isinstance(expected, dict):
+                if not isinstance(value, dict):
+                    raise ValueError(f"{path}{key!r} must be an object")
+                check(value, expected, f"{path}{key}.")
+            elif expected is float:
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool):
+                    raise ValueError(
+                        f"{path}{key!r} must be a number, got "
+                        f"{type(value).__name__}")
+            elif expected is bool:
+                if not isinstance(value, bool):
+                    raise ValueError(
+                        f"{path}{key!r} must be bool, got "
+                        f"{type(value).__name__}")
+            elif not isinstance(value, expected) or isinstance(value, bool) \
+                    and expected is int:
+                raise ValueError(
+                    f"{path}{key!r} must be {expected.__name__}, got "
+                    f"{type(value).__name__}")
+    if data.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {data.get('schema_version')!r} "
+            f"(expected {SCHEMA_VERSION})")
+    check(data, CHAOS_REPORT_SCHEMA, "")
+
+
+def write_chaos_report_json(report: ChaosReport,
+                            path: str | os.PathLike) -> None:
+    """Persist the report's versioned dict form as pretty JSON.
+
+    ``sort_keys`` plus the campaign's deterministic seeding make the
+    file byte-identical across same-seed reruns — CI diffs it.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")

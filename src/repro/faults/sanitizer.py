@@ -1,0 +1,281 @@
+"""Trace invariant sanitizer: replay ``repro.obs`` event streams and
+check the SpMT execution model's hard invariants.
+
+The simulator emits a deterministic event stream (``sim.spawn`` /
+``sim.exec`` / ``sim.recv_stall`` / ``sim.send`` / ``sim.violation`` /
+``sim.squash`` / ``sim.commit`` — see docs/observability.md).  The
+sanitizer checks that a stream (plus, optionally, the run's
+:class:`~repro.spmt.stats.SimStats`) obeys:
+
+``commit-order``
+    Threads commit in iteration order, one commit per iteration, with
+    non-decreasing commit timestamps (the in-order commit behind the head
+    thread, paper Section 3).
+``clock-monotone``
+    Per core, time never runs backwards: a thread's execution cannot
+    start before the previous thread on that core finished committing,
+    and no event has a negative timestamp or duration.
+``send-recv-order``
+    No RECV completes before its matching SEND: every recv stall's
+    resolution time is at least the producing thread's SEND time plus the
+    ring latency for its hop count.
+``squash-scope``
+    A squash invalidates exactly the offender plus more-speculative
+    in-flight threads: every squash pairs with a violation at the same
+    detection time on the same thread, and its squash count stays within
+    ``[1, ncore]``.
+``conservation``
+    Cycle accounting conserves: spawn/commit/invalidation totals equal
+    their per-event unit costs times the event counts, the stall total
+    equals the sum of per-thread stalls, and ``total_cycles`` equals the
+    last commit's completion time.
+
+Use :func:`sanitize_events` as a post-run gate (returns findings) or
+:func:`assert_trace_invariants` as a library assertion inside tests
+(raises :class:`~repro.errors.InvariantViolation`).  Faulted runs under
+:mod:`repro.faults.injector` must pass too — injection only delays events
+or adds violations, never breaks the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..config import ArchConfig
+from ..errors import InvariantViolation
+from ..obs.events import Event
+from ..spmt.stats import SimStats
+
+__all__ = ["INVARIANTS", "SanitizerFinding", "TraceSanitizer",
+           "assert_trace_invariants", "sanitize_events"]
+
+#: Names of the invariant families the sanitizer checks.
+INVARIANTS = ("commit-order", "clock-monotone", "send-recv-order",
+              "squash-scope", "conservation")
+
+#: float comparisons over simulated cycles
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class SanitizerFinding:
+    """One invariant violation found in a trace."""
+
+    invariant: str
+    message: str
+    seq: int | None = None      #: sequence number of the offending event
+
+    def __str__(self) -> str:
+        where = f" (event seq {self.seq})" if self.seq is not None else ""
+        return f"[{self.invariant}] {self.message}{where}"
+
+
+class TraceSanitizer:
+    """Checks one run's ``sim.*`` events against the model invariants."""
+
+    def __init__(self, arch: ArchConfig, *,
+                 stats: SimStats | None = None) -> None:
+        self.arch = arch
+        self.stats = stats
+
+    # -- entry point --------------------------------------------------------
+
+    def check(self, events: Iterable[Event]) -> list[SanitizerFinding]:
+        sim_events = [e for e in events if e.cat == "sim"]
+        findings: list[SanitizerFinding] = []
+        findings += self._check_nonnegative(sim_events)
+        findings += self._check_commit_order(sim_events)
+        findings += self._check_clock_monotone(sim_events)
+        findings += self._check_send_recv(sim_events)
+        findings += self._check_squash_scope(sim_events)
+        if self.stats is not None:
+            findings += self._check_conservation(sim_events, self.stats)
+        return findings
+
+    # -- individual invariants ----------------------------------------------
+
+    def _check_nonnegative(self, events: Sequence[Event]
+                           ) -> list[SanitizerFinding]:
+        out = []
+        for e in events:
+            if e.ts is not None and e.ts < -_EPS:
+                out.append(SanitizerFinding(
+                    "clock-monotone",
+                    f"{e.name} has negative timestamp {e.ts}", e.seq))
+            if e.dur is not None and e.dur < -_EPS:
+                out.append(SanitizerFinding(
+                    "clock-monotone",
+                    f"{e.name} has negative duration {e.dur}", e.seq))
+        return out
+
+    def _check_commit_order(self, events: Sequence[Event]
+                            ) -> list[SanitizerFinding]:
+        out = []
+        commits = [e for e in events if e.name == "commit"]
+        expected = 0
+        last_ts = float("-inf")
+        for e in commits:
+            thread = e.args.get("thread")
+            if thread != expected:
+                out.append(SanitizerFinding(
+                    "commit-order",
+                    f"commit of thread {thread} out of iteration order "
+                    f"(expected thread {expected})", e.seq))
+                # resynchronise so one swap yields one finding, not many
+                expected = (thread + 1) if isinstance(thread, int) \
+                    else expected + 1
+            else:
+                expected += 1
+            if e.ts is not None:
+                if e.ts < last_ts - _EPS:
+                    out.append(SanitizerFinding(
+                        "commit-order",
+                        f"commit of thread {thread} at {e.ts} precedes an "
+                        f"earlier thread's commit at {last_ts}", e.seq))
+                last_ts = max(last_ts, e.ts)
+        return out
+
+    def _check_clock_monotone(self, events: Sequence[Event]
+                              ) -> list[SanitizerFinding]:
+        """Per core: execution may not begin before the previous thread on
+        that core released it (commit end)."""
+        out = []
+        core_free: dict[int, float] = {}
+        for e in events:
+            tid = e.args.get("tid")
+            if tid is None or e.ts is None:
+                continue
+            if e.name == "exec":
+                free = core_free.get(tid, 0.0)
+                if e.ts < free - _EPS:
+                    out.append(SanitizerFinding(
+                        "clock-monotone",
+                        f"thread {e.args.get('thread')} starts at {e.ts} on "
+                        f"core {tid}, before the core is free at {free}",
+                        e.seq))
+            elif e.name == "commit":
+                end = e.ts + (e.dur or 0.0)
+                core_free[tid] = max(core_free.get(tid, 0.0), end)
+        return out
+
+    def _check_send_recv(self, events: Sequence[Event]
+                         ) -> list[SanitizerFinding]:
+        out = []
+        lat = self.arch.reg_comm_latency
+        sends: dict[tuple[int, int], float] = {}
+        for e in events:
+            if e.name == "send" and e.ts is not None:
+                key = (e.args.get("thread"), e.args.get("channel"))
+                sends[key] = e.ts
+        for e in events:
+            if e.name != "recv_stall" or e.ts is None:
+                continue
+            thread = e.args.get("thread")
+            channel = e.args.get("channel")
+            hops = e.args.get("hops", 1)
+            producer_thread = thread - hops
+            if producer_thread < 0:
+                continue  # live-in broadcast: no SEND exists
+            send_ts = sends.get((producer_thread, channel))
+            if send_ts is None:
+                out.append(SanitizerFinding(
+                    "send-recv-order",
+                    f"thread {thread} stalled on channel {channel} but "
+                    f"thread {producer_thread} never SENT on it", e.seq))
+                continue
+            resolved = e.ts + (e.dur or 0.0)
+            if resolved < send_ts + hops * lat - _EPS:
+                out.append(SanitizerFinding(
+                    "send-recv-order",
+                    f"thread {thread} RECV on channel {channel} completed "
+                    f"at {resolved}, before SEND at {send_ts} + "
+                    f"{hops}x{lat} ring hops", e.seq))
+        return out
+
+    def _check_squash_scope(self, events: Sequence[Event]
+                            ) -> list[SanitizerFinding]:
+        out = []
+        violations = {(e.args.get("thread"), round(e.ts or 0.0, 6))
+                      for e in events if e.name == "violation"}
+        n_violations = sum(1 for e in events if e.name == "violation")
+        n_squashes = 0
+        for e in events:
+            if e.name != "squash":
+                continue
+            n_squashes += 1
+            squashed = e.args.get("squashed", 0)
+            if not 1 <= squashed <= self.arch.ncore:
+                out.append(SanitizerFinding(
+                    "squash-scope",
+                    f"squash on thread {e.args.get('thread')} claims "
+                    f"{squashed} threads; must be in [1, ncore="
+                    f"{self.arch.ncore}]", e.seq))
+            key = (e.args.get("thread"), round(e.ts or 0.0, 6))
+            if key not in violations:
+                out.append(SanitizerFinding(
+                    "squash-scope",
+                    f"squash on thread {e.args.get('thread')} at "
+                    f"{e.ts} has no matching violation", e.seq))
+        if n_squashes != n_violations:
+            out.append(SanitizerFinding(
+                "squash-scope",
+                f"{n_violations} violations but {n_squashes} squashes "
+                f"(must pair 1:1)"))
+        return out
+
+    def _check_conservation(self, events: Sequence[Event], stats: SimStats
+                            ) -> list[SanitizerFinding]:
+        out = []
+        arch = self.arch
+        n = stats.iterations
+
+        def expect(name: str, actual: float, wanted: float) -> None:
+            if abs(actual - wanted) > max(_EPS, 1e-9 * abs(wanted)):
+                out.append(SanitizerFinding(
+                    "conservation",
+                    f"{name}: recorded {actual}, expected {wanted}"))
+
+        expect("spawn_cycles", stats.spawn_cycles, n * arch.spawn_overhead)
+        expect("commit_cycles", stats.commit_cycles, n * arch.commit_overhead)
+        expect("invalidation_cycles", stats.invalidation_cycles,
+               stats.misspeculations * arch.invalidation_overhead)
+        if stats.wasted_execution_cycles < -_EPS:
+            out.append(SanitizerFinding(
+                "conservation",
+                f"wasted_execution_cycles is negative: "
+                f"{stats.wasted_execution_cycles}"))
+        commits = [e for e in events if e.name == "commit" and e.ts is not None]
+        if commits:
+            expect("commit count", float(len(commits)), float(n))
+            last_end = max(e.ts + (e.dur or 0.0) for e in commits)
+            expect("total_cycles", stats.total_cycles, last_end)
+        execs = [e for e in events if e.name == "exec"]
+        if execs:
+            stall_sum = sum(e.args.get("stall", 0.0) for e in execs)
+            expect("sync_stall_cycles", stats.sync_stall_cycles, stall_sum)
+        n_violations = sum(1 for e in events if e.name == "violation")
+        if execs:  # only meaningful when the stream covers the run
+            expect("misspeculations", float(stats.misspeculations),
+                   float(n_violations))
+            squashed = sum(e.args.get("squashed", 0)
+                           for e in events if e.name == "squash")
+            expect("squashed_threads", float(stats.squashed_threads),
+                   float(squashed))
+        return out
+
+
+def sanitize_events(events: Iterable[Event], arch: ArchConfig, *,
+                    stats: SimStats | None = None) -> list[SanitizerFinding]:
+    """Check ``events`` (and optionally ``stats``); returns all findings."""
+    return TraceSanitizer(arch, stats=stats).check(events)
+
+
+def assert_trace_invariants(events: Iterable[Event], arch: ArchConfig, *,
+                            stats: SimStats | None = None) -> None:
+    """Raise :class:`InvariantViolation` if any invariant fails."""
+    findings = sanitize_events(events, arch, stats=stats)
+    if findings:
+        detail = "\n".join(f"  {f}" for f in findings)
+        raise InvariantViolation(
+            f"{len(findings)} trace invariant violation(s):\n{detail}")

@@ -59,6 +59,10 @@ class DDG:
                  edges: Iterable[Dependence], *, loop: Loop | None = None) -> None:
         self.name = name
         self.nodes: tuple[DDGNode, ...] = tuple(nodes)
+        if not self.nodes:
+            raise DDGError(
+                f"DDG {name!r} has no nodes; a schedulable loop needs at "
+                f"least one instruction")
         self.loop = loop
         self._by_name: dict[str, DDGNode] = {}
         for node in self.nodes:

@@ -1,0 +1,108 @@
+"""Graceful scheduler degradation: TMS -> SMS -> IMS -> sequential.
+
+The experiment drivers must never die (or hang) because one pathological
+loop defeats the TMS ``(II, C_delay)`` search.  This module provides the
+degradation chain the pipeline routes through:
+
+1. **TMS** — the thread-sensitive search, optionally bounded by the
+   ``SchedulerConfig.max_schedule_seconds`` wall-clock watchdog;
+2. **SMS** — plain swing modulo scheduling (no thread-sensitivity);
+3. **IMS** — the backtracking iterative modulo scheduler (survives the
+   pinched windows that wedge SMS's restart-only discipline);
+4. **sequential** — the loop body list-scheduled once per iteration with
+   ``II = span``: no inter-iteration overlap, trivially valid, always
+   succeeds.
+
+Each step down the chain publishes the ``sched.degraded`` metric, emits a
+``sched.degraded`` trace event, and stamps the schedule's ``meta`` with
+``degraded_from``/``degraded_to`` so reports can surface the loss of
+fidelity instead of silently absorbing it.
+"""
+
+from __future__ import annotations
+
+from ..config import ArchConfig, SchedulerConfig
+from ..errors import SchedulingError
+from ..graph.ddg import DDG
+from ..machine.resources import ResourceModel
+from ..obs import metrics
+from ..obs.events import get_tracer
+from .ims import IterativeModuloScheduler
+from .listsched import list_schedule
+from .schedule import Schedule, validate_schedule
+from .sms import SwingModuloScheduler
+from .tms import ThreadSensitiveScheduler
+
+__all__ = ["schedule_sequential_fallback", "schedule_with_degradation"]
+
+
+def schedule_sequential_fallback(ddg: DDG,
+                                 resources: ResourceModel) -> Schedule:
+    """A modulo schedule with no inter-iteration overlap (``II = span``).
+
+    List-schedules the distance-0 sub-DAG and widens II to the iteration
+    span, so every loop-carried dependence is satisfied by construction
+    and the per-row resource usage equals the (already valid) acyclic
+    placement.  The last rung of the degradation ladder: slow, but it
+    cannot fail on any well-formed DDG.
+    """
+    listed = list_schedule(ddg, resources)
+    ii = max(listed.span, 1)
+    sched = Schedule(ddg, ii, dict(listed.times), algorithm="SEQ",
+                     meta={"span": listed.span, "delta": listed.delta})
+    validate_schedule(sched, resources)
+    return sched
+
+
+def schedule_with_degradation(ddg: DDG, resources: ResourceModel,
+                              arch: ArchConfig,
+                              config: SchedulerConfig | None = None
+                              ) -> Schedule:
+    """TMS with graceful degradation; never hangs, never raises
+    :class:`SchedulingError` for a well-formed DDG.
+
+    Returns the first schedule the chain produces.  A degraded result
+    carries ``meta["degraded_from"] == "TMS"`` and
+    ``meta["degraded_to"]`` naming the rung that succeeded.
+    """
+    config = config or SchedulerConfig()
+    failures: list[str] = []
+
+    def _attempt(name: str, build) -> Schedule | None:
+        try:
+            return build()
+        except SchedulingError as exc:
+            failures.append(f"{name}: {exc}")
+            return None
+
+    sched = _attempt("TMS", lambda: ThreadSensitiveScheduler(
+        ddg, resources, arch, config).schedule())
+    if sched is not None:
+        return sched
+
+    chain = (
+        ("SMS", lambda: SwingModuloScheduler(
+            ddg, resources, config).schedule()),
+        ("IMS", lambda: IterativeModuloScheduler(
+            ddg, resources, config).schedule()),
+        ("SEQ", lambda: schedule_sequential_fallback(ddg, resources)),
+    )
+    for name, build in chain:
+        sched = _attempt(name, build)
+        if sched is None:
+            continue
+        sched.meta["degraded_from"] = "TMS"
+        sched.meta["degraded_to"] = name
+        sched.meta["degradation_reason"] = failures[0]
+        metrics.counter(
+            "sched.degraded",
+            "schedules produced by a degradation fallback").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit("sched", "sched.degraded", loop=ddg.name,
+                        degraded_from="TMS", degraded_to=name,
+                        reason=failures[0])
+        return sched
+    raise SchedulingError(
+        f"every degradation rung failed on {ddg.name!r}: "
+        + "; ".join(failures))

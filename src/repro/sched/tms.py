@@ -28,6 +28,7 @@ dependences as synchronised: they join C1 and never misspeculate.
 from __future__ import annotations
 
 import math
+import time
 from typing import Mapping
 
 from ..config import ArchConfig, SchedulerConfig
@@ -38,7 +39,7 @@ from ..costmodel.exectime import (
     objective_f,
     t_lower_bound,
 )
-from ..errors import SchedulingError
+from ..errors import SchedulingBudgetExceeded, SchedulingError
 from ..graph.ddg import DDG
 from ..graph.dependence import Dependence
 from ..machine.resources import ResourceModel
@@ -64,11 +65,15 @@ class ThreadSensitiveScheduler(SwingModuloScheduler):
         self.arch = arch
         self.seed_high = True
         self._max_lat = max((n.latency for n in ddg.nodes), default=1)
+        #: wall-clock watchdog deadline (armed per schedule() call).
+        self._deadline: float | None = None
 
     # -- public API -----------------------------------------------------------
 
     def schedule(self) -> Schedule:
         cfg = self.config
+        if cfg.max_schedule_seconds is not None:
+            self._deadline = time.monotonic() + cfg.max_schedule_seconds
         if not cfg.try_p_max_values:
             return self._schedule_with_pmax(cfg.p_max)
         # Paper: "several values for P_max can be tried so that the best
@@ -78,6 +83,9 @@ class ThreadSensitiveScheduler(SwingModuloScheduler):
         for p_max in cfg.p_max_candidates:
             try:
                 sched = self._schedule_with_pmax(p_max)
+            except SchedulingBudgetExceeded:
+                # the watchdog bounds the *whole* search, not one P_max
+                raise
             except SchedulingError:
                 continue
             cost = estimate_execution_time(
@@ -127,6 +135,7 @@ class ThreadSensitiveScheduler(SwingModuloScheduler):
         attempts = 0
         highest_failed_cd: dict[int, int] = {}
         for index, (f_value, cd, ii) in enumerate(self._candidates()):
+            self._check_watchdog(attempts)
             if cd <= highest_failed_cd.get(ii, -1):
                 if tracer.enabled:
                     self._emit_candidate(tracer, index, ii, cd, f_value,
@@ -155,6 +164,7 @@ class ThreadSensitiveScheduler(SwingModuloScheduler):
         # degenerates to SMS placement; keeps suite runs robust on
         # pathological DDGs.  Recorded in meta.
         for ii in range(self.mii, self.max_ii() + 1):
+            self._check_watchdog(attempts)
             cd = self._c_delay_cap(ii)
             slots = self.try_ii(ii)
             if slots is not None:
@@ -170,6 +180,25 @@ class ThreadSensitiveScheduler(SwingModuloScheduler):
         raise SchedulingError(
             f"TMS failed on {self.ddg.name!r}: no schedule up to II "
             f"{self.max_ii()} even without thread-sensitivity constraints")
+
+    def _check_watchdog(self, attempts: int) -> None:
+        """Raise :class:`SchedulingBudgetExceeded` once the wall-clock
+        budget (``SchedulerConfig.max_schedule_seconds``) is spent, so a
+        pathological search degrades instead of hanging the driver."""
+        if self._deadline is None or time.monotonic() <= self._deadline:
+            return
+        metrics.counter(
+            "tms.watchdog_fires",
+            "TMS searches aborted by the wall-clock watchdog").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit("sched", "tms.watchdog", loop=self.ddg.name,
+                        attempts=attempts,
+                        budget_seconds=self.config.max_schedule_seconds)
+        raise SchedulingBudgetExceeded(
+            f"TMS search on {self.ddg.name!r} exceeded its "
+            f"{self.config.max_schedule_seconds}s budget after "
+            f"{attempts} candidate attempts")
 
     def _emit_candidate(self, tracer, index: int, ii: int, cd: int,
                         f_value: float, outcome: str) -> None:

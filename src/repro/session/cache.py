@@ -18,6 +18,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -102,6 +103,8 @@ class ArtifactCache:
                          "invalidations", "disk_hits", "disk_stores",
                          "disk_errors", "disk_prunes")
         }
+        if self.disk_dir is not None:
+            self._sweep_stale_tmps()
 
     # -- lookup / store -----------------------------------------------------
 
@@ -223,6 +226,28 @@ class ArtifactCache:
             # persistence is an optimisation; never fail a compile on it.
             self.stats.disk_errors += 1
             self._m["disk_errors"].inc()
+
+    def _sweep_stale_tmps(self, max_age_s: float = 3600.0) -> int:
+        """Remove orphaned ``*.tmp`` files left by writers killed
+        mid-write.  Atomic rename means such orphans are never *read* as
+        entries, but they would otherwise accumulate forever; only files
+        older than ``max_age_s`` are removed so a live concurrent
+        writer's in-flight temp file is untouched.  Returns the number
+        of files removed.
+        """
+        assert self.disk_dir is not None
+        if not self.disk_dir.is_dir():
+            return 0
+        removed = 0
+        cutoff = time.time() - max_age_s
+        for tmp in self.disk_dir.glob("??/*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
 
     def _disk_prune(self, keep: Path | None = None) -> None:
         """Evict oldest disk entries until the tier fits ``max_disk_mb``.

@@ -20,11 +20,15 @@ the calling :class:`~repro.session.session.Session` exact.
 from __future__ import annotations
 
 import concurrent.futures
+import math
 import os
+import random
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..errors import TaskTimeout
 from ..obs import metrics
 
 __all__ = ["ParallelRunner", "TaskResult", "resolve_jobs"]
@@ -55,6 +59,8 @@ class TaskResult:
     value: Any = None
     error: BaseException | None = None
     error_traceback: str = ""
+    attempts: int = 1        #: total attempts made (1 = no retries needed)
+    timed_out: bool = False  #: last failure was a per-task timeout
 
     @property
     def ok(self) -> bool:
@@ -89,7 +95,9 @@ class ParallelRunner:
         self.resolved_jobs = resolve_jobs(self.jobs)
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
-            *, on_error: str = "capture") -> list[TaskResult]:
+            *, on_error: str = "capture", timeout: float | None = None,
+            retries: int = 0, backoff: float = 0.0,
+            backoff_seed: int = 0) -> list[TaskResult]:
         """Run ``fn(item)`` for every item; results come back in input
         order.
 
@@ -97,33 +105,53 @@ class ParallelRunner:
         :class:`TaskResult`\\ s with ``ok == False``;
         ``on_error="raise"`` re-raises the first failure (by input
         order) after all tasks have been given the chance to run.
+
+        ``timeout`` bounds each task's wall time: a task that overruns
+        fails soft with a :class:`~repro.errors.TaskTimeout` error and
+        ``timed_out=True`` (in the parallel path the wedged worker
+        process is terminated so the pool cannot hang).  ``retries``
+        re-runs failed (including timed-out) tasks up to that many extra
+        times, sleeping a seeded exponential backoff
+        (``backoff * 2**attempt``, jittered by ``backoff_seed``) between
+        waves; ``attempts`` on each result records the total tries.
         """
         if on_error not in ("capture", "raise"):
             raise ValueError(f"on_error must be 'capture' or 'raise', "
                              f"got {on_error!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         items = list(items)
         workers = min(self.resolved_jobs, len(items)) if items else 0
         metrics.counter("runner.tasks", "tasks dispatched").inc(len(items))
+        results: list[TaskResult] = [
+            TaskResult(index=i) for i in range(len(items))]
+        pending = list(range(len(items)))
         with metrics.timer("runner.map_seconds",
                            "wall time of ParallelRunner.map calls").time():
-            if workers <= 1:
-                results = [_call(fn, i, item) for i, item in enumerate(items)]
-            else:
-                results = [TaskResult(index=i) for i in range(len(items))]
-                with concurrent.futures.ProcessPoolExecutor(
-                        max_workers=workers) as pool:
-                    futures = {
-                        pool.submit(_call, fn, i, item): i
-                        for i, item in enumerate(items)
-                    }
-                    for fut in concurrent.futures.as_completed(futures):
-                        i = futures[fut]
-                        try:
-                            results[i] = fut.result()
-                        except BaseException as exc:  # pool/pickling failure
-                            results[i] = TaskResult(
-                                index=i, error=exc,
-                                error_traceback=traceback.format_exc())
+            for attempt in range(retries + 1):
+                if not pending:
+                    break
+                if attempt > 0:
+                    metrics.counter(
+                        "runner.retries", "task retry attempts").inc(
+                        len(pending))
+                    self._backoff_sleep(attempt, backoff, backoff_seed)
+                if workers <= 1:
+                    wave = self._run_sequential(fn, items, pending, timeout)
+                else:
+                    wave = self._run_parallel(fn, items, pending, timeout,
+                                              workers)
+                still_failed = []
+                for i, res in zip(pending, wave):
+                    res.attempts = attempt + 1
+                    results[i] = res
+                    if not res.ok:
+                        still_failed.append(i)
+                    if res.timed_out:
+                        metrics.counter(
+                            "runner.timeouts", "tasks that hit the "
+                            "per-task timeout").inc()
+                pending = still_failed
         metrics.counter("runner.failures", "tasks that raised").inc(
             sum(1 for r in results if not r.ok))
         if on_error == "raise":
@@ -131,3 +159,95 @@ class ParallelRunner:
                 if not res.ok:
                     res.unwrap()
         return results
+
+    # -- execution waves --------------------------------------------------------
+
+    @staticmethod
+    def _backoff_sleep(attempt: int, backoff: float, seed: int) -> None:
+        if backoff <= 0:
+            return
+        # seeded jitter in [0.5, 1.5): deterministic per (seed, attempt)
+        jitter = 0.5 + random.Random(seed * 1000003 + attempt).random()
+        time.sleep(backoff * (2 ** (attempt - 1)) * jitter)
+
+    @staticmethod
+    def _timeout_result(index: int, timeout: float) -> TaskResult:
+        err = TaskTimeout(f"task {index} exceeded timeout={timeout}s")
+        return TaskResult(index=index, error=err,
+                          error_traceback=f"{type(err).__name__}: {err}\n",
+                          timed_out=True)
+
+    def _run_sequential(self, fn, items, pending: list[int],
+                        timeout: float | None) -> list[TaskResult]:
+        """One inline wave.  With a timeout, each task runs on a helper
+        thread so an overrun fails soft; the abandoned thread finishes
+        in the background (Python threads cannot be killed) but its
+        result is discarded."""
+        if timeout is None:
+            return [_call(fn, i, items[i]) for i in pending]
+        out = []
+        for i in pending:
+            pool = concurrent.futures.ThreadPoolExecutor(max_workers=1)
+            fut = pool.submit(_call, fn, i, items[i])
+            try:
+                out.append(fut.result(timeout=timeout))
+            except concurrent.futures.TimeoutError:
+                out.append(self._timeout_result(i, timeout))
+            finally:
+                pool.shutdown(wait=False)
+        return out
+
+    def _run_parallel(self, fn, items, pending: list[int],
+                      timeout: float | None,
+                      workers: int) -> list[TaskResult]:
+        """One process-pool wave.  The wave deadline budgets ``timeout``
+        per queued batch (tasks can wait for a worker without being
+        penalised); on expiry the wedged workers are terminated so the
+        pool shutdown cannot hang."""
+        workers = min(workers, len(pending))
+        results: dict[int, TaskResult] = {}
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        futures = {pool.submit(_call, fn, i, items[i]): i for i in pending}
+        deadline = None if timeout is None else (
+            time.monotonic() + timeout * math.ceil(len(pending) / workers))
+        try:
+            not_done = set(futures)
+            while not_done:
+                remaining = None if deadline is None \
+                    else max(0.0, deadline - time.monotonic())
+                done, not_done = concurrent.futures.wait(
+                    not_done, timeout=remaining)
+                for fut in done:
+                    i = futures[fut]
+                    try:
+                        results[i] = fut.result()
+                    except BaseException as exc:  # pool/pickling failure
+                        results[i] = TaskResult(
+                            index=i, error=exc,
+                            error_traceback=traceback.format_exc())
+                if deadline is not None and not done and not_done:
+                    # wave deadline expired: everything unfinished is a
+                    # timeout; kill the workers so shutdown can't hang.
+                    for fut in not_done:
+                        fut.cancel()
+                        results[futures[fut]] = self._timeout_result(
+                            futures[fut], timeout)
+                    self._terminate_workers(pool)
+                    break
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return [results[i] for i in pending]
+
+    @staticmethod
+    def _terminate_workers(pool) -> None:
+        """Best-effort kill of a pool's worker processes (private API;
+        tolerated to fail on future CPython layouts)."""
+        try:
+            procs = list((pool._processes or {}).values())
+        except AttributeError:  # pragma: no cover - layout changed
+            return
+        for proc in procs:
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass

@@ -87,6 +87,7 @@ class SpMTSimulator:
         for j in range(n):
             core = j % arch.ncore
             start = max(prev_start + arch.spawn_overhead, core_free[core])
+            start += self._start_delay(j, core)
             restarts = 0
             stall_log: list[tuple[int, float, float]] | None = None
             while True:
@@ -100,6 +101,12 @@ class SpMTSimulator:
                 timings[j] = timing
                 violation = detect_violation(
                     template, timings, realisations.realised(j), j)
+                injected = False
+                if violation is None:
+                    forced = self._inject_violation(j, core, restarts, timing)
+                    if forced is not None:
+                        violation = (-1, max(forced, start))
+                        injected = True
                 if violation is None:
                     break
                 restarts += 1
@@ -114,9 +121,12 @@ class SpMTSimulator:
                 # the violated thread plus all more speculative started
                 # threads are squashed; more speculative threads have not
                 # been computed yet (we process in order), so estimate how
-                # many had started by detection time from the spawn chain.
+                # many had started by detection time from the spawn chain —
+                # capped by the threads that exist at all (n - 1 - j): a
+                # violation on the most speculative thread squashes only
+                # itself.
                 started_after = min(
-                    arch.ncore - 1,
+                    arch.ncore - 1, n - 1 - j,
                     int(max(0.0, detected - start)
                         // max(arch.spawn_overhead, 1)))
                 stats.squashed_threads += 1 + started_after
@@ -127,8 +137,13 @@ class SpMTSimulator:
                     stats.wasted_execution_cycles += max(
                         0.0, detected - (start + i * arch.spawn_overhead))
                 if tracer.enabled:
-                    tracer.emit("sim", "violation", ts=detected,
-                                thread=j, attempt=restarts, tid=core)
+                    if injected:
+                        tracer.emit("sim", "violation", ts=detected,
+                                    thread=j, attempt=restarts, tid=core,
+                                    injected=True)
+                    else:
+                        tracer.emit("sim", "violation", ts=detected,
+                                    thread=j, attempt=restarts, tid=core)
                     tracer.emit("sim", "squash", ts=detected,
                                 dur=float(arch.invalidation_overhead),
                                 thread=j, squashed=1 + started_after,
@@ -179,6 +194,30 @@ class SpMTSimulator:
             "sim.stall_cycles", "sync stall cycles per run").observe(
             stats.sync_stall_cycles)
         return stats
+
+    # -- fault-injection hooks --------------------------------------------------
+    #
+    # No-op in the production simulator; repro.faults.injector overrides
+    # them to perturb execution deterministically (spawn failures and core
+    # stall bursts, operand-network jitter/loss, forced extra violations).
+    # The hooks see only committed-model state, so the base event loop's
+    # squash/recovery accounting — and every trace invariant — applies to
+    # faulted runs unchanged.
+
+    def _start_delay(self, j: int, core: int) -> float:
+        """Extra cycles before thread ``j`` may start on ``core``."""
+        return 0.0
+
+    def _perturb_arrivals(self, j: int, arrivals: list[float]) -> list[float]:
+        """Adjust per-channel value-arrival times for thread ``j``."""
+        return arrivals
+
+    def _inject_violation(self, j: int, core: int, attempt: int,
+                          timing: ThreadTiming) -> float | None:
+        """Detection time of a forced violation for thread ``j`` on this
+        attempt, or ``None``.  Only consulted when no organic violation
+        fired."""
+        return None
 
     # -- event emission ---------------------------------------------------------
 
@@ -232,6 +271,7 @@ class SpMTSimulator:
             else:
                 arrivals.append(
                     timings[producer_thread].value_arrival(template, idx))
+        arrivals = self._perturb_arrivals(j, arrivals)
         return ThreadTiming.resolve(template, start, arrivals,
                                     extra_latency=self._draw_cache_extra(),
                                     stall_log=stall_log)

@@ -1,6 +1,16 @@
-"""Shared fixtures: architectures, machines, and reference loops."""
+"""Shared fixtures: architectures, machines, and reference loops.
+
+Also installs a repo-wide per-test wall-clock timeout (SIGALRM-based, no
+plugin dependency): any single test exceeding ``REPRO_TEST_TIMEOUT``
+seconds (default 120) fails with a clear message instead of hanging the
+suite — the robustness counterpart of the TMS scheduling watchdog.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import pytest
 
@@ -40,6 +50,36 @@ n5: z = fadd u, acc
 n6: store B[i], z
 n7: k = iadd k, 5
 """
+
+
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Per-test wall-clock timeout via SIGALRM (main thread, POSIX only;
+    elsewhere the hook is a no-op and tests run unbounded)."""
+    usable = (
+        _TEST_TIMEOUT > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT={_TEST_TIMEOUT:.0f}s: "
+            f"{item.nodeid}")
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

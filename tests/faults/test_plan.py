@@ -1,0 +1,97 @@
+"""Fault-plan data model: validation, selection, dict round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultPlanError, ReproError
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec("cosmic_ray")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"probability": -0.1},
+        {"probability": 1.5},
+        {"magnitude": -1.0},
+        {"every": 0},
+        {"phase": -1},
+        {"detect_frac": -0.5},
+        {"max_per_thread": 0},
+        {"threads": (3, -1)},
+        {"channels": (-2,)},
+    ])
+    def test_bad_field_rejected(self, kwargs):
+        with pytest.raises(FaultPlanError):
+            FaultSpec("violation", **kwargs)
+
+    def test_fault_plan_error_is_repro_error(self):
+        with pytest.raises(ReproError):
+            FaultSpec("violation", probability=2.0)
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            spec = FaultSpec(kind)
+            assert spec.kind == kind
+
+
+class TestThreadSelection:
+    def test_threads_allowlist(self):
+        spec = FaultSpec("violation", threads=(2, 5))
+        assert spec.applies_to(2) and spec.applies_to(5)
+        assert not spec.applies_to(3)
+
+    def test_every_phase(self):
+        spec = FaultSpec("stall_burst", every=3, phase=1)
+        assert spec.applies_to(1) and spec.applies_to(4)
+        assert not spec.applies_to(0) and not spec.applies_to(3)
+
+    def test_routing_properties(self):
+        assert FaultSpec("spawn_failure").delays_start
+        assert FaultSpec("stall_burst").delays_start
+        assert FaultSpec("comm_jitter").delays_comm
+        assert FaultSpec("comm_loss").delays_comm
+        assert not FaultSpec("violation").delays_start
+        assert not FaultSpec("violation").delays_comm
+
+
+class TestDictRoundTrip:
+    def test_spec_round_trip(self):
+        spec = FaultSpec("comm_jitter", probability=0.25, magnitude=4.0,
+                         threads=(1, 2), channels=(0,))
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_plan_round_trip(self):
+        plan = FaultPlan(name="storm", seed=42, specs=(
+            FaultSpec("violation", probability=0.3),
+            FaultSpec("spawn_failure", magnitude=6.0, every=2),
+        ))
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again == plan
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec.from_dict({"kind": "violation", "intensity": 9})
+
+    def test_unknown_plan_key_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"name": "x", "seed": 0, "faults": [],
+                                 "extra": True})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec.from_dict({"probability": 0.5})
+
+    def test_plan_specs_must_be_specs(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(specs=({"kind": "violation"},))
+
+    def test_with_seed(self):
+        plan = FaultPlan(name="p", seed=1,
+                         specs=(FaultSpec("comm_loss", magnitude=10.0),))
+        reseeded = plan.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.name == plan.name and reseeded.specs == plan.specs

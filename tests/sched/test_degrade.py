@@ -1,0 +1,97 @@
+"""Graceful scheduler degradation: sequential fallback, TMS watchdog,
+and the TMS -> SMS -> IMS -> SEQ chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ArchConfig, SchedulerConfig
+from repro.errors import MachineError, SchedulingBudgetExceeded, \
+    SchedulingError
+from repro.obs import metrics
+from repro.sched.degrade import schedule_sequential_fallback, \
+    schedule_with_degradation
+from repro.sched.schedule import validate_schedule
+from repro.sched.tms import schedule_tms
+
+
+class TestSequentialFallback:
+    def test_valid_schedule(self, fig1_ddg, fig1_machine):
+        sched = schedule_sequential_fallback(fig1_ddg, fig1_machine)
+        validate_schedule(sched, fig1_machine)
+        assert sched.algorithm == "SEQ"
+        assert sched.ii == max(sched.meta["span"], 1)
+
+    def test_valid_on_recurrent_loop(self, recurrent_ddg, resources):
+        sched = schedule_sequential_fallback(recurrent_ddg, resources)
+        validate_schedule(sched, resources)
+
+    def test_ii_at_least_tms(self, fig1_ddg, fig1_machine, arch):
+        """SEQ has no overlap: its II can never beat the real schedulers."""
+        seq = schedule_sequential_fallback(fig1_ddg, fig1_machine)
+        tms = schedule_tms(fig1_ddg, fig1_machine, arch)
+        assert seq.ii >= tms.ii
+
+
+class TestWatchdog:
+    def test_zero_budget_raises_budget_exceeded(self, fig1_ddg,
+                                                fig1_machine, arch):
+        cfg = SchedulerConfig(max_schedule_seconds=0.0)
+        with pytest.raises(SchedulingBudgetExceeded):
+            schedule_tms(fig1_ddg, fig1_machine, arch, cfg)
+
+    def test_budget_exceeded_is_scheduling_error(self):
+        assert issubclass(SchedulingBudgetExceeded, SchedulingError)
+
+    def test_generous_budget_schedules_normally(self, fig1_ddg,
+                                                fig1_machine, arch):
+        cfg = SchedulerConfig(max_schedule_seconds=60.0)
+        sched = schedule_tms(fig1_ddg, fig1_machine, arch, cfg)
+        assert sched.algorithm == "TMS"
+        assert "degraded_from" not in sched.meta
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(MachineError):
+            SchedulerConfig(max_schedule_seconds=-1.0)
+
+
+class TestDegradationChain:
+    def test_no_degradation_when_tms_succeeds(self, fig1_ddg, fig1_machine,
+                                              arch):
+        sched = schedule_with_degradation(fig1_ddg, fig1_machine, arch)
+        assert sched.algorithm == "TMS"
+        assert "degraded_from" not in sched.meta
+
+    def test_exhausted_budget_degrades_to_sms(self, fig1_ddg, fig1_machine,
+                                              arch):
+        counter = metrics.counter(
+            "sched.degraded",
+            "schedules produced by a degradation fallback")
+        before = counter.value
+        cfg = SchedulerConfig(max_schedule_seconds=0.0)
+        sched = schedule_with_degradation(fig1_ddg, fig1_machine, arch, cfg)
+        assert sched.meta["degraded_from"] == "TMS"
+        assert sched.meta["degraded_to"] == "SMS"
+        assert "degradation_reason" in sched.meta
+        assert sched.algorithm == "SMS"
+        validate_schedule(sched, fig1_machine)
+        assert counter.value == before + 1
+
+    def test_watchdog_metric_increments(self, fig1_ddg, fig1_machine, arch):
+        counter = metrics.counter(
+            "tms.watchdog_fires", "TMS watchdog deadline expiries")
+        before = counter.value
+        cfg = SchedulerConfig(max_schedule_seconds=0.0)
+        schedule_with_degradation(fig1_ddg, fig1_machine, arch, cfg)
+        assert counter.value > before
+
+    def test_degraded_schedule_still_simulates(self, fig1_ddg, fig1_machine,
+                                               arch):
+        from repro.config import SimConfig
+        from repro.sched import run_postpass
+        from repro.spmt import simulate
+        cfg = SchedulerConfig(max_schedule_seconds=0.0)
+        sched = schedule_with_degradation(fig1_ddg, fig1_machine, arch, cfg)
+        pipelined = run_postpass(sched, arch)
+        stats = simulate(pipelined, arch, SimConfig(iterations=50))
+        assert stats.total_cycles > 0

@@ -163,6 +163,97 @@ def test_max_disk_mb_validation():
         ArtifactCache(max_disk_mb=-1)
 
 
+def _hammer_writes(disk_dir, key, worker, n):
+    """Worker: repeatedly overwrite `key` with self-identifying payloads."""
+    cache = ArtifactCache(maxsize=2, disk_dir=disk_dir)
+    for i in range(n):
+        cache.put(key, {"worker": worker, "i": i, "pad": b"x" * 4096})
+
+
+def test_concurrent_writers_never_expose_torn_entry(tmp_path):
+    """Many processes racing os.replace on one key: every read taken
+    during the race is a complete value from *some* writer, never a
+    torn pickle."""
+    import multiprocessing
+    ctx = multiprocessing.get_context("spawn")
+    procs = [ctx.Process(target=_hammer_writes,
+                         args=(str(tmp_path), "abcd", w, 40))
+             for w in range(3)]
+    for p in procs:
+        p.start()
+    reader = ArtifactCache(maxsize=1, disk_dir=tmp_path)
+    torn = 0
+    seen = 0
+    while any(p.is_alive() for p in procs):
+        reader.clear()                     # force the disk tier
+        value = reader.get("abcd")
+        if value is not MISS:
+            seen += 1
+            assert set(value) == {"worker", "i", "pad"}
+        torn = reader.stats.disk_errors
+    for p in procs:
+        p.join()
+    assert torn == 0
+    assert seen > 0
+    final = ArtifactCache(disk_dir=tmp_path).get("abcd")
+    assert final is not MISS and final["i"] == 39
+
+
+def _write_and_die(disk_dir, key):
+    """Worker killed mid-write: open the temp file, write half a pickle,
+    then hard-exit before the atomic rename."""
+    import pickle as _pickle
+    cache = ArtifactCache(disk_dir=disk_dir)
+    path = cache._disk_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = _pickle.dumps({"big": b"y" * 65536})
+    (path.parent / "killed.tmp").write_bytes(payload[: len(payload) // 2])
+    os._exit(9)  # simulated SIGKILL: no cleanup, no rename
+
+
+def test_kill_mid_write_leaves_valid_or_miss(tmp_path):
+    """A writer dying before os.replace leaves only a temp file: readers
+    see MISS (not corruption), and a later write still round-trips."""
+    import multiprocessing
+    ctx = multiprocessing.get_context("spawn")
+    p = ctx.Process(target=_write_and_die, args=(str(tmp_path), "ab77"))
+    p.start()
+    p.join()
+    assert p.exitcode == 9
+    reader = ArtifactCache(disk_dir=tmp_path)
+    assert reader.get("ab77") is MISS
+    assert reader.stats.disk_errors == 0       # MISS, not corruption
+    reader.put("ab77", "recovered")
+    assert ArtifactCache(disk_dir=tmp_path).get("ab77") == "recovered"
+
+
+def test_stale_tmp_swept_on_init(tmp_path):
+    (tmp_path / "ab").mkdir()
+    stale = tmp_path / "ab" / "orphan.tmp"
+    stale.write_bytes(b"half a pickle")
+    old = os.stat(stale).st_mtime - 7200
+    os.utime(stale, (old, old))
+    fresh = tmp_path / "ab" / "inflight.tmp"
+    fresh.write_bytes(b"live writer's temp")
+    ArtifactCache(disk_dir=tmp_path)          # init sweeps
+    assert not stale.exists()                 # old orphan removed
+    assert fresh.exists()                     # recent temp untouched
+
+
+def test_sweep_returns_removed_count(tmp_path):
+    (tmp_path / "cd").mkdir(parents=True)
+    for name in ("a.tmp", "b.tmp"):
+        f = tmp_path / "cd" / name
+        f.write_bytes(b"junk")
+        os.utime(f, (1000, 1000))
+    cache = ArtifactCache(disk_dir=tmp_path)  # init already swept both
+    assert cache._sweep_stale_tmps() == 0
+    f = tmp_path / "cd" / "c.tmp"
+    f.write_bytes(b"junk")
+    os.utime(f, (1000, 1000))
+    assert cache._sweep_stale_tmps() == 1
+
+
 def test_session_resolves_cache_max_mb_env(tmp_path, monkeypatch):
     from repro.session import Session
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
