@@ -18,8 +18,14 @@ from typing import Any, Mapping
 
 from .errors import MachineError
 
-__all__ = ["ArchConfig", "SchedulerConfig", "SimConfig",
+__all__ = ["ArchConfig", "KNOWN_POLICIES", "SchedulerConfig", "SimConfig",
            "coerce_field_value", "config_field_types", "replace_config"]
+
+#: scheduling policies selectable via ``SchedulerConfig.policy`` (and the
+#: ``--policy`` CLI flag / ``sched.policy`` DSE dimension).  Each names the
+#: first rung of the degradation chain in
+#: :func:`repro.sched.degrade.schedule_with_degradation`.
+KNOWN_POLICIES: tuple[str, ...] = ("tms", "sms", "ims", "seq")
 
 
 @dataclass(frozen=True)
@@ -168,6 +174,13 @@ class SchedulerConfig:
         :class:`~repro.errors.SchedulingBudgetExceeded`, which
         :func:`repro.sched.degrade.schedule_with_degradation` turns into a
         TMS -> SMS -> sequential fallback instead of a hang.
+    policy:
+        First rung of the degradation chain (one of
+        :data:`KNOWN_POLICIES`): ``"tms"`` (the default) runs the full
+        TMS -> SMS -> IMS -> SEQ ladder; ``"sms"``/``"ims"``/``"seq"``
+        start further down, scheduling with the named baseline instead of
+        TMS (useful for ablations and the ``sched.policy`` DSE
+        dimension).
     """
 
     p_max: float = 0.05
@@ -179,10 +192,15 @@ class SchedulerConfig:
     speculation: bool = True
     include_reg_anti_deps: bool = False
     max_schedule_seconds: float | None = None
+    policy: str = "tms"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.p_max <= 1.0:
             raise MachineError(f"p_max must be in [0, 1], got {self.p_max}")
+        if self.policy not in KNOWN_POLICIES:
+            raise MachineError(
+                f"policy must be one of {KNOWN_POLICIES}, got "
+                f"{self.policy!r}")
         if self.max_ii_factor < 1.0:
             raise MachineError("max_ii_factor must be >= 1.0")
         if self.max_candidates < 1:
@@ -281,6 +299,9 @@ def coerce_field_value(cls: type, name: str, value: Any) -> Any:
     if expected is bool and not isinstance(value, bool):
         raise MachineError(
             f"{cls.__name__}.{name} expects a bool, got {value!r}")
+    if expected is str and not isinstance(value, str):
+        raise MachineError(
+            f"{cls.__name__}.{name} expects a string, got {value!r}")
     return value
 
 

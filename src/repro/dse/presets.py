@@ -5,8 +5,10 @@ a ``space`` table plus base-settings defaults the CLI can still
 override.  ``paper-cores`` is the paper's 2/4/8-core scaling sweep over
 the Table-3 DOACROSS loops; ``paper-comm`` sweeps the scalar operand
 network's SEND/RECV latency (Section 5's sensitivity axis);
-``paper-overheads`` walks the spawn/commit/squash cost space; ``pmax``
-replays the Section 5.2 ``P_max`` ablation as a sweep; ``synthetic-pm``
+``paper-overheads`` walks the spawn/commit/squash cost space;
+``policies`` sweeps the scheduling policy itself (IMS/SMS/TMS via
+``sched.policy``); ``pmax`` replays the Section 5.2 ``P_max`` ablation
+as a sweep; ``synthetic-pm``
 explores the misspeculation probability ``P_M`` of a synthetic DOACROSS
 population jointly with the core count, using the adaptive strategy.
 """
@@ -43,6 +45,13 @@ PRESETS: dict[str, dict[str, Any]] = {
         "suite": "table3",
         "strategy": "random",
         "trials": 10,
+    },
+    "policies": {
+        "description": "scheduling-policy ablation: IMS vs SMS vs TMS "
+                       "placement on the Table-3 loops",
+        "space": {"sched.policy": ["ims", "sms", "tms"]},
+        "suite": "table3",
+        "strategy": "grid",
     },
     "pmax": {
         "description": "TMS P_max pruning-bound sweep (Section 5.2)",

@@ -1,18 +1,19 @@
 """``tms-experiments compile`` — run the full compiler flow on a user loop.
 
 Takes a DSL file (see :mod:`repro.ir.dsl`), profiles it, builds the DDG,
-schedules with SMS and TMS, prints the schedules / thread program /
-simulated performance, and optionally dumps everything as JSON.
+schedules with the requested policies (``--policy``, default SMS and
+TMS), prints the schedules / thread program / simulated performance, and
+optionally dumps everything as JSON.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
 from pathlib import Path
 
-from ..config import ArchConfig, SchedulerConfig, SimConfig
+from ..config import KNOWN_POLICIES, ArchConfig, SchedulerConfig, SimConfig
 from ..costmodel import achieved_c_delay, estimate_execution_time
+from ..errors import MachineError
 from ..graph import build_ddg
 from ..ir import parse_loop, unroll_loop
 from ..machine import LatencyModel, ResourceModel
@@ -20,21 +21,44 @@ from ..sched import (
     allocate_registers,
     generate_thread_program,
     run_postpass,
-    schedule_sms,
-    schedule_tms,
+    schedule_with_policy,
 )
 from ..spmt import simulate, simulate_sequential
 from ..workloads import profile_memory_dependences
 
-__all__ = ["compile_report", "run_compile_command"]
+__all__ = ["compile_report", "parse_policies", "run_compile_command"]
+
+#: policies ``compile`` runs when ``--policy`` is not given.
+DEFAULT_POLICIES: tuple[str, ...] = ("sms", "tms")
+
+
+def parse_policies(spec: str) -> tuple[str, ...]:
+    """Parse a comma-separated ``--policy`` value against
+    :data:`KNOWN_POLICIES` (order- and duplicate-preserving)."""
+    names = tuple(p.strip().lower() for p in spec.split(",") if p.strip())
+    if not names:
+        raise MachineError("--policy needs at least one policy name")
+    for name in names:
+        if name not in KNOWN_POLICIES:
+            raise MachineError(
+                f"unknown policy {name!r}; choose from "
+                f"{', '.join(KNOWN_POLICIES)}")
+    return names
 
 
 def compile_report(source: str, *, arch: ArchConfig | None = None,
                    config: SchedulerConfig | None = None,
                    iterations: int = 1000,
                    unroll: int = 1,
-                   profile_iterations: int = 512) -> dict:
-    """Compile DSL ``source`` end to end; return a JSON-able report."""
+                   profile_iterations: int = 512,
+                   policies: tuple[str, ...] = DEFAULT_POLICIES) -> dict:
+    """Compile DSL ``source`` end to end; return a JSON-able report.
+
+    ``policies`` names the schedulers to run (see
+    :data:`~repro.config.KNOWN_POLICIES`); each gets an
+    ``report["algorithms"]`` entry.  When both SMS and TMS run, the
+    headline ``tms_speedup_over_sms`` ratio is included.
+    """
     arch = arch or ArchConfig.paper_default()
     resources = ResourceModel.default(arch.issue_width)
     latency = LatencyModel.for_arch(arch)
@@ -49,6 +73,7 @@ def compile_report(source: str, *, arch: ArchConfig | None = None,
     report: dict = {
         "loop": loop.name,
         "instructions": len(loop),
+        "policies": list(policies),
         "profiled_dependences": [
             {"producer": p, "consumer": c, "distance": d, "probability": prob}
             for (p, c, d), prob in sorted(probs.items())
@@ -59,8 +84,8 @@ def compile_report(source: str, *, arch: ArchConfig | None = None,
     report["single_threaded_cycles_per_iteration"] = \
         seq.total_cycles / iterations
 
-    for name, sched in (("sms", schedule_sms(ddg, resources, config)),
-                        ("tms", schedule_tms(ddg, resources, arch, config))):
+    for name in policies:
+        sched = schedule_with_policy(ddg, resources, arch, name, config)
         pipelined = run_postpass(sched, arch)
         stats = simulate(pipelined, arch, SimConfig(iterations=iterations))
         alloc = allocate_registers(sched)
@@ -83,12 +108,13 @@ def compile_report(source: str, *, arch: ArchConfig | None = None,
                 seq.total_cycles / stats.total_cycles,
             "thread_program": generate_thread_program(pipelined).listing(),
         }
-    tms = report["algorithms"]["tms"]
-    sms = report["algorithms"]["sms"]
-    report["tms_speedup_over_sms"] = (
-        sms["simulated_cycles_per_iteration"]
-        / tms["simulated_cycles_per_iteration"]
-        if tms["simulated_cycles_per_iteration"] else 1.0)
+    if "sms" in report["algorithms"] and "tms" in report["algorithms"]:
+        tms = report["algorithms"]["tms"]
+        sms = report["algorithms"]["sms"]
+        report["tms_speedup_over_sms"] = (
+            sms["simulated_cycles_per_iteration"]
+            / tms["simulated_cycles_per_iteration"]
+            if tms["simulated_cycles_per_iteration"] else 1.0)
     return report
 
 
@@ -103,8 +129,7 @@ def render_compile_report(report: dict, *, show_program: bool = True) -> str:
     lines.append(
         f"single-threaded: "
         f"{report['single_threaded_cycles_per_iteration']:.2f} cyc/iter")
-    for name in ("sms", "tms"):
-        a = report["algorithms"][name]
+    for name, a in report["algorithms"].items():
         lines.append(
             f"{name.upper()}: II={a['ii']} stages={a['stages']} "
             f"C_delay={a['c_delay']:.1f} regs={a['registers']} "
@@ -112,20 +137,28 @@ def render_compile_report(report: dict, *, show_program: bool = True) -> str:
             f"{a['simulated_cycles_per_iteration']:.2f} cyc/iter, "
             f"misspec {100 * a['misspec_frequency']:.3f}%, "
             f"{a['speedup_vs_single_threaded']:.2f}x vs single-threaded")
-    lines.append(f"TMS speedup over SMS: "
-                 f"{report['tms_speedup_over_sms']:.2f}x")
+    if "tms_speedup_over_sms" in report:
+        lines.append(f"TMS speedup over SMS: "
+                     f"{report['tms_speedup_over_sms']:.2f}x")
     if show_program:
-        lines.append("")
-        lines.append(report["algorithms"]["tms"]["thread_program"])
+        # the most capable policy's thread program (they are listed in
+        # --policy order; prefer tms when present)
+        algs = report["algorithms"]
+        best = "tms" if "tms" in algs else next(reversed(algs), None)
+        if best is not None:
+            lines.append("")
+            lines.append(algs[best]["thread_program"])
     return "\n".join(lines)
 
 
 def run_compile_command(path: str, *, cores: int = 4, iterations: int = 1000,
-                        unroll: int = 1, json_out: str | None = None) -> int:
+                        unroll: int = 1, json_out: str | None = None,
+                        policy: str | None = None) -> int:
     source = Path(path).read_text()
     arch = ArchConfig.paper_default().with_cores(cores)
+    policies = parse_policies(policy) if policy else DEFAULT_POLICIES
     report = compile_report(source, arch=arch, iterations=iterations,
-                            unroll=unroll)
+                            unroll=unroll, policies=policies)
     print(render_compile_report(report))
     if json_out:
         Path(json_out).write_text(json.dumps(report, indent=2))

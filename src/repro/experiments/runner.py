@@ -72,6 +72,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="unroll factor (thread granularity)")
     comp.add_argument("--json", dest="json_out", default=None,
                       help="also write the full report as JSON")
+    comp.add_argument("--policy", default=None,
+                      help="comma-separated scheduling policies to run "
+                           "(tms, sms, ims, seq; default: sms,tms)")
     val = sub.add_parser(
         "validate", help="compare the Section 4.2 cost model against the "
                          "simulator per kernel and report aggregate MAPE")
@@ -207,7 +210,8 @@ def main(argv: list[str] | None = None) -> int:
         ns = _build_parser().parse_args(raw)
         return run_compile_command(ns.path, cores=ns.cores,
                                    iterations=ns.iterations,
-                                   unroll=ns.unroll, json_out=ns.json_out)
+                                   unroll=ns.unroll, json_out=ns.json_out,
+                                   policy=ns.policy)
     if raw and raw[0] == "validate":
         return _run_validate_command(_build_parser().parse_args(raw))
     if raw and raw[0] == "dse":

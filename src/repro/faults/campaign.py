@@ -140,6 +140,9 @@ def run_chaos(arch: ArchConfig | None = None,
             continue
         kernel = comp.name
         pipelined = comp.tms.pipelined
+        # which rung of the degradation chain produced the schedule the
+        # campaign actually stresses ("tms" unless the loop degraded)
+        policy = comp.tms.schedule.meta.get("policy", "tms")
 
         # clean baseline: the slowdown reference for this kernel
         base_seed = derive_seed(seed, kernel, "baseline")
@@ -169,6 +172,7 @@ def run_chaos(arch: ArchConfig | None = None,
                 benchmark=benchmark,
                 scenario=scenario,
                 plan="" if scenario == "baseline" else scenario,
+                policy=policy,
                 seed=run_seed,
                 iterations=iterations,
                 total_cycles=stats.total_cycles,

@@ -29,7 +29,9 @@ __all__ = [
 ]
 
 #: Schema version written into every chaos report dict.
-SCHEMA_VERSION = 1
+#: v2: rows gained "policy" (the scheduling policy that produced the
+#: kernel's final schedule, from the degradation chain's meta).
+SCHEMA_VERSION = 2
 
 #: Golden schema of :meth:`ChaosReport.to_dict`: required keys and their
 #: types, with ``rows[*]`` and ``summary`` described one level deep.
@@ -44,6 +46,7 @@ CHAOS_REPORT_SCHEMA: dict[str, Any] = {
         "benchmark": str,
         "scenario": str,
         "plan": str,
+        "policy": str,
         "seed": int,
         "iterations": int,
         "total_cycles": float,
@@ -84,6 +87,7 @@ class ChaosRow:
     squashed_threads: int
     wasted_execution_cycles: float
     sync_stall_cycles: float
+    policy: str = "tms"       #: policy that produced the final schedule
     injected: dict[str, int] = field(default_factory=dict)
     findings: tuple[str, ...] = ()   #: sanitizer findings, rendered
     slowdown: float = 1.0            #: total_cycles / baseline total_cycles
@@ -99,6 +103,7 @@ class ChaosRow:
             "benchmark": self.benchmark,
             "scenario": self.scenario,
             "plan": self.plan,
+            "policy": self.policy,
             "seed": self.seed,
             "iterations": self.iterations,
             "total_cycles": self.total_cycles,

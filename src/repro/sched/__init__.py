@@ -1,5 +1,9 @@
 """Modulo schedulers and scheduling support.
 
+* :mod:`repro.sched.engine` — the unified placement engine: incremental
+  partial schedules, memoized dependence windows, and the pluggable
+  :class:`~repro.sched.engine.SlotPolicy` protocol every scheduler here
+  runs on (see ``docs/scheduling.md``).
 * :mod:`repro.sched.schedule` — the :class:`Schedule` produced by every
   scheduler: absolute issue slots, stages, kernel rows, kernel distances
   (Definition 1), and a validator.
@@ -11,6 +15,8 @@
   contribution, Figure 3).
 * :mod:`repro.sched.ims` — Rau's iterative modulo scheduling, an extra
   baseline.
+* :mod:`repro.sched.degrade` — the TMS -> SMS -> IMS -> SEQ degradation
+  chain and policy dispatch (``SchedulerConfig.policy``).
 * :mod:`repro.sched.listsched` — acyclic list scheduling for the
   single-threaded comparison (Figure 5).
 * :mod:`repro.sched.postpass` — modulo variable expansion (register
@@ -19,12 +25,27 @@
   replays a schedule against the reference interpreter.
 """
 
+import warnings
+
 from .schedule import Schedule, validate_schedule
-from .ordering import compute_node_order, partition_into_sets
+from .engine import (
+    EngineContext,
+    HookPolicy,
+    PartialSchedule,
+    PlacementEngine,
+    SlotPolicy,
+    TMSPolicy,
+    WindowService,
+)
 from .sms import SwingModuloScheduler, schedule_sms
 from .tms import ThreadSensitiveScheduler, schedule_tms
 from .ims import IterativeModuloScheduler, schedule_ims
 from .huff import HuffModuloScheduler, schedule_huff
+from .degrade import (
+    schedule_sequential_fallback,
+    schedule_with_degradation,
+    schedule_with_policy,
+)
 from .listsched import ListSchedule, list_schedule
 from .postpass import CommPlan, PipelinedLoop, run_postpass
 from .maxlive import max_live
@@ -34,28 +55,56 @@ from .viz import flat_schedule_chart, kernel_gantt, thread_timeline
 
 __all__ = [
     "CommPlan",
+    "EngineContext",
+    "HookPolicy",
     "HuffModuloScheduler",
     "IterativeModuloScheduler",
     "ListSchedule",
+    "PartialSchedule",
     "PipelinedLoop",
+    "PlacementEngine",
     "RegisterAllocation",
     "Schedule",
+    "SlotPolicy",
     "SwingModuloScheduler",
+    "TMSPolicy",
     "ThreadProgram",
     "ThreadSensitiveScheduler",
-    "compute_node_order",
+    "WindowService",
+    "allocate_registers",
+    "flat_schedule_chart",
     "generate_thread_program",
+    "kernel_gantt",
     "list_schedule",
     "max_live",
-    "partition_into_sets",
     "run_postpass",
     "schedule_huff",
     "schedule_ims",
+    "schedule_sequential_fallback",
     "schedule_sms",
-    "allocate_registers",
     "schedule_tms",
-    "validate_schedule",
-    "flat_schedule_chart",
-    "kernel_gantt",
+    "schedule_with_degradation",
+    "schedule_with_policy",
     "thread_timeline",
+    "validate_schedule",
 ]
+
+#: ordering internals previously re-exported here; import them from
+#: :mod:`repro.sched.ordering` instead.
+_DEPRECATED = {
+    "compute_node_order": "repro.sched.ordering",
+    "partition_into_sets": "repro.sched.ordering",
+}
+
+
+def __getattr__(name: str):
+    home = _DEPRECATED.get(name)
+    if home is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"importing {name!r} from {__name__!r} is deprecated; "
+        f"import it from {home!r}",
+        DeprecationWarning, stacklevel=2)
+    from . import ordering
+    return getattr(ordering, name)

@@ -13,6 +13,13 @@ degradation chain the pipeline routes through:
    ``II = span``: no inter-iteration overlap, trivially valid, always
    succeeds.
 
+``SchedulerConfig.policy`` names the chain's first rung (one of
+:data:`repro.config.KNOWN_POLICIES`), so the same driver sweeps the
+baseline schedulers by config alone — the ``sched.policy`` DSE dimension
+and the ``--policy`` CLI flag ride on this.  Every schedule the chain
+returns carries ``meta["policy"]`` naming the rung that actually
+produced it.
+
 Each step down the chain publishes the ``sched.degraded`` metric, emits a
 ``sched.degraded`` trace event, and stamps the schedule's ``meta`` with
 ``degraded_from``/``degraded_to`` so reports can surface the loss of
@@ -21,7 +28,7 @@ fidelity instead of silently absorbing it.
 
 from __future__ import annotations
 
-from ..config import ArchConfig, SchedulerConfig
+from ..config import KNOWN_POLICIES, ArchConfig, SchedulerConfig
 from ..errors import SchedulingError
 from ..graph.ddg import DDG
 from ..machine.resources import ResourceModel
@@ -33,7 +40,11 @@ from .schedule import Schedule, validate_schedule
 from .sms import SwingModuloScheduler
 from .tms import ThreadSensitiveScheduler
 
-__all__ = ["schedule_sequential_fallback", "schedule_with_degradation"]
+__all__ = ["schedule_sequential_fallback", "schedule_with_degradation",
+           "schedule_with_policy"]
+
+#: the degradation ladder, most to least capable.
+_LADDER: tuple[str, ...] = ("tms", "sms", "ims", "seq")
 
 
 def schedule_sequential_fallback(ddg: DDG,
@@ -54,54 +65,76 @@ def schedule_sequential_fallback(ddg: DDG,
     return sched
 
 
+def _rung_builders(ddg: DDG, resources: ResourceModel, arch: ArchConfig,
+                   config: SchedulerConfig):
+    return {
+        "tms": lambda: ThreadSensitiveScheduler(
+            ddg, resources, arch, config).schedule(),
+        "sms": lambda: SwingModuloScheduler(
+            ddg, resources, config).schedule(),
+        "ims": lambda: IterativeModuloScheduler(
+            ddg, resources, config).schedule(),
+        "seq": lambda: schedule_sequential_fallback(ddg, resources),
+    }
+
+
+def schedule_with_policy(ddg: DDG, resources: ResourceModel,
+                         arch: ArchConfig, policy: str | None = None,
+                         config: SchedulerConfig | None = None) -> Schedule:
+    """Schedule with exactly the named policy — no degradation.
+
+    ``policy`` defaults to ``config.policy``.  Raises
+    :class:`SchedulingError` if the named scheduler fails (use
+    :func:`schedule_with_degradation` for a never-fail chain).  The
+    result carries ``meta["policy"]``.
+    """
+    config = config or SchedulerConfig()
+    name = (policy if policy is not None else config.policy).lower()
+    if name not in KNOWN_POLICIES:
+        raise SchedulingError(
+            f"unknown scheduling policy {name!r}; known: {KNOWN_POLICIES}")
+    sched = _rung_builders(ddg, resources, arch, config)[name]()
+    sched.meta["policy"] = name
+    return sched
+
+
 def schedule_with_degradation(ddg: DDG, resources: ResourceModel,
                               arch: ArchConfig,
                               config: SchedulerConfig | None = None
                               ) -> Schedule:
-    """TMS with graceful degradation; never hangs, never raises
-    :class:`SchedulingError` for a well-formed DDG.
+    """``config.policy`` with graceful degradation; never hangs, never
+    raises :class:`SchedulingError` for a well-formed DDG.
 
-    Returns the first schedule the chain produces.  A degraded result
-    carries ``meta["degraded_from"] == "TMS"`` and
-    ``meta["degraded_to"]`` naming the rung that succeeded.
+    Returns the first schedule the chain produces, with
+    ``meta["policy"]`` naming the rung that succeeded.  A degraded result
+    additionally carries ``meta["degraded_from"]`` (the requested rung,
+    e.g. ``"TMS"``) and ``meta["degraded_to"]`` naming the rung that
+    succeeded.
     """
     config = config or SchedulerConfig()
+    first = config.policy  # validated against KNOWN_POLICIES on construction
+    ladder = _LADDER[_LADDER.index(first):]
+    builders = _rung_builders(ddg, resources, arch, config)
     failures: list[str] = []
-
-    def _attempt(name: str, build) -> Schedule | None:
+    for name in ladder:
         try:
-            return build()
+            sched = builders[name]()
         except SchedulingError as exc:
-            failures.append(f"{name}: {exc}")
-            return None
-
-    sched = _attempt("TMS", lambda: ThreadSensitiveScheduler(
-        ddg, resources, arch, config).schedule())
-    if sched is not None:
-        return sched
-
-    chain = (
-        ("SMS", lambda: SwingModuloScheduler(
-            ddg, resources, config).schedule()),
-        ("IMS", lambda: IterativeModuloScheduler(
-            ddg, resources, config).schedule()),
-        ("SEQ", lambda: schedule_sequential_fallback(ddg, resources)),
-    )
-    for name, build in chain:
-        sched = _attempt(name, build)
-        if sched is None:
+            failures.append(f"{name.upper()}: {exc}")
             continue
-        sched.meta["degraded_from"] = "TMS"
-        sched.meta["degraded_to"] = name
-        sched.meta["degradation_reason"] = failures[0]
-        metrics.counter(
-            "sched.degraded",
-            "schedules produced by a degradation fallback").inc()
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.emit("sched", "sched.degraded", loop=ddg.name,
-                        degraded_from="TMS", degraded_to=name,
-                        reason=failures[0])
+        sched.meta["policy"] = name
+        if failures:
+            sched.meta["degraded_from"] = first.upper()
+            sched.meta["degraded_to"] = name.upper()
+            sched.meta["degradation_reason"] = failures[0]
+            metrics.counter(
+                "sched.degraded",
+                "schedules produced by a degradation fallback").inc()
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.emit("sched", "sched.degraded", loop=ddg.name,
+                            degraded_from=first.upper(),
+                            degraded_to=name.upper(), reason=failures[0])
         return sched
     raise SchedulingError(
         f"every degradation rung failed on {ddg.name!r}: "

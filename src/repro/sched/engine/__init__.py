@@ -1,0 +1,26 @@
+"""Unified modulo-scheduling engine.
+
+One placement core — incremental partial schedules, memoized dependence
+windows, pluggable slot policies — that IMS, SMS and TMS are thin policy
+instances over.  See :mod:`repro.sched.engine.core` for the two
+placement disciplines and ``docs/scheduling.md`` for the architecture.
+"""
+
+from .context import EngineContext
+from .core import PlacementEngine
+from .partial import LiveTracker, PartialSchedule
+from .policy import HookPolicy, SlotPolicy, TMSContext, TMSPolicy
+from .windows import WindowService, WindowTable
+
+__all__ = [
+    "EngineContext",
+    "HookPolicy",
+    "LiveTracker",
+    "PartialSchedule",
+    "PlacementEngine",
+    "SlotPolicy",
+    "TMSContext",
+    "TMSPolicy",
+    "WindowService",
+    "WindowTable",
+]

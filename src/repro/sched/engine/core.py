@@ -1,0 +1,266 @@
+"""The placement engine: one scheduling core for IMS, SMS and TMS.
+
+:class:`PlacementEngine` owns the machinery every modulo scheduler in
+this repo shares — the per-DDG :class:`EngineContext`, the memoized
+:class:`WindowService`, the incremental :class:`PartialSchedule` — and
+exposes the two placement disciplines on top of it:
+
+``try_place``
+    the restart discipline (SMS/TMS): walk a precomputed node order,
+    place each node at the best acceptable slot of its dependence
+    window, fail the whole attempt if any node has none.  *Which* slot
+    is best is the :class:`~repro.sched.engine.policy.SlotPolicy`'s
+    call.
+
+``run_backtracking``
+    the IMS discipline (Rau): repeatedly pick the highest-priority
+    unscheduled op; if its window has no conflict-free slot, force it in
+    and eject whoever conflicts, under a per-II budget.
+
+Both produce slot maps byte-identical to the seed implementations they
+replace — the golden-equivalence suite pins this on every paper kernel.
+The engine publishes ``sched.engine.*`` counters (attempts, placements,
+slot probes, window-table reuse) alongside the pre-existing ``sched.*``
+series, so ``--stats`` shows how much probing a search actually did.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ...graph.ddg import DDG
+from ...machine.resources import ResourceModel
+from ...obs import metrics
+from ...obs.events import get_tracer
+from .context import EngineContext
+from .partial import PartialSchedule
+from .policy import SlotPolicy
+from .windows import WindowService
+
+__all__ = ["PlacementEngine"]
+
+_FIRST_FIT = SlotPolicy()
+
+
+class PlacementEngine:
+    """Shared placement core over one DDG + resource model."""
+
+    def __init__(self, ddg: DDG, resources: ResourceModel,
+                 metrics_map=None) -> None:
+        self.ctx = EngineContext(ddg, resources, metrics_map)
+        self.windows = WindowService(self.ctx)
+
+    # -- restart discipline (SMS / TMS) -------------------------------------
+
+    def try_place(self, ii: int, order, directions: Mapping[str, str],
+                  policy: SlotPolicy | None = None, *, alg: str,
+                  seed_high: bool = False,
+                  track_live: bool = False) -> dict[str, int] | None:
+        """One placement attempt at ``ii`` over ``order``.
+
+        Each node is probed across its dependence window (scan direction
+        per its ordering ``directions``; unconstrained seeds anchor high
+        when ``seed_high``).  ``policy.accept`` may veto a conflict-free
+        slot; without ``policy.score`` the first acceptable slot wins
+        (SMS's lifetime-minimal strategy), with it the minimum-score slot
+        wins, ties to window order, short-circuiting at a perfect
+        ``score <= 0`` — how TMS "finds the time slot ... that leads to
+        the shortest synchronisation delay" (Section 4.1).
+
+        Returns the slot map, or ``None`` on failure.
+        """
+        if policy is None:
+            policy = _FIRST_FIT
+        tracer = get_tracer()
+        metrics.counter(
+            "sched.attempts",
+            "scheduling attempts (one try_ii call per II candidate)").inc()
+        metrics.counter(
+            "sched.engine.attempts",
+            "placement attempts run by the unified engine").inc()
+        table = self.windows.table(ii)
+        ps = PartialSchedule(self.ctx, ii, track_live=track_live)
+        partial = ps.slots
+        policy.begin_attempt(ps)
+        accept = policy.accept
+        score = policy.score
+        on_place = policy.on_place
+        loop_name = self.ctx.name
+        probes = 0
+        for v in order:
+            start, end, scan_down = table.window(
+                v, partial, directions.get(v, "top-down") == "bottom-up",
+                seed_high)
+            best_cycle: int | None = None
+            best_score = 0.0
+            if scan_down:
+                candidates = range(end, start - 1, -1)
+            else:
+                candidates = range(start, end + 1)
+            for cycle in candidates:
+                probes += 1
+                if not ps.fits(v, cycle):
+                    continue
+                if accept is not None and not accept(v, cycle, partial):
+                    continue
+                if score is None:
+                    best_cycle = cycle
+                    break
+                s = score(v, cycle, partial)
+                if best_cycle is None or s < best_score:
+                    best_cycle, best_score = cycle, s
+                    if s <= 0.0:
+                        break  # cannot do better than "no new sync at all"
+            if best_cycle is None:
+                if tracer.enabled:
+                    tracer.emit("sched", "place_fail", alg=alg,
+                                loop=loop_name, ii=ii, node=v)
+                metrics.counter(
+                    "sched.engine.slot_probes",
+                    "window slots probed by the unified engine").inc(probes)
+                return None
+            ps.place(v, best_cycle)
+            if tracer.enabled:
+                tracer.emit("sched", "place", alg=alg, loop=loop_name,
+                            ii=ii, node=v, cycle=best_cycle,
+                            row=best_cycle % ii, stage=best_cycle // ii)
+            if on_place is not None:
+                on_place(v, best_cycle, partial)
+        metrics.counter(
+            "sched.placements",
+            "nodes placed in completed scheduling attempts").inc(len(partial))
+        metrics.counter(
+            "sched.engine.slot_probes",
+            "window slots probed by the unified engine").inc(probes)
+        return partial
+
+    # -- backtracking discipline (IMS) ---------------------------------------
+
+    def run_backtracking(self, ii: int, budget: int,
+                         policy: SlotPolicy | None = None, *,
+                         alg: str = "IMS") -> dict[str, int] | None:
+        """One IMS attempt at ``ii`` under an eviction ``budget``.
+
+        Highest priority first (greatest height, then program order);
+        an op with no conflict-free window slot is forced into its
+        earliest dependence-legal slot (raised monotonically by
+        ``mintime`` to guarantee progress) and conflicting ops are
+        ejected — resource conflicts via :func:`_evict_conflicts`,
+        dependence violations by direct ejection of the offending
+        neighbours.
+        """
+        if policy is None:
+            policy = _FIRST_FIT
+        tracer = get_tracer()
+        metrics.counter(
+            "sched.attempts",
+            "scheduling attempts (one try_ii call per II candidate)").inc()
+        metrics.counter(
+            "sched.engine.attempts",
+            "placement attempts run by the unified engine").inc()
+        ctx = self.ctx
+        table = self.windows.table(ii)
+        pred = table.pred
+        succ = table.succ
+        self_blocked = table.self_blocked
+        priority = ctx.priority
+        loop_name = ctx.name
+        ps = PartialSchedule(ctx, ii)
+        placed = ps.slots
+        policy.begin_attempt(ps)
+        on_eject = policy.on_eject
+        n_nodes = len(ctx.node_names)
+        never_scheduled = set(ctx.node_names)
+        # mintime: monotonically raised forced-start per node, guaranteeing
+        # termination progress.
+        mintime = {name: 0 for name in ctx.node_names}
+
+        while never_scheduled or len(placed) < n_nodes:
+            unsched = [n for n in ctx.node_names if n not in placed]
+            if not unsched:
+                break
+            if budget <= 0:
+                return None
+            budget -= 1
+            v = min(unsched, key=priority.__getitem__)
+            lo = table.estart(v, placed, mintime[v])
+            slot = None
+            if not self_blocked[v]:
+                preds_v = pred[v]
+                for cycle in range(lo, lo + ii):
+                    deps_ok = True
+                    for src, delta in preds_v:
+                        s = placed.get(src)
+                        if s is not None and cycle < s + delta:
+                            deps_ok = False
+                            break
+                    if deps_ok and ps.fits(v, cycle):
+                        slot = cycle
+                        break
+            if slot is None:
+                # force placement at the earliest dependence-legal slot,
+                # ejecting whoever conflicts.
+                slot = lo
+                if v not in never_scheduled and mintime[v] >= slot:
+                    slot = mintime[v] + 1
+                self._evict_conflicts(ps, v, slot, on_eject)
+                mintime[v] = slot
+            if v in placed:
+                ps.remove(v)
+            ps.place(v, slot)
+            never_scheduled.discard(v)
+            if tracer.enabled:
+                tracer.emit("sched", "place", alg=alg, loop=loop_name,
+                            ii=ii, node=v, cycle=slot, row=slot % ii,
+                            stage=slot // ii)
+            # eject dependence-violating already-placed neighbours
+            for dst, delta in succ[v]:
+                s = placed.get(dst)
+                if s is not None and s < slot - delta:
+                    ps.remove(dst)
+                    if on_eject is not None:
+                        on_eject(dst, placed)
+                    if tracer.enabled:
+                        tracer.emit("sched", "eject", alg=alg,
+                                    loop=loop_name, ii=ii, node=dst, by=v)
+            for src, delta in pred[v]:
+                s = placed.get(src)
+                if s is not None and slot < s + delta:
+                    ps.remove(src)
+                    if on_eject is not None:
+                        on_eject(src, placed)
+                    if tracer.enabled:
+                        tracer.emit("sched", "eject", alg=alg,
+                                    loop=loop_name, ii=ii, node=src, by=v)
+        metrics.counter(
+            "sched.placements",
+            "nodes placed in completed scheduling attempts").inc(len(placed))
+        return placed
+
+    @staticmethod
+    def _evict_conflicts(ps: PartialSchedule, v: str, slot: int,
+                         on_eject) -> None:
+        """Remove the minimum of already-placed ops blocking ``v`` at
+        ``slot``: first same-FU ops overlapping its reservation rows, then
+        (if the issue row is still full) arbitrary ops issuing in the same
+        row."""
+        placed = ps.slots
+        fu_v = ps.fu_index(v)
+        rows = set(ps.occupancy_rows(v, slot))
+        for name in list(placed):
+            if name == v or ps.fits(v, slot):
+                continue
+            if ps.fu_index(name) != fu_v:
+                continue
+            if rows & set(ps.occupancy_rows(name, placed[name])):
+                ps.remove(name)
+                if on_eject is not None:
+                    on_eject(name, placed)
+        ii = ps.ii
+        for name in list(placed):
+            if ps.fits(v, slot):
+                break
+            if name != v and placed[name] % ii == slot % ii:
+                ps.remove(name)
+                if on_eject is not None:
+                    on_eject(name, placed)

@@ -11,8 +11,9 @@ consumers as late as possible — which is what keeps value lifetimes short
 groups with SMS as "tightly scheduled" / "lifetime-minimal").
 
 When an op has no conflict-free slot in its window it is force-placed at
-its earliest bound and conflicting ops are ejected (same discipline as
-Rau's IMS), under a per-II budget.
+its earliest bound and conflicting ops are ejected (the same eviction
+discipline as Rau's IMS, shared via the unified engine's
+:class:`~repro.sched.engine.PlacementEngine`), under a per-II budget.
 """
 
 from __future__ import annotations
@@ -22,9 +23,8 @@ from ..errors import SchedulingError
 from ..graph.ddg import DDG
 from ..graph.mii import compute_mii
 from ..graph.paths import compute_metrics, longest_dependence_path
-from ..machine.reservation import ModuloReservationTable
 from ..machine.resources import ResourceModel
-from .ims import _deps_ok, _evict_conflicts
+from .engine import PartialSchedule, PlacementEngine
 from .schedule import Schedule, validate_schedule
 
 __all__ = ["HuffModuloScheduler", "schedule_huff"]
@@ -47,6 +47,7 @@ class HuffModuloScheduler:
         self.metrics = compute_metrics(ddg)
         self.mii = compute_mii(ddg, resources)
         self.ldp = longest_dependence_path(ddg)
+        self.engine = PlacementEngine(ddg, resources, self.metrics)
 
     def max_ii(self) -> int:
         base = max(self.mii, self.ldp)
@@ -96,60 +97,66 @@ class HuffModuloScheduler:
 
     def _try_ii(self, ii: int) -> dict[str, int] | None:
         budget = self.config.budget_ratio_ii * len(self.ddg) + 32
-        mrt = ModuloReservationTable(ii, self.resources)
-        placed: dict[str, int] = {}
-        force_floor: dict[str, int] = {n.name: -(10 ** 9)
-                                       for n in self.ddg.nodes}
+        ctx = self.engine.ctx
+        table = self.engine.windows.table(ii)
+        pred = table.pred
+        succ = table.succ
+        self_blocked = table.self_blocked
+        ps = PartialSchedule(ctx, ii)
+        placed = ps.slots
+        n_nodes = len(ctx.node_names)
+        force_floor: dict[str, int] = {n: -(10 ** 9) for n in ctx.node_names}
+        position = ctx.position
 
-        while len(placed) < len(self.ddg):
+        while len(placed) < n_nodes:
             if budget <= 0:
                 return None
             budget -= 1
             est, lst = self._bounds(ii, placed)
-            unplaced = [n.name for n in self.ddg.nodes if n.name not in placed]
+            unplaced = [n for n in ctx.node_names if n not in placed]
             # least dynamic slack first; ties by program order
-            v = min(unplaced, key=lambda n: (
-                lst[n] - est[n], self.ddg.node(n).position))
-            node = self.ddg.node(v)
+            v = min(unplaced, key=lambda n: (lst[n] - est[n], position[n]))
             lo, hi = est[v], lst[v]
             if hi < lo:
                 hi = lo + ii - 1  # inconsistent bounds: fall back to a window
             # bidirectional placement: ops anchored from above go early,
             # ops anchored from below go late
-            anchored_up = any(e.src in placed for e in self.ddg.preds(v))
-            anchored_down = any(e.dst in placed for e in self.ddg.succs(v))
+            preds_v = pred[v]
+            anchored_up = any(src in placed for src, _d in preds_v)
+            anchored_down = any(dst in placed for dst, _d in succ[v])
             candidates = range(lo, min(hi, lo + ii - 1) + 1)
             if anchored_down and not anchored_up:
                 candidates = reversed(list(candidates))
             slot = None
-            for cycle in candidates:
-                if cycle <= force_floor[v]:
-                    continue
-                if not _deps_ok(self.ddg, v, cycle, placed, ii):
-                    continue
-                if mrt.fits(v, node.opcode, cycle):
-                    slot = cycle
-                    break
+            if not self_blocked[v]:
+                for cycle in candidates:
+                    if cycle <= force_floor[v]:
+                        continue
+                    deps_ok = True
+                    for src, delta in preds_v:
+                        s = placed.get(src)
+                        if s is not None and cycle < s + delta:
+                            deps_ok = False
+                            break
+                    if deps_ok and ps.fits(v, cycle):
+                        slot = cycle
+                        break
             if slot is None:
                 slot = max(lo, force_floor[v] + 1)
-                _evict_conflicts(self.ddg, mrt, placed, v, node.opcode,
-                                 slot, ii)
+                PlacementEngine._evict_conflicts(ps, v, slot, None)
                 force_floor[v] = slot
-            if v in mrt:  # pragma: no cover - defensive
-                mrt.remove(v)
-            mrt.place(v, node.opcode, slot)
-            placed[v] = slot
+            if v in placed:  # pragma: no cover - defensive
+                ps.remove(v)
+            ps.place(v, slot)
             # eject dependence-violating already-placed neighbours
-            for e in self.ddg.succs(v):
-                if e.dst in placed and e.dst != v and \
-                        placed[e.dst] < slot + e.delay - ii * e.distance:
-                    mrt.remove(e.dst)
-                    del placed[e.dst]
-            for e in self.ddg.preds(v):
-                if e.src in placed and e.src != v and \
-                        slot < placed[e.src] + e.delay - ii * e.distance:
-                    mrt.remove(e.src)
-                    del placed[e.src]
+            for dst, delta in succ[v]:
+                s = placed.get(dst)
+                if s is not None and s < slot - delta:
+                    ps.remove(dst)
+            for src, delta in preds_v:
+                s = placed.get(src)
+                if s is not None and slot < s + delta:
+                    ps.remove(src)
         return placed
 
 

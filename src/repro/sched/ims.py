@@ -9,6 +9,10 @@ bumped.
 Included because the paper notes TMS "is not tied to any existing modulo
 scheduling algorithm"; the ablation bench compares TMS-on-SMS against plain
 IMS/SMS kernels on the SpMT machine.
+
+Placement runs on the unified engine: IMS is
+:meth:`repro.sched.engine.PlacementEngine.run_backtracking`, the engine's
+eviction discipline, under the default (first-fit, no-veto) policy.
 """
 
 from __future__ import annotations
@@ -18,10 +22,8 @@ from ..errors import SchedulingError
 from ..graph.ddg import DDG
 from ..graph.mii import compute_mii
 from ..graph.paths import compute_metrics, longest_dependence_path
-from ..machine.reservation import ModuloReservationTable
 from ..machine.resources import ResourceModel
-from ..obs import metrics
-from ..obs.events import get_tracer
+from .engine import PlacementEngine
 from .schedule import Schedule, validate_schedule
 
 __all__ = ["IterativeModuloScheduler", "schedule_ims"]
@@ -42,6 +44,7 @@ class IterativeModuloScheduler:
         self.metrics = compute_metrics(ddg)
         self.mii = compute_mii(ddg, resources)
         self.ldp = longest_dependence_path(ddg)
+        self.engine = PlacementEngine(ddg, resources, self.metrics)
 
     def max_ii(self) -> int:
         base = max(self.mii, self.ldp)
@@ -63,119 +66,9 @@ class IterativeModuloScheduler:
     # -- one attempt -----------------------------------------------------------
 
     def _try_ii(self, ii: int) -> dict[str, int] | None:
-        tracer = get_tracer()
-        metrics.counter(
-            "sched.attempts",
-            "scheduling attempts (one try_ii call per II candidate)").inc()
         budget = self.config.budget_ratio_ii * len(self.ddg) + 32
-        mrt = ModuloReservationTable(ii, self.resources)
-        placed: dict[str, int] = {}
-        never_scheduled = {n.name for n in self.ddg.nodes}
-        # mintime: monotonically raised forced-start per node, guaranteeing
-        # termination progress.
-        mintime: dict[str, int] = {n.name: 0 for n in self.ddg.nodes}
-
-        def estart(v: str) -> int:
-            e0 = mintime[v]
-            for e in self.ddg.preds(v):
-                if e.src in placed:
-                    e0 = max(e0, placed[e.src] + e.delay - ii * e.distance)
-            return e0
-
-        while never_scheduled or len(placed) < len(self.ddg):
-            unsched = [n.name for n in self.ddg.nodes if n.name not in placed]
-            if not unsched:
-                break
-            if budget <= 0:
-                return None
-            budget -= 1
-            # highest priority: greatest height, then program order
-            v = min(unsched, key=lambda n: (-self.metrics[n].height,
-                                            self.ddg.node(n).position))
-            node = self.ddg.node(v)
-            lo = estart(v)
-            slot = None
-            for cycle in range(lo, lo + ii):
-                if not _deps_ok(self.ddg, v, cycle, placed, ii):
-                    continue
-                if mrt.fits(v, node.opcode, cycle):
-                    slot = cycle
-                    break
-            if slot is None:
-                # force placement at the earliest dependence-legal slot,
-                # ejecting whoever conflicts.
-                slot = lo
-                if v not in never_scheduled and mintime[v] >= slot:
-                    slot = mintime[v] + 1
-                _evict_conflicts(self.ddg, mrt, placed, v, node.opcode, slot, ii)
-                mintime[v] = slot
-            if v in mrt:
-                mrt.remove(v)
-            mrt.place(v, node.opcode, slot)
-            placed[v] = slot
-            never_scheduled.discard(v)
-            if tracer.enabled:
-                tracer.emit("sched", "place", alg=self.algorithm_name,
-                            loop=self.ddg.name, ii=ii, node=v, cycle=slot,
-                            row=slot % ii, stage=slot // ii)
-            # eject dependence-violating already-placed neighbours
-            for e in self.ddg.succs(v):
-                if e.dst in placed and e.dst != v:
-                    if placed[e.dst] < slot + e.delay - ii * e.distance:
-                        mrt.remove(e.dst)
-                        del placed[e.dst]
-                        if tracer.enabled:
-                            tracer.emit("sched", "eject",
-                                        alg=self.algorithm_name,
-                                        loop=self.ddg.name, ii=ii,
-                                        node=e.dst, by=v)
-            for e in self.ddg.preds(v):
-                if e.src in placed and e.src != v:
-                    if slot < placed[e.src] + e.delay - ii * e.distance:
-                        mrt.remove(e.src)
-                        del placed[e.src]
-                        if tracer.enabled:
-                            tracer.emit("sched", "eject",
-                                        alg=self.algorithm_name,
-                                        loop=self.ddg.name, ii=ii,
-                                        node=e.src, by=v)
-        metrics.counter(
-            "sched.placements",
-            "nodes placed in completed scheduling attempts").inc(len(placed))
-        return placed
-
-
-def _deps_ok(ddg: DDG, v: str, cycle: int, placed: dict[str, int], ii: int) -> bool:
-    for e in ddg.preds(v):
-        if e.src in placed and cycle < placed[e.src] + e.delay - ii * e.distance:
-            return False
-        if e.src == v and e.delay - ii * e.distance > 0:
-            return False
-    return True
-
-
-def _evict_conflicts(ddg: DDG, mrt: ModuloReservationTable,
-                     placed: dict[str, int], v: str, opcode, slot: int,
-                     ii: int) -> None:
-    """Remove the minimum of already-placed ops blocking ``v`` at ``slot``:
-    first same-FU ops overlapping its reservation rows, then (if the issue
-    row is still full) arbitrary ops issuing in the same row."""
-    rows = set(mrt.occupancy_rows(opcode, slot))
-    for name in list(placed):
-        if name == v or mrt.fits(v, opcode, slot):
-            continue
-        other = ddg.node(name)
-        if other.opcode.fu_class != opcode.fu_class:
-            continue
-        if rows & set(mrt.occupancy_rows(other.opcode, placed[name])):
-            mrt.remove(name)
-            del placed[name]
-    for name in list(placed):
-        if mrt.fits(v, opcode, slot):
-            break
-        if name != v and placed[name] % ii == slot % ii:
-            mrt.remove(name)
-            del placed[name]
+        return self.engine.run_backtracking(ii, budget,
+                                            alg=self.algorithm_name)
 
 
 def schedule_ims(ddg: DDG, resources: ResourceModel,

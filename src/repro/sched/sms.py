@@ -11,8 +11,13 @@ The algorithm the paper implements in GCC 4.1.1 and extends into TMS:
 4. if any node cannot be placed, give up on this II and restart with
    ``II + 1``.
 
-The scheduling loop exposes an ``accept`` hook so TMS can reuse it verbatim
-with its extra slot-acceptance conditions (Figure 3's boxed lines).
+Placement runs on the unified engine
+(:class:`repro.sched.engine.PlacementEngine`): SMS is the engine's
+restart discipline under the default first-fit policy.  The ``accept`` /
+``on_place`` / ``score`` hooks of :meth:`try_ii` are kept for
+compatibility (and wrapped into a
+:class:`~repro.sched.engine.policy.HookPolicy`); TMS passes a full
+:class:`~repro.sched.engine.policy.SlotPolicy` via :meth:`try_policy`.
 """
 
 from __future__ import annotations
@@ -24,13 +29,10 @@ from ..errors import SchedulingError
 from ..graph.ddg import DDG
 from ..graph.mii import compute_mii
 from ..graph.paths import compute_metrics, longest_dependence_path
-from ..machine.reservation import ModuloReservationTable
 from ..machine.resources import ResourceModel
-from ..obs import metrics
-from ..obs.events import get_tracer
+from .engine import HookPolicy, PlacementEngine, SlotPolicy
 from .ordering import compute_node_order_with_directions
 from .schedule import Schedule, validate_schedule
-from .window import compute_window
 
 __all__ = ["SwingModuloScheduler", "schedule_sms"]
 
@@ -57,8 +59,9 @@ class SwingModuloScheduler:
             ddg, self.metrics)
         self.mii = compute_mii(ddg, resources)
         self.ldp = longest_dependence_path(ddg)
+        self.engine = PlacementEngine(ddg, resources, self.metrics)
         #: anchor unconstrained seeds at the top of their II range (TMS
-        #: sets this; see compute_window's seed_high).
+        #: sets this; see the window table's seed_high).
         self.seed_high = False
 
     # -- public API -----------------------------------------------------------
@@ -85,6 +88,14 @@ class SwingModuloScheduler:
 
     # -- one scheduling attempt ------------------------------------------------
 
+    def try_policy(self, ii: int,
+                   policy: SlotPolicy | None = None) -> dict[str, int] | None:
+        """Attempt a schedule at the given II under ``policy`` (first-fit
+        when None).  Returns the slot map, or None on failure."""
+        return self.engine.try_place(ii, self.order, self.order_directions,
+                                     policy, alg=self.algorithm_name,
+                                     seed_high=self.seed_high)
+
     def try_ii(self, ii: int, accept: AcceptHook | None = None,
                on_place: PlaceHook | None = None,
                score: ScoreHook | None = None) -> dict[str, int] | None:
@@ -104,51 +115,10 @@ class SwingModuloScheduler:
 
         Returns the slot map, or None on failure.
         """
-        tracer = get_tracer()
-        metrics.counter(
-            "sched.attempts",
-            "scheduling attempts (one try_ii call per II candidate)").inc()
-        mrt = ModuloReservationTable(ii, self.resources)
-        partial: dict[str, int] = {}
-        for v in self.order:
-            node = self.ddg.node(v)
-            window = compute_window(self.ddg, v, partial, ii, self.metrics,
-                                    self.order_directions.get(v, "top-down"),
-                                    seed_high=self.seed_high)
-            best_cycle: int | None = None
-            best_score = 0.0
-            for cycle in window.candidates():
-                if not mrt.fits(v, node.opcode, cycle):
-                    continue
-                if accept is not None and not accept(v, cycle, partial):
-                    continue
-                if score is None:
-                    best_cycle = cycle
-                    break
-                s = score(v, cycle, partial)
-                if best_cycle is None or s < best_score:
-                    best_cycle, best_score = cycle, s
-                    if s <= 0.0:
-                        break  # cannot do better than "no new sync at all"
-            if best_cycle is None:
-                if tracer.enabled:
-                    tracer.emit("sched", "place_fail",
-                                alg=self.algorithm_name, loop=self.ddg.name,
-                                ii=ii, node=v)
-                return None
-            mrt.place(v, node.opcode, best_cycle)
-            partial[v] = best_cycle
-            if tracer.enabled:
-                tracer.emit("sched", "place", alg=self.algorithm_name,
-                            loop=self.ddg.name, ii=ii, node=v,
-                            cycle=best_cycle, row=best_cycle % ii,
-                            stage=best_cycle // ii)
-            if on_place is not None:
-                on_place(v, best_cycle, partial)
-        metrics.counter(
-            "sched.placements",
-            "nodes placed in completed scheduling attempts").inc(len(partial))
-        return partial
+        policy = None
+        if accept is not None or on_place is not None or score is not None:
+            policy = HookPolicy(accept=accept, on_place=on_place, score=score)
+        return self.try_policy(ii, policy)
 
 
 def schedule_sms(ddg: DDG, resources: ResourceModel,

@@ -41,10 +41,10 @@ from ..costmodel.exectime import (
 )
 from ..errors import SchedulingBudgetExceeded, SchedulingError
 from ..graph.ddg import DDG
-from ..graph.dependence import Dependence
 from ..machine.resources import ResourceModel
 from ..obs import metrics
 from ..obs.events import get_tracer
+from .engine import TMSContext, TMSPolicy
 from .schedule import Schedule, validate_schedule
 from .sms import SwingModuloScheduler
 
@@ -65,6 +65,10 @@ class ThreadSensitiveScheduler(SwingModuloScheduler):
         self.arch = arch
         self.seed_high = True
         self._max_lat = max((n.latency for n in ddg.nodes), default=1)
+        #: per-DDG facts of the C1/C2 conditions (flow-edge tables,
+        #: ancestor closures, tiebreak inputs), shared by every
+        #: (II, C_delay) candidate of the search.
+        self._tms_ctx = TMSContext(ddg, self.engine.ctx)
         #: wall-clock watchdog deadline (armed per schedule() call).
         self._deadline: float | None = None
 
@@ -231,170 +235,20 @@ class ThreadSensitiveScheduler(SwingModuloScheduler):
 
     def _try_tms(self, ii: int, c_delay: int, p_max: float
                  ) -> dict[str, int] | None:
-        """SMS placement with Figure 3's C1/C2 acceptance conditions."""
-        ccom = self.arch.reg_comm_latency
-        speculation = self.config.speculation
-        ddg = self.ddg
-        lat = {n.name: n.latency for n in ddg.nodes}
+        """SMS placement with Figure 3's C1/C2 acceptance conditions
+        (a :class:`TMSPolicy` over the shared placement engine).
 
-        # incident flow edges, precomputed once per attempt
-        reg_in = {n.name: [e for e in ddg.preds(n.name) if e.is_register_flow]
-                  for n in ddg.nodes}
-        reg_out = {n.name: [e for e in ddg.succs(n.name) if e.is_register_flow]
-                   for n in ddg.nodes}
-        mem_in = {n.name: [e for e in ddg.preds(n.name) if e.is_memory_flow]
-                  for n in ddg.nodes}
-        mem_out = {n.name: [e for e in ddg.succs(n.name) if e.is_memory_flow]
-                   for n in ddg.nodes}
-
-        # Intra-thread ancestors (distance-0 flow closure) per node.  Our
-        # cores issue out of order, so a synchronisation wait only delays
-        # the RECV's *dependents*; a memory dependence is preserved by a
-        # synchronised dependence u -> v (Definition 3) only when v feeds
-        # the memory consumer within the same iteration — otherwise the
-        # consumer issues regardless of the wait and the "preserved"
-        # dependence can still be violated at run time.
-        ancestors: dict[str, frozenset[str]] = {}
-        order_by_pos = sorted(ddg.nodes, key=lambda n: n.position)
-        for node in order_by_pos:
-            anc: set[str] = {node.name}
-            for e in ddg.preds(node.name):
-                if e.distance == 0 and e.dtype.value == "flow" \
-                        and e.src in ancestors:
-                    anc |= ancestors[e.src]
-            ancestors[node.name] = frozenset(anc)
-
-        # incremental Definition-4 sets over the scheduled prefix:
-        #   scheduled register deps as (row_of_src, sync_delay, consumer)
-        #   scheduled memory deps as (row_of_src, required_skew,
-        #                             probability, consumer)
-        sched_reg: list[tuple[int, float, str]] = []
-        sched_mem: list[tuple[int, float, float, str]] = []
-
-        def dep_values(e: Dependence, slot_src: int, slot_dst: int
-                       ) -> tuple[int, float, float] | None:
-            """(row_src, sync_delay, required_skew) of edge ``e`` under the
-            tentative slots, or None when it stays intra-iteration."""
-            k = e.distance + (slot_dst // ii) - (slot_src // ii)
-            if k < 1:
-                return None
-            row_s, row_d = slot_src % ii, slot_dst % ii
-            span = row_s - row_d + lat[e.src]
-            return (row_s, span / k + ccom, span / k)
-
-        def new_deps(edges_in, edges_out, v: str, cycle: int,
-                     partial: Mapping[str, int]):
-            out = []
-            for e in edges_in[v]:
-                src_slot = cycle if e.src == v else partial.get(e.src)
-                if src_slot is None:
-                    continue
-                vals = dep_values(e, src_slot, cycle)
-                if vals is not None:
-                    out.append((e, vals))
-            for e in edges_out[v]:
-                if e.dst == v:
-                    continue  # self edge already covered above
-                dst_slot = partial.get(e.dst)
-                if dst_slot is None:
-                    continue
-                vals = dep_values(e, cycle, dst_slot)
-                if vals is not None:
-                    out.append((e, vals))
-            return out
-
-        def accept(v: str, cycle: int, partial: Mapping[str, int]) -> bool:
-            r_v = new_deps(reg_in, reg_out, v, cycle, partial)
-            m_v = new_deps(mem_in, mem_out, v, cycle, partial)
-            # C1: every new synchronised dependence within threshold
-            for _e, (_row, sync, _req) in r_v:
-                if sync > c_delay:
-                    return False
-            if not speculation:
-                # no-speculation mode: memory deps are synchronised too
-                for _e, (_row, sync, _req) in m_v:
-                    if sync > c_delay:
-                        return False
-                return True
-            if not m_v:
-                return True
-            # C2: misspeculation frequency of non-preserved memory deps
-            reg_all = sched_reg + [(row, sync, e.dst)
-                                   for e, (row, sync, _r) in r_v]
-            mem_all = sched_mem + [(row, req, e.probability, e.dst)
-                                   for e, (row, _s, req) in m_v]
-            prod = 1.0
-            for row_x, req, prob, y in mem_all:
-                anc_y = ancestors[y]
-                if req <= 0 or any(
-                        row_u < row_x and sync >= req and dst in anc_y
-                        for row_u, sync, dst in reg_all):
-                    continue  # preserved (Definition 3, ancestor-refined)
-                prod *= (1.0 - prob)
-            if 1.0 - prod > p_max:
-                return False
-            return True
-
-        def on_place(v: str, cycle: int, partial: Mapping[str, int]) -> None:
-            for e, (row, sync, _req) in new_deps(reg_in, reg_out, v, cycle, partial):
-                sched_reg.append((row, sync, e.dst))
-            if speculation:
-                for e, (row, _s, req) in new_deps(mem_in, mem_out, v, cycle, partial):
-                    sched_mem.append((row, req, e.probability, e.dst))
-
-        pred0 = {n.name: [e.src for e in ddg.preds(n.name)
-                          if e.distance == 0 and e.src != n.name]
-                 for n in ddg.nodes}
-        succ0 = {n.name: [e.dst for e in ddg.succs(n.name)
-                          if e.distance == 0 and e.dst != n.name]
-                 for n in ddg.nodes}
-        depth = {n.name: self.metrics[n.name].depth for n in ddg.nodes}
-        height = {n.name: self.metrics[n.name].height for n in ddg.nodes}
-
-        def slot_score(v: str, cycle: int, partial: Mapping[str, int]) -> float:
-            """The largest sync delay this placement would introduce (0 if
-            none): TMS picks the slot with the shortest synchronisation
-            delay among the acceptable ones (Section 4.1).
-
-            A sub-unit tiebreak prefers slots whose kernel row leaves
-            same-stage room for the node's still-unplaced same-iteration
-            neighbours — *below* for its feeder chain (depth), *above* for
-            its consumer chain (height).  Placing a node flush against a
-            stage boundary forces that chain across the boundary and turns
-            intra-thread dependences into synchronised ones.
-            """
-            worst = 0.0
-            for _e, (_row, sync, _req) in new_deps(reg_in, reg_out, v, cycle,
-                                                   partial):
-                worst = max(worst, sync)
-            if not speculation:
-                for _e, (_row, sync, _req) in new_deps(mem_in, mem_out, v,
-                                                       cycle, partial):
-                    worst = max(worst, sync)
-            row = cycle % ii
-            need_below = depth[v]
-            if need_below > 0 and any(p not in partial for p in pred0[v]):
-                shortfall = need_below - row
-                if shortfall > 0:
-                    worst += min(0.45, 0.45 * shortfall / need_below)
-            need_above = height[v]
-            if need_above > 0 and any(s not in partial for s in succ0[v]):
-                shortfall = need_above - (ii - 1 - row)
-                if shortfall > 0:
-                    worst += min(0.45, 0.45 * shortfall / need_above)
-            return worst
-
-        # two placement passes: seeds anchored at their ASAP first (best
-        # for small bodies), then anchored at the top of their II range
-        # (gives deep sink-seeded chains slack against resource conflicts,
-        # e.g. equake's smvp strands).  Incremental Definition-4 state must
-        # reset between passes.
+        Two placement passes: seeds anchored at their ASAP first (best
+        for small bodies), then anchored at the top of their II range
+        (gives deep sink-seeded chains slack against resource conflicts,
+        e.g. equake's smvp strands).  The policy's incremental
+        Definition-4 state resets between passes (``begin_attempt``).
+        """
+        policy = TMSPolicy(self._tms_ctx, self.arch, self.config, ii,
+                           c_delay, p_max)
         for seed_high in (False, True):
-            sched_reg.clear()
-            sched_mem.clear()
             self.seed_high = seed_high
-            slots = self.try_ii(ii, accept=accept, on_place=on_place,
-                                score=slot_score)
+            slots = self.try_policy(ii, policy)
             if slots is not None:
                 return slots
         return None

@@ -29,6 +29,14 @@ def test_campaign_sanitizer_clean(quick_report):
     assert all(r.ok for r in quick_report.rows)
 
 
+def test_campaign_rows_record_policy(quick_report):
+    # the table3 DOACROSS loops schedule with TMS proper (no degradation),
+    # and the report's schema surfaces that per row
+    assert all(r.policy == "tms" for r in quick_report.rows)
+    for row in quick_report.to_dict()["rows"]:
+        assert row["policy"] == "tms"
+
+
 def test_campaign_injects_faults(quick_report):
     injected = quick_report.injected_by_kind()
     assert injected.get("violation", 0) > 0

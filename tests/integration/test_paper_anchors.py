@@ -7,7 +7,8 @@ from repro.config import ArchConfig, SimConfig
 from repro.costmodel import achieved_c_delay, sync_delay
 from repro.experiments import run_fig5, run_fig6, run_table3
 from repro.graph import compute_mii, rec_mii, res_mii
-from repro.sched import compute_node_order, run_postpass, schedule_sms, schedule_tms
+from repro.sched import run_postpass, schedule_sms, schedule_tms
+from repro.sched.ordering import compute_node_order
 from repro.spmt import simulate
 from repro.workloads import motivating_ddg, motivating_machine
 

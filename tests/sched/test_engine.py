@@ -1,0 +1,218 @@
+"""Unit tests for the unified placement engine (repro.sched.engine)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.reservation import ModuloReservationTable
+from repro.sched import (
+    HookPolicy,
+    PartialSchedule,
+    PlacementEngine,
+    Schedule,
+    SlotPolicy,
+    max_live,
+    schedule_sms,
+    schedule_tms,
+)
+from repro.sched.engine import EngineContext, LiveTracker, WindowService
+from repro.sched.window import compute_window
+
+
+def _random_partial(ddg, ii, rng):
+    """A random (dependence-oblivious) partial slot assignment — windows
+    are pure functions of the slots, so legality doesn't matter here."""
+    names = list(ddg.node_names)
+    rng.shuffle(names)
+    k = rng.randrange(len(names) + 1)
+    return {v: rng.randrange(0, 4 * ii) for v in names[:k]}
+
+
+@pytest.mark.parametrize("ddg_fixture", ["fig1_ddg", "axpy_ddg",
+                                         "recurrent_ddg"])
+def test_window_table_matches_compute_window(ddg_fixture, resources, request):
+    """The folded per-II window tables reproduce compute_window exactly —
+    bounds AND scan direction — on random partial schedules."""
+    ddg = request.getfixturevalue(ddg_fixture)
+    ctx = EngineContext(ddg, resources)
+    rng = random.Random(1234)
+    for ii in (2, 3, 5, 8):
+        table = WindowService(ctx).table(ii)
+        for _ in range(25):
+            partial = _random_partial(ddg, ii, rng)
+            for v in ddg.node_names:
+                if v in partial:
+                    continue
+                for direction in ("top-down", "bottom-up"):
+                    for seed_high in (False, True):
+                        ref = compute_window(ddg, v, partial, ii,
+                                             ctx.metrics, direction,
+                                             seed_high=seed_high)
+                        got = table.window(v, partial,
+                                           direction == "bottom-up",
+                                           seed_high)
+                        assert got == (ref.start, ref.end,
+                                       ref.direction == "down"), \
+                            f"{ddg.name}/{v} ii={ii} {direction} " \
+                            f"seed_high={seed_high}"
+
+
+def test_window_service_memoizes(fig1_ddg, resources):
+    svc = WindowService(EngineContext(fig1_ddg, resources))
+    assert svc.table(4) is svc.table(4)
+    assert svc.table(4) is not svc.table(5)
+
+
+@pytest.mark.parametrize("schedule_fn", [schedule_sms])
+def test_live_tracker_matches_maxlive(schedule_fn, axpy_ddg, recurrent_ddg,
+                                      fig1_ddg, fig1_machine, resources):
+    """Replaying a completed schedule through the incremental tracker
+    yields exactly repro.sched.maxlive.max_live."""
+    for ddg, res in ((axpy_ddg, resources), (recurrent_ddg, resources),
+                     (fig1_ddg, fig1_machine)):
+        sched = schedule_fn(ddg, res)
+        ps = PartialSchedule(EngineContext(ddg, res), sched.ii,
+                             track_live=True)
+        for v, cycle in sched.slots.items():
+            ps.place(v, cycle)
+        assert ps.live.max_live == max_live(sched)
+
+
+def test_live_tracker_survives_removal(recurrent_ddg, resources):
+    """remove() is the exact inverse of place() for the live counts."""
+    sched = schedule_sms(recurrent_ddg, resources)
+    ctx = EngineContext(recurrent_ddg, resources)
+    ps = PartialSchedule(ctx, sched.ii, track_live=True)
+    items = list(sched.slots.items())
+    for v, cycle in items:
+        ps.place(v, cycle)
+    expected = ps.live.max_live
+    # remove half, then re-place in a different order
+    for v, _cycle in items[::2]:
+        ps.remove(v)
+    for v, cycle in reversed(items[::2]):
+        ps.place(v, cycle)
+    assert ps.live.max_live == expected
+    for v, _ in items:
+        ps.remove(v)
+    assert ps.live.max_live == 0
+
+
+def test_partial_schedule_matches_mrt(recurrent_ddg, resources):
+    """fits/place/remove agree with ModuloReservationTable on random
+    operation sequences (the engine's MRT replacement is behaviourally
+    identical)."""
+    ddg = recurrent_ddg
+    ctx = EngineContext(ddg, resources)
+    opcode = {n.name: n.opcode for n in ddg.nodes}
+    rng = random.Random(99)
+    for ii in (2, 4, 7):
+        ps = PartialSchedule(ctx, ii)
+        mrt = ModuloReservationTable(ii, resources)
+        placed: dict[str, int] = {}
+        for _ in range(300):
+            v = rng.choice(ddg.node_names)
+            if v in placed:
+                ps.remove(v)
+                mrt.remove(v)
+                del placed[v]
+                continue
+            cycle = rng.randrange(0, 3 * ii)
+            assert ps.fits(v, cycle) == mrt.fits(v, opcode[v], cycle)
+            assert ps.occupancy_rows(v, cycle) == \
+                mrt.occupancy_rows(opcode[v], cycle)
+            if ps.fits(v, cycle):
+                ps.place(v, cycle)
+                mrt.place(v, opcode[v], cycle)
+                placed[v] = cycle
+        assert dict(ps.slots) == placed
+
+
+def test_partial_schedule_guards(fig1_ddg, fig1_machine):
+    ps = PartialSchedule(EngineContext(fig1_ddg, fig1_machine), 4)
+    name = fig1_ddg.node_names[0]
+    ps.place(name, 0)
+    with pytest.raises(MachineError, match="already placed"):
+        ps.place(name, 1)
+    ps.remove(name)
+    with pytest.raises(MachineError, match="not placed"):
+        ps.remove(name)
+    with pytest.raises(MachineError, match="II must be"):
+        PartialSchedule(EngineContext(fig1_ddg, fig1_machine), 0)
+
+
+def test_try_place_first_fit_equals_sms(axpy_ddg, resources):
+    """PlacementEngine.try_place under the default policy reproduces the
+    SMS scheduler's slots at the same II."""
+    from repro.sched.sms import SwingModuloScheduler
+
+    sms = SwingModuloScheduler(axpy_ddg, resources)
+    sched = sms.schedule()
+    engine = PlacementEngine(axpy_ddg, resources)
+    slots = engine.try_place(sched.ii, sms.order, sms.order_directions,
+                             None, alg="SMS")
+    assert slots == sched.slots
+
+
+def test_hook_policy_wraps_hooks(axpy_ddg, resources):
+    seen: list[str] = []
+    policy = HookPolicy(
+        accept=lambda v, c, p: True,
+        on_place=lambda v, c, p: seen.append(v),
+        score=lambda v, c, p: float(c))
+    engine = PlacementEngine(axpy_ddg, resources)
+    slots = engine.try_place(8, list(axpy_ddg.node_names), {}, policy,
+                             alg="SMS")
+    assert slots is not None
+    assert set(seen) == set(slots)
+
+
+def test_slot_policy_defaults_are_inert():
+    policy = SlotPolicy()
+    assert policy.accept is None and policy.score is None
+    assert policy.on_place is None and policy.on_eject is None
+    policy.begin_attempt(None)  # no-op
+
+
+def test_engine_metrics_published(axpy_ddg, resources, arch):
+    from repro.obs import metrics as obs_metrics
+
+    reg = obs_metrics.MetricsRegistry(enabled=True)
+    old = obs_metrics.set_registry(reg)
+    try:
+        schedule_tms(axpy_ddg, resources, arch)
+    finally:
+        obs_metrics.set_registry(old)
+    snap = {name: s.get("value", 0) for name, s in reg.snapshot().items()}
+    assert snap.get("sched.engine.attempts", 0) > 0
+    assert snap.get("sched.engine.slot_probes", 0) > 0
+    assert snap.get("sched.engine.window_tables", 0) > 0
+    # the TMS (II, C_delay) search re-attempts IIs: the memo must hit
+    assert snap.get("sched.engine.window_reuses", 0) > 0
+
+
+def test_deprecated_ordering_reexports_warn():
+    import repro.sched as sched_pkg
+    from repro.sched import ordering
+
+    with pytest.warns(DeprecationWarning, match="repro.sched.ordering"):
+        fn = sched_pkg.compute_node_order
+    assert fn is ordering.compute_node_order
+    with pytest.warns(DeprecationWarning):
+        assert sched_pkg.partition_into_sets is ordering.partition_into_sets
+    with pytest.raises(AttributeError):
+        sched_pkg.not_a_symbol
+
+
+def test_schedule_round_trip_still_validates(fig1_ddg, fig1_machine):
+    """The engine's slot maps build real, validating Schedules."""
+    from repro.sched import validate_schedule
+    from repro.sched.sms import SwingModuloScheduler
+
+    sms = SwingModuloScheduler(fig1_ddg, fig1_machine)
+    sched = sms.schedule()
+    validate_schedule(Schedule(fig1_ddg, sched.ii, dict(sched.slots),
+                               algorithm="SMS"), fig1_machine)

@@ -1,7 +1,7 @@
 """SMS node ordering."""
 
 from repro.graph.scc import strongly_connected_components
-from repro.sched import compute_node_order, partition_into_sets
+from repro.sched.ordering import compute_node_order, partition_into_sets
 from repro.sched.ordering import compute_node_order_with_directions
 
 

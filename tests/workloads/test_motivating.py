@@ -6,7 +6,8 @@ from repro.config import ArchConfig
 from repro.costmodel import achieved_c_delay
 from repro.graph import compute_mii, rec_mii, res_mii
 from repro.ir import run_sequential, validate_loop
-from repro.sched import compute_node_order, schedule_sms, schedule_tms
+from repro.sched import schedule_sms, schedule_tms
+from repro.sched.ordering import compute_node_order
 from repro.workloads import (
     motivating_ddg,
     motivating_latency,
