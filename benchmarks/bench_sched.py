@@ -140,10 +140,23 @@ def main() -> int:
 
     repeats = args.repeats if args.repeats is not None \
         else (1 if args.quick else 3)
+    start = time.perf_counter()
     result = measure_cold_tms(repeats=repeats)
     result["quick"] = bool(args.quick)
     report = compare_to_baseline(result, Path(args.baseline))
     print(render(report))
+    # one run-ledger record per invocation (no-op unless REPRO_LEDGER_DIR
+    # is set); the report CLI renders/gates on these.
+    import sys
+
+    from repro.obs.ledger import append_run_record
+    append_run_record(
+        "bench_sched", sys.argv[1:],
+        duration_seconds=time.perf_counter() - start,
+        extra={"total_seconds": report["total_seconds"],
+               "kernels": len(report["per_kernel_seconds"]),
+               "repeats": report["repeats"],
+               "speedup_over_seed": report.get("speedup_over_seed")})
     if args.out:
         out = Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)

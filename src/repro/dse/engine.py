@@ -33,6 +33,7 @@ from ..config import ArchConfig, SchedulerConfig
 from ..errors import MachineError
 from ..machine.resources import ResourceModel
 from ..obs import get_tracer, metrics
+from ..obs.spans import span
 from ..session import get_session, trial_key
 from ..session.fingerprint import fingerprint
 from .space import ParameterSpace
@@ -219,6 +220,11 @@ class SweepEngine:
 
     def run(self) -> SweepOutcome:
         """Walk the strategy to exhaustion; return results in ask order."""
+        with span("dse.sweep", strategy=self.strategy.name,
+                  space_size=self.space.size):
+            return self._run()
+
+    def _run(self) -> SweepOutcome:
         outcome = SweepOutcome(results=[])
         tracer = get_tracer()
         metrics.gauge("dse.space_size",
@@ -241,7 +247,10 @@ class SweepEngine:
                         base_sched=self.base_sched,
                         base_workload=self.workload,
                         iterations=fidelity, seed=self.seed)
-                    result, source = self._resolve_trial(spec)
+                    with span("dse.trial", fidelity=fidelity) as sp:
+                        result, source = self._resolve_trial(spec)
+                        if sp is not None:
+                            sp.attrs["source"] = source
                     metrics.counter("dse.trials",
                                     "trials resolved (any source)").inc()
                     if source == "evaluated":

@@ -77,3 +77,10 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness failed to assemble its inputs."""
+
+
+class PerfRegressionError(ReproError):
+    """``tms-experiments report --check`` found a tracked metric that
+    regressed beyond the configured threshold versus its baseline.  The
+    CLI maps this to the typed exit code
+    :data:`repro.experiments.report_cli.EXIT_REGRESSION`."""

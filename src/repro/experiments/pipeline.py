@@ -26,6 +26,7 @@ from ..graph.scc import strongly_connected_components
 from ..ir.loop import Loop
 from ..machine.latency import LatencyModel
 from ..machine.resources import ResourceModel
+from ..obs.spans import span
 from ..sched.degrade import schedule_with_degradation
 from ..sched.ims import IterativeModuloScheduler
 from ..sched.maxlive import max_live
@@ -121,18 +122,21 @@ def compile_loop_uncached(source: Loop | DDG, arch: ArchConfig,
         ddg = source
     else:
         ddg = build_ddg(source, latency or LatencyModel.for_arch(arch))
-    try:
-        sms_sched = SwingModuloScheduler(ddg, resources, config).schedule()
-    except SchedulingError:
-        # SMS is restart-only and can wedge on pinched windows; GCC falls
-        # back to list scheduling there — we fall back to the backtracking
-        # modulo scheduler so suite runs never die on one loop.
-        sms_sched = IterativeModuloScheduler(ddg, resources, config).schedule()
-        sms_sched.meta["fallback_from"] = "SMS"
+    with span("compile.sms", kernel=ddg.name):
+        try:
+            sms_sched = SwingModuloScheduler(ddg, resources, config).schedule()
+        except SchedulingError:
+            # SMS is restart-only and can wedge on pinched windows; GCC falls
+            # back to list scheduling there — we fall back to the backtracking
+            # modulo scheduler so suite runs never die on one loop.
+            sms_sched = IterativeModuloScheduler(
+                ddg, resources, config).schedule()
+            sms_sched.meta["fallback_from"] = "SMS"
     # TMS routes through the degradation chain: a budget-exhausted or
     # failed (II, C_delay) search falls back TMS -> SMS -> IMS -> SEQ
     # (recording sched.degraded) instead of killing the whole suite run.
-    tms_sched = schedule_with_degradation(ddg, resources, arch, config)
+    with span("compile.tms", kernel=ddg.name):
+        tms_sched = schedule_with_degradation(ddg, resources, arch, config)
     sync_mem = not config.speculation
     return CompiledLoop(
         name=ddg.name,

@@ -1,0 +1,387 @@
+"""``tms-experiments report``: the perf-regression observatory.
+
+Renders the run ledger (:mod:`repro.obs.ledger`) and any benchmark JSON
+files — both the repo's own shape (``benchmarks/bench_sched.py --out``)
+and pytest-benchmark's ``--benchmark-json`` shape — as a markdown report
+and, optionally, a self-contained HTML dashboard (inline CSS, no
+external assets, safe to archive as a CI artifact).
+
+``--check`` turns the report into a gate: every tracked metric (a
+lower-is-better seconds value) of each ``--bench`` file is compared
+against its baseline — an explicitly paired ``--against`` file, or the
+same-named file under ``--baselines`` (default
+``benchmarks/baselines/``).  A metric exceeding
+``baseline * (1 + threshold)`` is a regression; the command prints every
+offender and exits with :data:`EXIT_REGRESSION` (raised internally as
+:class:`~repro.errors.PerfRegressionError`).  Comparisons are
+file-vs-file, never wall-clock-vs-constant, so the gate is meaningful on
+any machine that produced both files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from ..errors import PerfRegressionError
+
+__all__ = ["EXIT_REGRESSION", "add_report_arguments", "check_regressions",
+           "extract_bench_metrics", "run_report_command"]
+
+#: typed exit code of ``report --check`` on a detected regression.
+EXIT_REGRESSION = 3
+
+#: default baseline directory, relative to the working tree.
+DEFAULT_BASELINES = Path("benchmarks") / "baselines"
+
+
+def add_report_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ledger", default=None, metavar="FILE",
+                        help="ledger JSONL to render (default: "
+                             "$REPRO_LEDGER_DIR/ledger.jsonl when set)")
+    parser.add_argument("--bench", action="append", default=None,
+                        metavar="FILE",
+                        help="benchmark JSON file(s) to include (repeatable; "
+                             "bench_sched --out or pytest-benchmark shape)")
+    parser.add_argument("--against", action="append", default=None,
+                        metavar="FILE",
+                        help="baseline JSON paired positionally with each "
+                             "--bench (default: the same-named file under "
+                             "--baselines)")
+    parser.add_argument("--baselines", default=None, metavar="DIR",
+                        help=f"baseline directory (default: "
+                             f"{DEFAULT_BASELINES})")
+    parser.add_argument("--markdown", default=None, metavar="FILE",
+                        help="also write the markdown report to this file")
+    parser.add_argument("--html", default=None, metavar="FILE",
+                        help="write a self-contained HTML dashboard here")
+    parser.add_argument("--check", action="store_true",
+                        help=f"exit {EXIT_REGRESSION} if any tracked metric "
+                             f"regressed beyond --threshold vs its baseline")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional slowdown before --check "
+                             "fails (default: 0.10 = 10%%)")
+
+
+# -- metric extraction --------------------------------------------------------
+
+def extract_bench_metrics(data: dict[str, Any],
+                          label: str) -> dict[str, float]:
+    """The tracked (lower-is-better, seconds) metrics of one bench JSON.
+
+    Understands both shapes in this repo: the ``bench_sched.py`` report
+    (``total_seconds`` + ``per_kernel_seconds``) and pytest-benchmark's
+    ``--benchmark-json`` (``benchmarks[*].stats.mean``).
+    """
+    out: dict[str, float] = {}
+    if isinstance(data.get("total_seconds"), (int, float)):
+        out[f"{label}.total_seconds"] = float(data["total_seconds"])
+    for entry in data.get("benchmarks") or []:
+        if not isinstance(entry, dict):
+            continue
+        mean = (entry.get("stats") or {}).get("mean")
+        if isinstance(mean, (int, float)):
+            out[f"{label}.{entry.get('name', '?')}.mean_seconds"] = \
+                float(mean)
+    return out
+
+
+def check_regressions(current: dict[str, float],
+                      baseline: dict[str, float],
+                      threshold: float) -> list[dict[str, Any]]:
+    """Rows for every metric present in both maps; ``regressed`` is set
+    where current exceeds ``baseline * (1 + threshold)``."""
+    rows = []
+    for name in sorted(set(current) & set(baseline)):
+        cur, base = current[name], baseline[name]
+        ratio = cur / base if base > 0 else float("inf") if cur > 0 else 1.0
+        rows.append({
+            "metric": name,
+            "current": cur,
+            "baseline": base,
+            "ratio": ratio,
+            "regressed": ratio > 1.0 + threshold,
+        })
+    return rows
+
+
+def _resolve_baseline(bench: Path, against: Path | None,
+                      baselines_dir: Path) -> Path | None:
+    if against is not None:
+        return against
+    for candidate in (baselines_dir / bench.name,
+                      baselines_dir / f"{bench.stem}_seed.json"):
+        if candidate.exists():
+            return candidate
+    return None
+
+
+# -- rendering ----------------------------------------------------------------
+
+def _fmt_metric_value(value: Any) -> str:
+    if isinstance(value, dict):
+        return f"n={value.get('count', 0)}"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _ledger_section(records: list[dict], skipped: int,
+                    path: Path | None) -> list[str]:
+    lines = ["## Run ledger", ""]
+    if path is None:
+        lines += ["No ledger configured (set `REPRO_LEDGER_DIR` or pass "
+                  "`--ledger`).", ""]
+        return lines
+    lines.append(f"`{path}` — {len(records)} records"
+                 + (f", {skipped} corrupt lines skipped" if skipped else "")
+                 + ".")
+    lines.append("")
+    if not records:
+        return lines
+    lines += ["| timestamp | command | exit | seconds | compiles "
+              "| simulations | sim runs | spans |",
+              "|---|---|---:|---:|---:|---:|---:|---:|"]
+    for r in records:
+        m = r.get("metrics", {})
+        spans = sum(int(s.get("count", 0)) for s in r.get("spans", []))
+        lines.append(
+            f"| {r.get('timestamp', '')} | {r.get('command', '')} "
+            f"| {r.get('exit_code', '')} "
+            f"| {r.get('duration_seconds', 0.0):.2f} "
+            f"| {_fmt_metric_value(m.get('session.compiles', 0))} "
+            f"| {_fmt_metric_value(m.get('session.simulations', 0))} "
+            f"| {_fmt_metric_value(m.get('sim.runs', 0))} "
+            f"| {spans} |")
+    lines.append("")
+    return lines
+
+
+def _bench_sections(bench_reports: list[dict]) -> list[str]:
+    lines = ["## Benchmarks", ""]
+    if not bench_reports:
+        lines += ["No benchmark files given (`--bench FILE`).", ""]
+        return lines
+    for rep in bench_reports:
+        lines.append(f"### {rep['path']}")
+        lines.append("")
+        base_label = rep["baseline_path"] or "none found"
+        lines.append(f"Baseline: `{base_label}`")
+        lines.append("")
+        if rep["rows"]:
+            lines += ["| metric | current | baseline | ratio | status |",
+                      "|---|---:|---:|---:|---|"]
+            for row in rep["rows"]:
+                status = "**REGRESSED**" if row["regressed"] else "ok"
+                lines.append(
+                    f"| {row['metric']} | {row['current']:.4f} "
+                    f"| {row['baseline']:.4f} | {row['ratio']:.3f}x "
+                    f"| {status} |")
+        else:
+            lines += ["| metric | current |", "|---|---:|"]
+            for name, value in sorted(rep["metrics"].items()):
+                lines.append(f"| {name} | {value:.4f} |")
+        lines.append("")
+    return lines
+
+
+def render_markdown(records: list[dict], skipped: int,
+                    ledger_path: Path | None,
+                    bench_reports: list[dict],
+                    threshold: float, checked: bool) -> str:
+    lines = ["# repro perf & run report", ""]
+    lines += _ledger_section(records, skipped, ledger_path)
+    lines += _bench_sections(bench_reports)
+    if checked:
+        regressions = [row for rep in bench_reports
+                       for row in rep["rows"] if row["regressed"]]
+        lines += ["## Regression check", ""]
+        if regressions:
+            lines.append(f"{len(regressions)} metric(s) regressed beyond "
+                         f"{threshold:.0%}:")
+            lines += [f"- `{r['metric']}`: {r['current']:.4f} vs "
+                      f"{r['baseline']:.4f} ({r['ratio']:.3f}x)"
+                      for r in regressions]
+        else:
+            lines.append(f"All compared metrics within {threshold:.0%} of "
+                         f"baseline.")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _bar(fraction: float, color: str) -> str:
+    width = max(1.0, min(100.0, fraction * 100.0))
+    return (f'<div class="bar" style="width:{width:.1f}%;'
+            f'background:{color}"></div>')
+
+
+def render_html(records: list[dict], skipped: int,
+                ledger_path: Path | None,
+                bench_reports: list[dict], threshold: float) -> str:
+    """A self-contained dashboard: no scripts, no external assets."""
+    esc = html.escape
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>repro perf dashboard</title><style>",
+        "body{font-family:system-ui,sans-serif;margin:2rem;color:#222}",
+        "table{border-collapse:collapse;margin:0.5rem 0}",
+        "td,th{border:1px solid #ccc;padding:0.25rem 0.6rem;"
+        "font-size:0.9rem}",
+        "th{background:#f0f0f0;text-align:left}",
+        ".bar{height:0.8rem;border-radius:2px}",
+        ".cell{min-width:12rem}",
+        ".bad{color:#b00020;font-weight:bold}",
+        ".ok{color:#2e7d32}",
+        "</style></head><body>",
+        "<h1>repro perf dashboard</h1>",
+    ]
+    parts.append("<h2>Run ledger</h2>")
+    if ledger_path is None:
+        parts.append("<p>No ledger configured.</p>")
+    else:
+        parts.append(f"<p><code>{esc(str(ledger_path))}</code> — "
+                     f"{len(records)} records"
+                     + (f", {skipped} corrupt lines skipped" if skipped
+                        else "") + "</p>")
+        if records:
+            max_dur = max((r.get("duration_seconds", 0.0) for r in records),
+                          default=0.0) or 1.0
+            parts.append("<table><tr><th>timestamp</th><th>command</th>"
+                         "<th>exit</th><th>seconds</th>"
+                         "<th class='cell'>duration</th></tr>")
+            for r in records:
+                dur = r.get("duration_seconds", 0.0)
+                parts.append(
+                    f"<tr><td>{esc(str(r.get('timestamp', '')))}</td>"
+                    f"<td>{esc(str(r.get('command', '')))}</td>"
+                    f"<td>{r.get('exit_code', '')}</td>"
+                    f"<td>{dur:.2f}</td>"
+                    f"<td class='cell'>{_bar(dur / max_dur, '#4c7fb5')}"
+                    f"</td></tr>")
+            parts.append("</table>")
+    parts.append("<h2>Benchmarks</h2>")
+    if not bench_reports:
+        parts.append("<p>No benchmark files given.</p>")
+    for rep in bench_reports:
+        parts.append(f"<h3>{esc(rep['path'])}</h3>")
+        parts.append(f"<p>Baseline: <code>"
+                     f"{esc(rep['baseline_path'] or 'none found')}"
+                     f"</code></p>")
+        rows = rep["rows"]
+        if rows:
+            parts.append("<table><tr><th>metric</th><th>current</th>"
+                         "<th>baseline</th><th>ratio</th>"
+                         "<th class='cell'>vs baseline</th></tr>")
+            for row in rows:
+                color = "#b00020" if row["regressed"] else "#2e7d32"
+                cls = "bad" if row["regressed"] else "ok"
+                parts.append(
+                    f"<tr><td>{esc(row['metric'])}</td>"
+                    f"<td>{row['current']:.4f}</td>"
+                    f"<td>{row['baseline']:.4f}</td>"
+                    f"<td class='{cls}'>{row['ratio']:.3f}x</td>"
+                    f"<td class='cell'>"
+                    f"{_bar(min(row['ratio'], 2.0) / 2.0, color)}"
+                    f"</td></tr>")
+            parts.append("</table>")
+        elif rep["metrics"]:
+            parts.append("<table><tr><th>metric</th><th>current</th></tr>")
+            for name, value in sorted(rep["metrics"].items()):
+                parts.append(f"<tr><td>{esc(name)}</td>"
+                             f"<td>{value:.4f}</td></tr>")
+            parts.append("</table>")
+    parts.append(f"<p>Regression threshold: {threshold:.0%}</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+# -- the command --------------------------------------------------------------
+
+def run_report_command(ns: argparse.Namespace) -> int:
+    from ..obs.ledger import LEDGER_FILENAME, ledger_dir, read_ledger
+
+    ledger_path: Path | None = None
+    if ns.ledger:
+        ledger_path = Path(ns.ledger)
+    else:
+        env_dir = ledger_dir()
+        if env_dir is not None:
+            ledger_path = env_dir / LEDGER_FILENAME
+    records: list[dict] = []
+    skipped = 0
+    if ledger_path is not None:
+        records, skipped = read_ledger(ledger_path)
+
+    bench_paths = [Path(p) for p in (ns.bench or [])]
+    against = [Path(p) for p in (ns.against or [])]
+    if against and len(against) != len(bench_paths):
+        print(f"error: {len(against)} --against for "
+              f"{len(bench_paths)} --bench (pair them positionally)",
+              file=sys.stderr)
+        return 1
+    baselines_dir = Path(ns.baselines) if ns.baselines \
+        else DEFAULT_BASELINES
+    bench_reports: list[dict] = []
+    for i, bench in enumerate(bench_paths):
+        try:
+            data = json.loads(bench.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read bench JSON {bench}: {exc}",
+                  file=sys.stderr)
+            return 1
+        metrics = extract_bench_metrics(data, bench.stem)
+        base_path = _resolve_baseline(
+            bench, against[i] if against else None, baselines_dir)
+        rows: list[dict] = []
+        if base_path is not None:
+            try:
+                base_data = json.loads(
+                    base_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read baseline JSON {base_path}: "
+                      f"{exc}", file=sys.stderr)
+                return 1
+            rows = check_regressions(
+                metrics, extract_bench_metrics(base_data, bench.stem),
+                ns.threshold)
+        bench_reports.append({
+            "path": str(bench),
+            "baseline_path": str(base_path) if base_path else None,
+            "metrics": metrics,
+            "rows": rows,
+        })
+
+    markdown = render_markdown(records, skipped, ledger_path,
+                               bench_reports, ns.threshold, ns.check)
+    print(markdown)
+    if ns.markdown:
+        Path(ns.markdown).parent.mkdir(parents=True, exist_ok=True)
+        Path(ns.markdown).write_text(markdown, encoding="utf-8")
+        print(f"[markdown -> {ns.markdown}]", file=sys.stderr)
+    if ns.html:
+        dashboard = render_html(records, skipped, ledger_path,
+                                bench_reports, ns.threshold)
+        Path(ns.html).parent.mkdir(parents=True, exist_ok=True)
+        Path(ns.html).write_text(dashboard, encoding="utf-8")
+        print(f"[dashboard -> {ns.html}]", file=sys.stderr)
+
+    if ns.check:
+        regressions = [row for rep in bench_reports
+                       for row in rep["rows"] if row["regressed"]]
+        compared = sum(len(rep["rows"]) for rep in bench_reports)
+        try:
+            if regressions:
+                names = ", ".join(r["metric"] for r in regressions)
+                raise PerfRegressionError(
+                    f"{len(regressions)} metric(s) regressed beyond "
+                    f"{ns.threshold:.0%}: {names}")
+        except PerfRegressionError as exc:
+            print(f"REGRESSION: {exc}", file=sys.stderr)
+            return EXIT_REGRESSION
+        print(f"[check: {compared} metrics within {ns.threshold:.0%} "
+              f"of baseline]", file=sys.stderr)
+    return 0

@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from ..config import ArchConfig, SchedulerConfig
 from .ablation import run_comm_latency_sweep, run_core_sweep, run_pmax_sweep
@@ -105,6 +106,12 @@ def _build_parser() -> argparse.ArgumentParser:
     from ..faults.cli import add_chaos_arguments
     add_chaos_arguments(chaos)
     _add_obs_flags(chaos)
+    rep = sub.add_parser(
+        "report", help="render the run ledger (REPRO_LEDGER_DIR) and the "
+                       "benchmarks/baselines trajectory as markdown / an "
+                       "HTML dashboard; --check gates on perf regressions")
+    from .report_cli import add_report_arguments
+    add_report_arguments(rep)
     return parser
 
 
@@ -119,23 +126,49 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
 
 def _begin_trace(prefix: str | None) -> None:
     if prefix:
-        from ..obs import enable_tracing
+        from ..obs import enable_spans, enable_tracing
         enable_tracing(True).clear()
+        # --trace also turns on detail-level spans (per placement
+        # attempt, per simulator thread loop); PREFIX.spans.json gets
+        # the full tree.
+        tracer = enable_spans(True, detail=True)
+        tracer.clear()
 
 
 def _finish_trace(prefix: str | None) -> None:
-    """Write the collected events as JSONL + Chrome trace files."""
+    """Write the collected events (JSONL + Chrome trace) and spans, and
+    print the per-lane event summary."""
     if not prefix:
         return
-    from ..obs import (enable_tracing, get_tracer, write_chrome_trace,
+    import json
+
+    from ..obs import (enable_spans, enable_tracing, format_trace,
+                       get_span_tracer, get_tracer, span_tree,
+                       spans_to_dicts, write_chrome_trace,
                        write_events_jsonl)
     tracer = get_tracer()
     enable_tracing(False)
+    parent = Path(prefix).parent
+    if parent and not parent.exists():
+        parent.mkdir(parents=True, exist_ok=True)
     jsonl = f"{prefix}.jsonl"
     chrome = f"{prefix}.trace.json"
     write_events_jsonl(tracer.events, jsonl)
     write_chrome_trace(tracer.events, chrome)
-    print(f"[trace: {len(tracer.events)} events -> {jsonl}, {chrome}]",
+    span_tracer = get_span_tracer()
+    enable_spans(False, detail=False)
+    spans_path = f"{prefix}.spans.json"
+    with open(spans_path, "w", encoding="utf-8") as fh:
+        json.dump({"spans": spans_to_dicts(span_tracer.spans),
+                   "tree": span_tree(span_tracer.spans, normalize=False),
+                   "rollup": span_tracer.rollup()},
+                  fh, separators=(",", ":"))
+        fh.write("\n")
+    summary = format_trace(tracer.events)
+    if summary:
+        print(summary, file=sys.stderr)
+    print(f"[trace: {len(tracer.events)} events -> {jsonl}, {chrome}; "
+          f"{len(span_tracer.spans)} spans -> {spans_path}]",
           file=sys.stderr)
 
 
@@ -205,19 +238,45 @@ def main(argv: list[str] | None = None) -> int:
     args_list = list(argv) if argv is not None else None
     import sys as _sys
     raw = args_list if args_list is not None else _sys.argv[1:]
-    if raw and raw[0] == "compile":
+    if raw and raw[0] == "report":
+        # reading the ledger must not append to it
+        from .report_cli import run_report_command
+        return run_report_command(_build_parser().parse_args(raw))
+    from ..obs.ledger import append_run_record, ledger_dir
+    ledgered = ledger_dir() is not None
+    if ledgered:
+        # coarse spans only: the ledger records the roll-up, so
+        # per-attempt detail spans would be pure memory overhead here.
+        from ..obs import enable_spans
+        enable_spans(True)
+    command = raw[0] if raw and raw[0] in (
+        "compile", "validate", "dse", "chaos") else "suite"
+    start = time.perf_counter()
+    code = _dispatch(command, raw)
+    if ledgered:
+        append_run_record(command, raw, exit_code=code,
+                          duration_seconds=time.perf_counter() - start)
+    return code
+
+
+def _dispatch(command: str, raw: list[str]) -> int:
+    if command == "compile":
         from .compile_cli import run_compile_command
         ns = _build_parser().parse_args(raw)
         return run_compile_command(ns.path, cores=ns.cores,
                                    iterations=ns.iterations,
                                    unroll=ns.unroll, json_out=ns.json_out,
                                    policy=ns.policy)
-    if raw and raw[0] == "validate":
+    if command == "validate":
         return _run_validate_command(_build_parser().parse_args(raw))
-    if raw and raw[0] == "dse":
+    if command == "dse":
         return _run_dse_command(_build_parser().parse_args(raw))
-    if raw and raw[0] == "chaos":
+    if command == "chaos":
         return _run_chaos_command(_build_parser().parse_args(raw))
+    return _run_suite_command(raw)
+
+
+def _run_suite_command(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="tms-experiments",
         description="Regenerate the paper's tables and figures "

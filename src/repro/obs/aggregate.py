@@ -1,0 +1,148 @@
+"""Cross-process telemetry capture & merge.
+
+``ParallelRunner`` workers run in separate processes, so everything they
+publish into *their* default registry / tracer / span tracer would die
+with the worker.  This module closes the loop:
+
+* the **parent** captures its telemetry switches with
+  :func:`telemetry_config` and ships them (a tiny picklable dict) with
+  every submitted task;
+* the **worker** wraps each task in :func:`collecting`, which installs a
+  fresh default registry / tracer / span tracer configured from those
+  switches, and on exit restores the previous defaults and snapshots
+  whatever the task produced into a plain-dict payload;
+* the **parent** folds each payload back into its own defaults with
+  :func:`merge_into_process` under a deterministic ``worker.<task>``
+  origin label — metrics via
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot` (atomic),
+  events via :meth:`~repro.obs.events.Tracer.ingest` (content verbatim,
+  fresh seq numbers), spans via
+  :meth:`~repro.obs.spans.SpanTracer.ingest` (re-based under the
+  currently open span).
+
+Because the runner merges payloads in *submission* order, a same-seed
+``--jobs 4`` run recovers byte-identical ``--stats`` totals and
+``--trace`` exports to a sequential run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
+
+from .events import Tracer, get_tracer
+from .metrics import MetricsRegistry, get_registry, set_registry
+from .spans import SpanTracer, get_span_tracer, set_span_tracer, spans_to_dicts
+
+__all__ = [
+    "TelemetryCollector",
+    "collecting",
+    "merge_into_process",
+    "telemetry_config",
+]
+
+#: payload format version (bumped on incompatible snapshot changes)
+SNAPSHOT_VERSION = 1
+
+
+def telemetry_config() -> dict[str, bool]:
+    """The parent's telemetry switches, as a picklable dict a worker can
+    recreate its collection environment from."""
+    return {
+        "metrics": get_registry().enabled,
+        "events": get_tracer().enabled,
+        "spans": get_span_tracer().enabled,
+        "spans_detail": get_span_tracer().detail,
+    }
+
+
+class TelemetryCollector:
+    """The worker-side trio of fresh default instruments for one task."""
+
+    __slots__ = ("registry", "tracer", "span_tracer")
+
+    def __init__(self, config: Mapping[str, Any] | None = None) -> None:
+        cfg = dict(config or {})
+        self.registry = MetricsRegistry(enabled=bool(cfg.get("metrics", True)))
+        self.tracer = Tracer(enabled=bool(cfg.get("events", False)))
+        self.span_tracer = SpanTracer(
+            enabled=bool(cfg.get("spans", False)),
+            detail=bool(cfg.get("spans_detail", False)))
+
+    def snapshot(self) -> dict[str, Any] | None:
+        """Everything the task produced, as plain picklable data.
+
+        Zero-valued instruments are skipped (they exist in the parent
+        too, so merging them would only add noise).  Returns ``None``
+        when nothing at all was collected, so the runner can skip the
+        merge entirely.
+        """
+        metrics = {name: snap for name, snap
+                   in self.registry.snapshot(origin="local").items()
+                   if not _is_zero(snap)}
+        events = [e.to_dict() for e in self.tracer.events]
+        spans = spans_to_dicts(self.span_tracer.spans)
+        if not metrics and not events and not spans:
+            return None
+        return {
+            "version": SNAPSHOT_VERSION,
+            "metrics": metrics,
+            "events": events,
+            "spans": spans,
+        }
+
+
+def _is_zero(snap: Mapping[str, Any]) -> bool:
+    if snap.get("kind") in ("counter", "gauge"):
+        return not snap.get("value")
+    return not snap.get("count")
+
+
+@contextmanager
+def collecting(config: Mapping[str, Any] | None = None
+               ) -> Iterator[TelemetryCollector]:
+    """Install a fresh set of default instruments for the duration of
+    the block (the task body), restoring the previous defaults on exit.
+
+    The yielded :class:`TelemetryCollector` owns the fresh instruments;
+    call :meth:`~TelemetryCollector.snapshot` *inside* or after the
+    block to capture what the task produced.
+    """
+    collector = TelemetryCollector(config)
+    prev_registry = set_registry(collector.registry)
+    prev_tracer = get_tracer()
+    prev_tracer_state = (prev_tracer.enabled,)
+    prev_spans = set_span_tracer(collector.span_tracer)
+    # The default tracer is module-global without a setter that swaps the
+    # object emitters hold; instrumented code looks it up per call via
+    # get_tracer(), so swap it the same way the registry/span tracer are.
+    from . import events as _events_mod
+    _events_mod._TRACER = collector.tracer
+    try:
+        yield collector
+    finally:
+        _events_mod._TRACER = prev_tracer
+        prev_tracer.enabled = prev_tracer_state[0]
+        set_registry(prev_registry)
+        set_span_tracer(prev_spans)
+
+
+def merge_into_process(snapshot: Mapping[str, Any] | None,
+                       origin: str) -> None:
+    """Fold a worker's :meth:`~TelemetryCollector.snapshot` payload into
+    the parent's default registry / tracer / span tracer under
+    ``origin``.  ``None`` / empty payloads are a no-op; unknown payload
+    versions are ignored rather than raising mid-run."""
+    if not snapshot:
+        return
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        return
+    metrics = snapshot.get("metrics")
+    if metrics:
+        get_registry().merge_snapshot(metrics, origin)
+    events = snapshot.get("events")
+    if events:
+        get_tracer().ingest(events, origin=origin)
+    spans = snapshot.get("spans")
+    if spans:
+        get_span_tracer().ingest(spans, origin=origin)

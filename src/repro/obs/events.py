@@ -61,11 +61,13 @@ class Event:
 class Tracer:
     """An append-only event sink with a cheap on/off switch."""
 
-    __slots__ = ("enabled", "events", "_seq")
+    __slots__ = ("enabled", "events", "ingest_counts", "_seq")
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self.events: list[Event] = []
+        #: events merged per origin label (see :meth:`ingest`)
+        self.ingest_counts: dict[str, int] = {}
         self._seq = 0
 
     def emit(self, cat: str, name: str, ts: float | None = None,
@@ -83,6 +85,29 @@ class Tracer:
         self.events.append(event)
         return event
 
+    def ingest(self, events: "Iterable[Event | dict]",
+               origin: str | None = None) -> int:
+        """Re-emit serialized events (a worker's ``to_dict`` stream) into
+        this tracer, re-assigning sequence numbers; returns how many were
+        added.  Content is preserved verbatim — no origin is stamped into
+        the records, so a merged ``--jobs N`` export stays byte-identical
+        to a sequential run; per-origin counts are kept in
+        ``ingest_counts`` instead."""
+        if not self.enabled:
+            return 0
+        n = 0
+        for e in events:
+            if isinstance(e, Event):
+                self.emit(e.cat, e.name, e.ts, e.dur, **e.args)
+            else:
+                self.emit(str(e.get("cat", "")), str(e.get("name", "")),
+                          e.get("ts"), e.get("dur"),
+                          **dict(e.get("args") or {}))
+            n += 1
+        if origin is not None and n:
+            self.ingest_counts[origin] = self.ingest_counts.get(origin, 0) + n
+        return n
+
     def select(self, cat: str | None = None,
                name: str | None = None) -> list[Event]:
         """Events filtered by category and/or name, in emission order."""
@@ -93,6 +118,7 @@ class Tracer:
     def clear(self) -> None:
         """Drop all events and restart the sequence counter."""
         self.events.clear()
+        self.ingest_counts.clear()
         self._seq = 0
 
     def __len__(self) -> int:

@@ -24,9 +24,10 @@ Instruments are created idempotently by name::
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Mapping
 
 __all__ = [
     "Counter",
@@ -174,6 +175,14 @@ class MetricsRegistry:
     ``enabled`` gates every mutation; reading (``snapshot`` / ``render``)
     always works.  Asking for an existing name with a different
     instrument kind raises — names are global, so a collision is a bug.
+
+    Worker telemetry merges in via :meth:`merge_snapshot`, which files
+    the contribution under an *origin* label (``worker.<task>``).  The
+    local instruments are never mutated by a merge; :meth:`snapshot`
+    combines local + merged origins on read, so ``--stats`` totals under
+    ``--jobs N`` match a sequential run.  Merge and snapshot share one
+    lock, so a snapshot taken from another thread mid-merge never sees a
+    half-applied contribution.
     """
 
     def __init__(self, enabled: bool | None = None) -> None:
@@ -181,6 +190,9 @@ class MetricsRegistry:
             enabled = os.environ.get("REPRO_METRICS", "").strip() != "0"
         self.enabled = enabled
         self._instruments: dict[str, _Instrument] = {}
+        #: origin label -> instrument name -> accumulated snapshot dict
+        self._merged: dict[str, dict[str, dict]] = {}
+        self._lock = threading.Lock()
 
     # -- instrument factories ----------------------------------------------
 
@@ -219,10 +231,66 @@ class MetricsRegistry:
     def get(self, name: str) -> _Instrument | None:
         return self._instruments.get(name)
 
-    def snapshot(self) -> dict[str, dict]:
-        """All instruments' values, keyed by name (sorted)."""
-        return {name: self._instruments[name].snapshot()
-                for name in sorted(self._instruments)}
+    def snapshot(self, origin: str | None = None) -> dict[str, dict]:
+        """Instrument values keyed by name (sorted).
+
+        ``origin=None`` combines the local instruments with every merged
+        worker contribution (the complete picture ``--stats`` renders);
+        ``origin="local"`` restricts to this process's own instruments;
+        any other value returns that merged origin's contribution alone
+        (empty if the origin never merged).
+        """
+        with self._lock:
+            local = {name: self._instruments[name].snapshot()
+                     for name in sorted(self._instruments)}
+            if origin == "local":
+                return local
+            if origin is not None:
+                return {name: dict(snap) for name, snap
+                        in sorted(self._merged.get(origin, {}).items())}
+            combined = dict(local)
+            for contribution in self._merged.values():
+                for name, snap in contribution.items():
+                    prev = combined.get(name)
+                    combined[name] = _combine_snapshots(prev, snap) \
+                        if prev is not None else dict(snap)
+            return {name: combined[name] for name in sorted(combined)}
+
+    def merge_snapshot(self, snap: Mapping[str, Mapping], origin: str) -> None:
+        """Atomically fold a worker's ``snapshot()`` into this registry
+        under ``origin`` (e.g. ``"worker.3"``).  Local instruments are
+        untouched; the contribution surfaces through :meth:`snapshot`
+        and :meth:`deterministic_totals`."""
+        if not self.enabled or not snap:
+            return
+        with self._lock:
+            bucket = self._merged.setdefault(origin, {})
+            for name, s in snap.items():
+                prev = bucket.get(name)
+                bucket[name] = _combine_snapshots(prev, dict(s)) \
+                    if prev is not None else dict(s)
+
+    def origins(self) -> list[str]:
+        """Origin labels that have merged contributions, sorted."""
+        with self._lock:
+            return sorted(self._merged)
+
+    def deterministic_totals(self, origin: str | None = None
+                             ) -> dict[str, int | float | dict]:
+        """The combined snapshot reduced to its deterministic fields:
+        counter/gauge values, histogram count+sum, timer counts only
+        (timer sums are wall-clock noise).  Two same-seed runs —
+        sequential or fanned out — agree on this map exactly."""
+        out: dict[str, int | float | dict] = {}
+        for name, snap in self.snapshot(origin).items():
+            kind = snap.get("kind")
+            if kind in ("counter", "gauge"):
+                out[name] = snap["value"]
+            elif kind == "timer":
+                out[name] = {"count": snap["count"]}
+            else:
+                out[name] = {"count": snap["count"], "sum": snap["sum"]}
+        return out
 
     def render(self) -> str:
         """Aligned one-line-per-instrument dump for terminals."""
@@ -239,9 +307,40 @@ class MetricsRegistry:
         return "\n".join(lines)
 
     def reset(self) -> None:
-        """Zero every instrument (the instruments stay registered)."""
-        for inst in self._instruments.values():
-            inst.reset()
+        """Zero every instrument (the instruments stay registered) and
+        drop all merged worker contributions."""
+        with self._lock:
+            for inst in self._instruments.values():
+                inst.reset()
+            self._merged.clear()
+
+
+def _combine_snapshots(a: dict, b: dict) -> dict:
+    """Fold instrument snapshot ``b`` into ``a`` (same instrument name).
+
+    Counters add; gauges take the later write (``b``); histograms and
+    timers merge count/sum/min/max.  A kind mismatch keeps ``b`` — the
+    merge must never raise mid-run.
+    """
+    kind = a.get("kind")
+    if kind != b.get("kind"):
+        return dict(b)
+    if kind == "counter":
+        return {"kind": kind, "value": a["value"] + b["value"]}
+    if kind == "gauge":
+        return {"kind": kind, "value": b["value"]}
+    count = a["count"] + b["count"]
+    total = a["sum"] + b["sum"]
+    lows = [s["min"] for s in (a, b) if s["count"]]
+    highs = [s["max"] for s in (a, b) if s["count"]]
+    return {
+        "kind": kind,
+        "count": count,
+        "sum": total,
+        "min": min(lows) if lows else 0.0,
+        "max": max(highs) if highs else 0.0,
+        "mean": total / count if count else 0.0,
+    }
 
 
 # -- the process-wide default registry ---------------------------------------

@@ -34,6 +34,7 @@ from ..graph.ddg import DDG
 from ..machine.resources import ResourceModel
 from ..obs import metrics
 from ..obs.events import get_tracer
+from ..obs.spans import span
 from .ims import IterativeModuloScheduler
 from .listsched import list_schedule
 from .schedule import Schedule, validate_schedule
@@ -93,7 +94,8 @@ def schedule_with_policy(ddg: DDG, resources: ResourceModel,
     if name not in KNOWN_POLICIES:
         raise SchedulingError(
             f"unknown scheduling policy {name!r}; known: {KNOWN_POLICIES}")
-    sched = _rung_builders(ddg, resources, arch, config)[name]()
+    with span("sched.policy", kernel=ddg.name, policy=name):
+        sched = _rung_builders(ddg, resources, arch, config)[name]()
     sched.meta["policy"] = name
     return sched
 
@@ -118,7 +120,10 @@ def schedule_with_degradation(ddg: DDG, resources: ResourceModel,
     failures: list[str] = []
     for name in ladder:
         try:
-            sched = builders[name]()
+            with span("sched.rung", kernel=ddg.name, policy=name) as sp:
+                sched = builders[name]()
+                if sp is not None:
+                    sp.attrs["outcome"] = "ok"
         except SchedulingError as exc:
             failures.append(f"{name.upper()}: {exc}")
             continue

@@ -32,6 +32,7 @@ from ...graph.ddg import DDG
 from ...machine.resources import ResourceModel
 from ...obs import metrics
 from ...obs.events import get_tracer
+from ...obs.spans import get_span_tracer
 from .context import EngineContext
 from .partial import PartialSchedule
 from .policy import SlotPolicy
@@ -69,6 +70,25 @@ class PlacementEngine:
 
         Returns the slot map, or ``None`` on failure.
         """
+        spans = get_span_tracer()
+        if spans.enabled and spans.detail:
+            # detail span: one per placement attempt — --trace only, so
+            # ledger-scale runs don't accumulate one span per II candidate.
+            with spans.span("sched.place", alg=alg, kernel=self.ctx.name,
+                            ii=ii) as sp:
+                out = self._try_place(ii, order, directions, policy, alg=alg,
+                                      seed_high=seed_high,
+                                      track_live=track_live)
+                if sp is not None:
+                    sp.attrs["ok"] = out is not None
+                return out
+        return self._try_place(ii, order, directions, policy, alg=alg,
+                               seed_high=seed_high, track_live=track_live)
+
+    def _try_place(self, ii: int, order, directions: Mapping[str, str],
+                   policy: SlotPolicy | None = None, *, alg: str,
+                   seed_high: bool = False,
+                   track_live: bool = False) -> dict[str, int] | None:
         if policy is None:
             policy = _FIRST_FIT
         tracer = get_tracer()
@@ -149,6 +169,19 @@ class PlacementEngine:
         dependence violations by direct ejection of the offending
         neighbours.
         """
+        spans = get_span_tracer()
+        if spans.enabled and spans.detail:
+            with spans.span("sched.backtrack", alg=alg,
+                            kernel=self.ctx.name, ii=ii) as sp:
+                out = self._run_backtracking(ii, budget, policy, alg=alg)
+                if sp is not None:
+                    sp.attrs["ok"] = out is not None
+                return out
+        return self._run_backtracking(ii, budget, policy, alg=alg)
+
+    def _run_backtracking(self, ii: int, budget: int,
+                          policy: SlotPolicy | None = None, *,
+                          alg: str = "IMS") -> dict[str, int] | None:
         if policy is None:
             policy = _FIRST_FIT
         tracer = get_tracer()

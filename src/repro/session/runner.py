@@ -30,6 +30,7 @@ from typing import Any, Callable, Sequence
 
 from ..errors import TaskTimeout
 from ..obs import metrics
+from ..obs.aggregate import collecting, merge_into_process, telemetry_config
 
 __all__ = ["ParallelRunner", "TaskResult", "resolve_jobs"]
 
@@ -61,6 +62,9 @@ class TaskResult:
     error_traceback: str = ""
     attempts: int = 1        #: total attempts made (1 = no retries needed)
     timed_out: bool = False  #: last failure was a per-task timeout
+    #: worker telemetry snapshot (metrics/events/spans) awaiting merge;
+    #: the runner folds it into the parent's registries and clears it.
+    telemetry: Any = None
 
     @property
     def ok(self) -> bool:
@@ -81,6 +85,19 @@ def _call(fn: Callable[[Any], Any], index: int, item: Any) -> TaskResult:
     except BaseException as exc:  # noqa: BLE001 — captured, surfaced per task
         return TaskResult(index=index, error=exc,
                           error_traceback=traceback.format_exc())
+
+
+def _traced_call(fn: Callable[[Any], Any], index: int, item: Any,
+                 telemetry_cfg: dict) -> TaskResult:
+    """Worker entry point: run the task inside a fresh telemetry scope
+    and ship everything it produced (metrics / events / spans) back in
+    ``TaskResult.telemetry`` — captured even when the task failed, so
+    partial work is attributed the same way the inline path attributes
+    it."""
+    with collecting(telemetry_cfg) as collector:
+        result = _call(fn, index, item)
+        result.telemetry = collector.snapshot()
+    return result
 
 
 @dataclass
@@ -144,6 +161,13 @@ class ParallelRunner:
                 still_failed = []
                 for i, res in zip(pending, wave):
                     res.attempts = attempt + 1
+                    if res.telemetry is not None:
+                        # merged in input order (pending is sorted), so a
+                        # --jobs N trace replays byte-identical to --jobs 1;
+                        # the origin is the *task* index — worker process
+                        # identity is scheduling noise.
+                        merge_into_process(res.telemetry, f"worker.{i}")
+                        res.telemetry = None
                     results[i] = res
                     if not res.ok:
                         still_failed.append(i)
@@ -206,8 +230,10 @@ class ParallelRunner:
         pool shutdown cannot hang."""
         workers = min(workers, len(pending))
         results: dict[int, TaskResult] = {}
+        cfg = telemetry_config()
         pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
-        futures = {pool.submit(_call, fn, i, items[i]): i for i in pending}
+        futures = {pool.submit(_traced_call, fn, i, items[i], cfg): i
+                   for i in pending}
         deadline = None if timeout is None else (
             time.monotonic() + timeout * math.ceil(len(pending) / workers))
         try:

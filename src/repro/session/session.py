@@ -30,6 +30,7 @@ from ..ir.loop import Loop
 from ..machine.latency import LatencyModel
 from ..machine.resources import ResourceModel
 from ..obs import metrics
+from ..obs.spans import span
 from .cache import MISS, ArtifactCache, CacheStats
 from .fingerprint import artifact_key
 from .runner import ParallelRunner, TaskResult
@@ -172,8 +173,9 @@ class Session:
         cached = self.cache.get(key)
         if cached is not MISS:
             return cached
-        with metrics.timer("session.compile_seconds",
-                           "wall time of uncached compiles").time():
+        with span("session.compile", kernel=getattr(source, "name", "")), \
+                metrics.timer("session.compile_seconds",
+                              "wall time of uncached compiles").time():
             compiled = _compile_uncached(
                 (source, arch, resources, config, latency))
         self.stats.compiles += 1
@@ -218,8 +220,9 @@ class Session:
         if pending:
             keys = list(pending)
             runner = ParallelRunner(jobs if jobs is not None else self.jobs)
-            results = runner.map(_compile_uncached,
-                                 [payloads[k] for k in keys])
+            with span("session.compile_many", tasks=len(keys)):
+                results = runner.map(_compile_uncached,
+                                     [payloads[k] for k in keys])
             for key, result in zip(keys, results):
                 if result.ok:
                     self.stats.compiles += 1
@@ -251,8 +254,10 @@ class Session:
         self.stats.simulations += 1
         metrics.counter("session.simulations",
                         "simulations dispatched through sessions").inc()
-        with metrics.timer("session.simulate_seconds",
-                           "wall time of session simulations").time():
+        with span("session.simulate",
+                  kernel=pipelined.schedule.ddg.name), \
+                metrics.timer("session.simulate_seconds",
+                              "wall time of session simulations").time():
             return SpMTSimulator(pipelined, arch, sim, template=template).run()
 
     def simulate_many(self, targets: Sequence["AlgResult | PipelinedLoop"],
@@ -268,13 +273,23 @@ class Session:
         arch = arch or self.arch or ArchConfig.paper_default()
         pipelined = [_as_pipelined(t) for t in targets]
         runner = ParallelRunner(jobs if jobs is not None else self.jobs)
-        if runner.resolved_jobs <= 1:
-            # inline path keeps the template memo warm
-            return [self.simulate(p, arch, iterations, seed)
-                    for p in pipelined]
         sim = SimConfig(iterations=iterations, seed=seed)
-        results = runner.map(_simulate_task,
-                             [(p, arch, sim) for p in pipelined])
+        payloads = [(p, arch, sim) for p in pipelined]
+        with span("session.simulate_many", tasks=len(payloads)):
+            if runner.resolved_jobs <= 1:
+                # Inline path: same runner bookkeeping and instruments as
+                # the fan-out (so --jobs 1 and --jobs N telemetry agree),
+                # but through a closure that keeps the template memo warm
+                # and honours on_error="skip" instead of raising mid-batch.
+                def _inline(payload: tuple) -> "SimStats":
+                    from ..spmt.sim import SpMTSimulator
+                    p, a, s = payload
+                    template = self._template_for(p, a)
+                    return SpMTSimulator(p, a, s, template=template).run()
+
+                results = runner.map(_inline, payloads)
+            else:
+                results = runner.map(_simulate_task, payloads)
         ok = sum(1 for r in results if r.ok)
         self.stats.simulations += ok
         metrics.counter("session.simulations",

@@ -33,6 +33,7 @@ from ..config import ArchConfig, SimConfig
 from ..errors import SimulationError
 from ..obs import metrics
 from ..obs.events import get_tracer
+from ..obs.spans import get_span_tracer
 from ..sched.postpass import PipelinedLoop
 from .channels import KernelTimingTemplate, ThreadTiming
 from .stats import SimStats
@@ -68,6 +69,22 @@ class SpMTSimulator:
                           if arch.l1_miss_rate > 0.0 else None)
 
     def run(self) -> SimStats:
+        """Simulate all iterations; one ``sim.run`` span per call, with
+        a ``sim.threads`` detail span around the per-thread event loop
+        when ``--trace``-level spans are on."""
+        spans = get_span_tracer()
+        if not spans.enabled:
+            return self._run()
+        sched = self.pipelined.schedule
+        with spans.span("sim.run", kernel=sched.ddg.name,
+                        algorithm=sched.algorithm,
+                        iterations=self.sim.iterations,
+                        ncore=self.arch.ncore):
+            with spans.span("sim.threads", detail=True,
+                            threads=self.sim.iterations):
+                return self._run()
+
+    def _run(self) -> SimStats:
         arch = self.arch
         n = self.sim.iterations
         template = self.template

@@ -1,0 +1,183 @@
+"""``tms-experiments report``: rendering and the perf-regression gate."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.experiments.report_cli import (
+    EXIT_REGRESSION,
+    add_report_arguments,
+    check_regressions,
+    extract_bench_metrics,
+    run_report_command,
+)
+from repro.experiments.runner import main
+from repro.obs.ledger import LEDGER_FILENAME, append_run_record
+
+
+def parse(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser()
+    add_report_arguments(parser)
+    return parser.parse_args(argv)
+
+
+BENCH_SCHED_SHAPE = {
+    "total_seconds": 2.0,
+    "per_kernel_seconds": {"art_loop0": 1.2, "art_loop1": 0.8},
+    "repeats": 1,
+}
+
+PYTEST_BENCHMARK_SHAPE = {
+    "benchmarks": [
+        {"name": "test_table1", "stats": {"mean": 0.5, "rounds": 3}},
+        {"name": "test_table2", "stats": {"mean": 0.25}},
+        "not-a-dict",
+        {"name": "no_stats"},
+    ],
+}
+
+
+class TestExtraction:
+    def test_bench_sched_shape(self):
+        metrics = extract_bench_metrics(BENCH_SCHED_SHAPE, "bench-sched")
+        assert metrics == {"bench-sched.total_seconds": 2.0}
+
+    def test_pytest_benchmark_shape(self):
+        metrics = extract_bench_metrics(PYTEST_BENCHMARK_SHAPE, "t1")
+        assert metrics == {"t1.test_table1.mean_seconds": 0.5,
+                           "t1.test_table2.mean_seconds": 0.25}
+
+    def test_unknown_shape_yields_nothing(self):
+        assert extract_bench_metrics({"hello": "world"}, "x") == {}
+
+
+class TestCheckMath:
+    def test_threshold_boundary(self):
+        rows = check_regressions({"m": 1.10}, {"m": 1.0}, threshold=0.10)
+        assert rows[0]["regressed"] is False  # exactly at the limit
+        rows = check_regressions({"m": 1.11}, {"m": 1.0}, threshold=0.10)
+        assert rows[0]["regressed"] is True
+
+    def test_improvement_never_regresses(self):
+        rows = check_regressions({"m": 0.5}, {"m": 1.0}, threshold=0.0)
+        assert rows[0]["ratio"] == 0.5
+        assert not rows[0]["regressed"]
+
+    def test_only_shared_metrics_compared(self):
+        rows = check_regressions({"a": 1.0, "b": 1.0}, {"b": 1.0, "c": 1.0},
+                                 threshold=0.1)
+        assert [r["metric"] for r in rows] == ["b"]
+
+    def test_zero_baseline_handled(self):
+        rows = check_regressions({"m": 0.1}, {"m": 0.0}, threshold=0.1)
+        assert rows[0]["ratio"] == float("inf")
+        assert rows[0]["regressed"]
+
+
+class TestRunReportCommand:
+    def _write_pair(self, tmp_path, factor: float):
+        """A current bench JSON scaled ``factor``x over its baseline."""
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(BENCH_SCHED_SHAPE))
+        scaled = dict(BENCH_SCHED_SHAPE,
+                      total_seconds=BENCH_SCHED_SHAPE["total_seconds"]
+                      * factor)
+        current = tmp_path / "bench-sched.json"
+        current.write_text(json.dumps(scaled))
+        return current, baseline
+
+    def test_clean_check_exits_zero(self, tmp_path, capsys):
+        current, baseline = self._write_pair(tmp_path, factor=1.05)
+        code = run_report_command(parse(
+            ["--bench", str(current), "--against", str(baseline),
+             "--check", "--threshold", "0.10"]))
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "ok" in captured.out
+        assert "metrics within 10%" in captured.err
+
+    def test_synthetic_regression_exits_typed_code(self, tmp_path, capsys):
+        current, baseline = self._write_pair(tmp_path, factor=1.20)
+        code = run_report_command(parse(
+            ["--bench", str(current), "--against", str(baseline),
+             "--check", "--threshold", "0.10"]))
+        assert code == EXIT_REGRESSION == 3
+        captured = capsys.readouterr()
+        assert "**REGRESSED**" in captured.out
+        assert "REGRESSION:" in captured.err
+        assert "bench-sched.total_seconds" in captured.err
+
+    def test_no_check_reports_without_gating(self, tmp_path, capsys):
+        current, baseline = self._write_pair(tmp_path, factor=2.0)
+        code = run_report_command(parse(
+            ["--bench", str(current), "--against", str(baseline)]))
+        assert code == 0  # regression shown but not gated
+        assert "**REGRESSED**" in capsys.readouterr().out
+
+    def test_against_count_mismatch_is_usage_error(self, tmp_path, capsys):
+        current, baseline = self._write_pair(tmp_path, factor=1.0)
+        code = run_report_command(parse(
+            ["--bench", str(current), "--bench", str(baseline),
+             "--against", str(baseline)]))
+        assert code == 1
+        assert "pair them positionally" in capsys.readouterr().err
+
+    def test_unreadable_bench_is_an_error(self, tmp_path, capsys):
+        code = run_report_command(parse(
+            ["--bench", str(tmp_path / "absent.json")]))
+        assert code == 1
+        assert "cannot read bench JSON" in capsys.readouterr().err
+
+    def test_baseline_resolved_from_baselines_dir(self, tmp_path):
+        basedir = tmp_path / "baselines"
+        basedir.mkdir()
+        (basedir / "bench-sched_seed.json").write_text(
+            json.dumps(BENCH_SCHED_SHAPE))
+        current = tmp_path / "bench-sched.json"
+        current.write_text(json.dumps(
+            dict(BENCH_SCHED_SHAPE, total_seconds=3.0)))
+        code = run_report_command(parse(
+            ["--bench", str(current), "--baselines", str(basedir),
+             "--check", "--threshold", "0.10"]))
+        assert code == EXIT_REGRESSION
+
+    def test_markdown_and_html_outputs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+        append_run_record("compile", ["--stats"], duration_seconds=0.5)
+        current, baseline = self._write_pair(tmp_path, factor=1.0)
+        md = tmp_path / "out" / "report.md"
+        dashboard = tmp_path / "out" / "dash.html"
+        code = run_report_command(parse(
+            ["--bench", str(current), "--against", str(baseline),
+             "--markdown", str(md), "--html", str(dashboard)]))
+        assert code == 0
+        text = md.read_text()
+        assert "# repro perf & run report" in text
+        assert "| compile " in text  # the ledger row made it in
+        page = dashboard.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<script" not in page  # self-contained, no JS
+        assert "bench-sched.total_seconds" in page
+
+    def test_corrupt_ledger_lines_reported_not_fatal(self, tmp_path,
+                                                     capsys):
+        ledger = tmp_path / LEDGER_FILENAME
+        append_run_record("validate", [], directory=tmp_path)
+        with open(ledger, "a", encoding="utf-8") as fh:
+            fh.write("garbage line\n")
+        code = run_report_command(parse(["--ledger", str(ledger)]))
+        assert code == 0
+        assert "1 corrupt lines skipped" in capsys.readouterr().out
+
+
+class TestCliWiring:
+    def test_report_subcommand_reachable_from_main(self, tmp_path, capsys,
+                                                   monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+        bench = tmp_path / "b.json"
+        bench.write_text(json.dumps(BENCH_SCHED_SHAPE))
+        code = main(["report", "--bench", str(bench),
+                     "--against", str(bench), "--check"])
+        assert code == 0
+        assert "Run ledger" in capsys.readouterr().out

@@ -4,6 +4,7 @@ import pytest
 
 from repro.obs.events import get_tracer
 from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.spans import SpanTracer, set_span_tracer
 
 
 @pytest.fixture
@@ -15,6 +16,18 @@ def registry():
         yield fresh
     finally:
         set_registry(previous)
+
+
+@pytest.fixture
+def span_tracer():
+    """A fresh enabled span tracer (detail on) installed as the
+    process default."""
+    fresh = SpanTracer(enabled=True, detail=True)
+    previous = set_span_tracer(fresh)
+    try:
+        yield fresh
+    finally:
+        set_span_tracer(previous)
 
 
 @pytest.fixture

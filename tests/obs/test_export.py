@@ -4,7 +4,9 @@ import json
 
 from repro.obs.events import Tracer
 from repro.obs.export import (
+    KNOWN_CATS,
     events_to_jsonl,
+    format_trace,
     to_chrome_trace,
     write_chrome_trace,
     write_events_jsonl,
@@ -59,6 +61,54 @@ def test_chrome_trace_shape():
     assert place["ph"] == "i" and place["ts"] == 0.0
     violation = by_name["violation"]
     assert violation["ph"] == "i" and violation["tid"] == 1
+
+
+def test_chrome_trace_unknown_cats_share_other_lane():
+    t = Tracer(enabled=True)
+    t.emit("sched", "place", node="n1")
+    t.emit("plugin", "hook")
+    t.emit("custom", "probe", ts=2.0)
+    doc = to_chrome_trace(t.events)
+    records = doc["traceEvents"]
+    meta = [r for r in records if r["ph"] == "M"]
+    # one shared lane for both unknown categories, after the known one
+    assert [m["args"]["name"] for m in meta] == ["sched", "other"]
+    other_pid = meta[1]["pid"]
+    by_name = {r["name"]: r for r in records if r["ph"] != "M"}
+    assert by_name["hook"]["pid"] == other_pid
+    assert by_name["probe"]["pid"] == other_pid
+    # the original category is preserved on the record
+    assert by_name["hook"]["cat"] == "plugin"
+    assert by_name["probe"]["cat"] == "custom"
+    # nothing dropped
+    assert len([r for r in records if r["ph"] != "M"]) == 3
+
+
+def test_format_trace_counts_every_event():
+    t = Tracer(enabled=True)
+    t.emit("sched", "place")
+    t.emit("sched", "place")
+    t.emit("sim", "commit")
+    t.emit("plugin", "hook")
+    t.emit("custom", "probe")
+    text = format_trace(t.events)
+    lines = text.splitlines()
+    assert lines[0].startswith("sched") and "place=2" in lines[0]
+    assert lines[1].startswith("sim")
+    other = lines[2]
+    assert other.startswith("other") and "2 events" in other
+    assert "[cats: custom, plugin]" in other
+    # totals line counts all 5 events across 3 lanes
+    assert lines[-1].split() == ["total", "5", "events", "in", "3", "lanes"]
+
+
+def test_format_trace_known_lane_order():
+    t = Tracer(enabled=True)
+    t.emit("dse", "trial")
+    t.emit("sim", "commit")
+    t.emit("sched", "place")
+    lanes = [line.split()[0] for line in format_trace(t.events).splitlines()]
+    assert lanes == list(KNOWN_CATS) + ["total"]
 
 
 def test_chrome_trace_deterministic(tmp_path):

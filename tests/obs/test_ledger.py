@@ -1,0 +1,173 @@
+"""Run-ledger schema golden gate + corrupt/truncated-line recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_FILENAME,
+    SCHEMA_VERSION,
+    append_run_record,
+    build_run_record,
+    ledger_dir,
+    read_ledger,
+    validate_ledger_record_dict,
+)
+
+
+def valid_record(**overrides) -> dict:
+    """A minimal hand-built record passing the golden gate."""
+    record = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "run",
+        "timestamp": "2026-08-08T00:00:00+00:00",
+        "command": "compile",
+        "argv": ["--stats"],
+        "version": "1.3.0",
+        "fingerprint": "deadbeefdeadbeef",
+        "exit_code": 0,
+        "duration_seconds": 1.5,
+        "metrics": {"session.compiles": 4},
+        "spans": [{"name": "session.compile", "count": 4,
+                   "wall_seconds": 1.2, "exclusive_seconds": 0.9}],
+        "extra": {},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestGoldenSchemaGate:
+    def test_build_run_record_passes_the_gate(self, registry, span_tracer):
+        registry.counter("session.compiles").inc(2)
+        with span_tracer.span("session.compile"):
+            pass
+        record = build_run_record("compile", ["--stats"], exit_code=0,
+                                  duration_seconds=0.25,
+                                  extra={"note": "x"})
+        validate_ledger_record_dict(record)  # must not raise
+        assert record["metrics"]["session.compiles"] == 2
+        assert record["spans"][0]["name"] == "session.compile"
+        assert record["extra"] == {"note": "x"}
+        # the ledger line must be plain JSON
+        json.dumps(record)
+
+    def test_fingerprint_stable_for_same_invocation(self):
+        a = build_run_record("compile", ["--stats"])
+        b = build_run_record("compile", ["--stats"])
+        c = build_run_record("compile", ["--trace"])
+        assert a["fingerprint"] == b["fingerprint"]
+        assert a["fingerprint"] != c["fingerprint"]
+
+    def test_hand_built_valid_record_passes(self):
+        validate_ledger_record_dict(valid_record())
+
+    @pytest.mark.parametrize("key", [
+        "kind", "timestamp", "command", "argv", "version",
+        "fingerprint", "exit_code", "duration_seconds", "metrics",
+        "spans", "extra",
+    ])
+    def test_missing_key_rejected(self, key):
+        record = valid_record()
+        del record[key]
+        with pytest.raises(ValueError, match=key):
+            validate_ledger_record_dict(record)
+
+    def test_unsupported_schema_version_rejected(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_ledger_record_dict(valid_record(schema_version=99))
+
+    def test_wrong_types_rejected(self):
+        with pytest.raises(ValueError, match="command"):
+            validate_ledger_record_dict(valid_record(command=7))
+        with pytest.raises(ValueError, match="duration_seconds"):
+            validate_ledger_record_dict(
+                valid_record(duration_seconds="fast"))
+        with pytest.raises(ValueError, match="argv"):
+            validate_ledger_record_dict(valid_record(argv="--stats"))
+
+    def test_bool_does_not_satisfy_int(self):
+        with pytest.raises(ValueError, match="exit_code"):
+            validate_ledger_record_dict(valid_record(exit_code=True))
+
+    def test_span_rows_checked_one_level_deep(self):
+        bad_row = valid_record(spans=[{"name": "x", "count": 1,
+                                       "wall_seconds": 0.1}])
+        with pytest.raises(ValueError, match="exclusive_seconds"):
+            validate_ledger_record_dict(bad_row)
+        with pytest.raises(ValueError, match="spans"):
+            validate_ledger_record_dict(valid_record(spans={"name": "x"}))
+        with pytest.raises(ValueError, match=r"spans\[0\]"):
+            validate_ledger_record_dict(valid_record(spans=["oops"]))
+
+
+class TestAppend:
+    def test_disabled_without_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+        assert ledger_dir() is None
+        assert append_run_record("compile") is None
+
+    def test_append_creates_dir_and_accumulates(self, tmp_path):
+        target = tmp_path / "ledger" / "nested"
+        for i in range(2):
+            path = append_run_record("compile", [f"--run{i}"],
+                                     directory=target)
+        assert path == target / LEDGER_FILENAME
+        records, skipped = read_ledger(path)
+        assert skipped == 0
+        assert [r["argv"] for r in records] == [["--run0"], ["--run1"]]
+
+    def test_env_var_enables_ledger(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path))
+        path = append_run_record("validate", [])
+        assert path == tmp_path / LEDGER_FILENAME
+        assert read_ledger(path)[0][0]["command"] == "validate"
+
+    def test_unwritable_target_warns_not_raises(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory\n")
+        assert append_run_record("compile", directory=blocker) is None
+        assert "run ledger" in capsys.readouterr().err
+
+    @pytest.mark.skipif(os.getuid() == 0,
+                        reason="chmod is advisory for root")
+    def test_readonly_directory_warns_not_raises(self, tmp_path, capsys):
+        ro = tmp_path / "ro"
+        ro.mkdir()
+        ro.chmod(0o500)
+        try:
+            assert append_run_record("compile", directory=ro) is None
+        finally:
+            ro.chmod(0o700)
+        assert "run ledger" in capsys.readouterr().err
+
+
+class TestReadRecovery:
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_ledger(tmp_path / "absent.jsonl") == ([], 0)
+
+    def test_corrupt_and_truncated_lines_skipped(self, tmp_path, capsys):
+        good = json.dumps(valid_record())
+        path = tmp_path / LEDGER_FILENAME
+        path.write_text("\n".join([
+            good,
+            good[: len(good) // 2],          # truncated mid-write
+            "not json at all {{{",
+            json.dumps({"schema_version": SCHEMA_VERSION}),  # invalid
+            json.dumps(["a", "list"]),       # not an object
+            "",                              # blank line is fine
+            json.dumps(valid_record(command="validate")),
+        ]) + "\n")
+        records, skipped = read_ledger(path)
+        assert [r["command"] for r in records] == ["compile", "validate"]
+        assert skipped == 4
+        err = capsys.readouterr().err
+        assert err.count("skipping ledger line") == 4
+
+    def test_future_schema_version_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / LEDGER_FILENAME
+        path.write_text(json.dumps(valid_record(schema_version=2)) + "\n"
+                        + json.dumps(valid_record()) + "\n")
+        records, skipped = read_ledger(path)
+        assert len(records) == 1
+        assert skipped == 1
