@@ -79,6 +79,33 @@ class ExperimentError(ReproError):
     """An experiment harness failed to assemble its inputs."""
 
 
+class ServeError(ReproError):
+    """Base class for :mod:`repro.serve` failures (daemon, broker,
+    client, protocol)."""
+
+
+class ProtocolError(ServeError):
+    """A serve request or response violates the JSON protocol
+    (:mod:`repro.serve.protocol`): unknown kind, missing field, or a
+    mistyped value."""
+
+
+class AdmissionRejected(ServeError):
+    """The serve broker refused a request before (or instead of)
+    executing it.  ``reason`` is one of the
+    :data:`repro.serve.protocol.REJECT_REASONS`: ``queue_full`` (bounded
+    queue depth exceeded), ``deadline`` (the per-request deadline
+    expired), or ``draining`` (the daemon is shutting down)."""
+
+    def __init__(self, reason: str, message: str | None = None):
+        self.reason = reason
+        super().__init__(message or f"request rejected: {reason}")
+
+
+class ServerUnavailable(ServeError):
+    """The serve client could not reach (or lost) the daemon."""
+
+
 class PerfRegressionError(ReproError):
     """``tms-experiments report --check`` found a tracked metric that
     regressed beyond the configured threshold versus its baseline.  The

@@ -112,6 +112,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        "HTML dashboard; --check gates on perf regressions")
     from .report_cli import add_report_arguments
     add_report_arguments(rep)
+    from ..serve.cli import add_serve_arguments, add_submit_arguments
+    serve = sub.add_parser(
+        "serve", help="run the long-lived compile/simulate daemon: warm "
+                      "worker pool, request coalescing, bounded admission "
+                      "control (docs/serving.md)")
+    add_serve_arguments(serve)
+    _add_obs_flags(serve)
+    submit = sub.add_parser(
+        "submit", help="send one compile/simulate request to a running "
+                       "serve daemon and print the result")
+    add_submit_arguments(submit)
     return parser
 
 
@@ -222,6 +233,24 @@ def _run_dse_command(ns: argparse.Namespace) -> int:
     return code
 
 
+#: the last serve run's request tally, surfaced into its ledger record
+_ledger_extra: dict | None = None
+
+
+def _run_serve_command(ns: argparse.Namespace) -> int:
+    global _ledger_extra
+    from ..serve.cli import run_serve_command
+    _begin_trace(ns.trace)
+    code = run_serve_command(ns)
+    _finish_trace(ns.trace)
+    if ns.stats:
+        _print_stats()
+    # the daemon runs its own session (warm pool), so the broker summary
+    # printed by run_serve_command stands in for the session report here.
+    _ledger_extra = getattr(ns, "serve_summary", None)
+    return code
+
+
 def _run_chaos_command(ns: argparse.Namespace) -> int:
     from ..faults.cli import run_chaos_command
     _begin_trace(ns.trace)
@@ -250,12 +279,13 @@ def main(argv: list[str] | None = None) -> int:
         from ..obs import enable_spans
         enable_spans(True)
     command = raw[0] if raw and raw[0] in (
-        "compile", "validate", "dse", "chaos") else "suite"
+        "compile", "validate", "dse", "chaos", "serve", "submit") else "suite"
     start = time.perf_counter()
     code = _dispatch(command, raw)
     if ledgered:
         append_run_record(command, raw, exit_code=code,
-                          duration_seconds=time.perf_counter() - start)
+                          duration_seconds=time.perf_counter() - start,
+                          extra=_ledger_extra)
     return code
 
 
@@ -273,6 +303,11 @@ def _dispatch(command: str, raw: list[str]) -> int:
         return _run_dse_command(_build_parser().parse_args(raw))
     if command == "chaos":
         return _run_chaos_command(_build_parser().parse_args(raw))
+    if command == "serve":
+        return _run_serve_command(_build_parser().parse_args(raw))
+    if command == "submit":
+        from ..serve.cli import run_submit_command
+        return run_submit_command(_build_parser().parse_args(raw))
     return _run_suite_command(raw)
 
 

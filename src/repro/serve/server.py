@@ -1,0 +1,240 @@
+"""The serve daemon: a stdlib HTTP front end over the request broker.
+
+``ServeDaemon`` wraps :class:`~repro.serve.broker.RequestBroker` in a
+:class:`http.server.ThreadingHTTPServer` (one handler thread per
+connection; the broker coalesces and orders the actual work), speaking
+the JSON protocol of :mod:`repro.serve.protocol`:
+
+``POST /submit``
+    Body: a :class:`~repro.serve.protocol.ServeRequest` payload.
+    Answer: the canonical response bytes — byte-identical for every
+    waiter of a coalesced job and for warm cache hits.  The
+    ``X-Repro-Served`` header says how the response was produced
+    (``computed`` / ``coalesced`` / ``cached`` / ``rejected``) without
+    perturbing the body.
+``GET /stats``
+    The broker's live tallies, both cache tiers, and session counters.
+``GET /healthz``
+    ``{"status": "ok"|"draining"}`` — readiness for clients and CI.
+``POST /shutdown``
+    Graceful drain-and-stop, the in-band twin of SIGTERM.
+
+Shutdown discipline: SIGTERM/SIGINT (and ``/shutdown``) first flip the
+broker to *draining* — new submissions get typed ``draining``
+rejections while in-flight jobs finish — then stop the HTTP listener
+and release the warm worker pool.  The actual teardown runs on a
+separate thread because ``HTTPServer.shutdown()`` deadlocks when
+called from the ``serve_forever`` thread itself.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..errors import ProtocolError
+from .broker import BrokerConfig, RequestBroker
+from .protocol import PROTOCOL_VERSION, response_bytes
+
+__all__ = ["ServeDaemon"]
+
+#: request body cap — a DSL loop is tiny; anything larger is malformed.
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into the daemon's broker."""
+
+    # instances are created per-connection by the server; the daemon
+    # hangs itself off the server object.
+    server: "_Server"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def daemon(self) -> "ServeDaemon":
+        return self.server.daemon
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.daemon.verbose:
+            self.daemon._log(f"{self.address_string()} {format % args}")
+
+    def _send_json(self, status: int, payload: dict[str, Any],
+                   headers: dict[str, str] | None = None) -> None:
+        body = response_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _client_error(self, status: int, message: str) -> None:
+        self._send_json(status, {"protocol_version": PROTOCOL_VERSION,
+                                 "status": "error", "error": message})
+
+    def _read_body(self) -> bytes | None:
+        length = self.headers.get("Content-Length")
+        try:
+            n = int(length) if length is not None else 0
+        except ValueError:
+            self._client_error(400, "malformed Content-Length")
+            return None
+        if n <= 0:
+            self._client_error(400, "request body required")
+            return None
+        if n > MAX_BODY_BYTES:
+            self._client_error(413, f"request body exceeds "
+                                    f"{MAX_BODY_BYTES} bytes")
+            return None
+        return self.rfile.read(n)
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            status = "draining" if self.daemon.broker.draining else "ok"
+            self._send_json(200, {"status": status,
+                                  "protocol_version": PROTOCOL_VERSION})
+        elif path == "/stats":
+            self._send_json(200, self.daemon.broker.stats())
+        else:
+            self._client_error(404, f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/submit":
+            self._do_submit()
+        elif path == "/shutdown":
+            self._send_json(200, {"status": "stopping",
+                                  "protocol_version": PROTOCOL_VERSION})
+            self.daemon.request_stop("shutdown request")
+        else:
+            self._client_error(404, f"unknown path {path!r}")
+
+    def _do_submit(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._client_error(400, f"request body is not valid JSON: {exc}")
+            return
+        try:
+            response, served = self.daemon.broker.submit(payload)
+        except ProtocolError as exc:
+            self._client_error(400, str(exc))
+            return
+        status = 200
+        if response["status"] == "rejected":
+            # backpressure maps onto 503 so generic clients retry later
+            status = 503
+        self._send_json(status, response, {"X-Repro-Served": served})
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    daemon: "ServeDaemon"
+
+
+class ServeDaemon:
+    """One serve daemon: broker + HTTP listener + signal handling.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (``self.port`` holds
+        the real one after construction — handy for tests).
+    broker:
+        A pre-built broker, else one is created from ``config``.
+    config:
+        Broker knobs when ``broker`` is not given.
+    install_signal_handlers:
+        Wire SIGTERM/SIGINT to graceful drain (main thread only).
+    verbose:
+        Log per-request lines.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 broker: RequestBroker | None = None,
+                 config: BrokerConfig | None = None,
+                 install_signal_handlers: bool = False,
+                 verbose: bool = False) -> None:
+        self.broker = broker if broker is not None \
+            else RequestBroker(config=config)
+        self.verbose = verbose
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.daemon = self
+        self.host, self.port = self._httpd.server_address[:2]
+        self._serve_thread: threading.Thread | None = None
+        self._stop_thread: threading.Thread | None = None
+        self._stop_lock = threading.Lock()
+        self._stopped = threading.Event()
+        self.drained: bool | None = None
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(sig, self._on_signal)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _log(self, message: str) -> None:
+        print(f"[serve] {message}", flush=True)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServeDaemon":
+        """Start the broker and the HTTP listener in the background."""
+        self.broker.start()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http", daemon=True)
+        self._serve_thread.start()
+        return self
+
+    def _on_signal(self, signum: int, frame: Any) -> None:
+        self.request_stop(signal.Signals(signum).name)
+
+    def request_stop(self, reason: str = "",
+                     drain_timeout: float | None = 30.0) -> None:
+        """Begin graceful shutdown (idempotent, safe from any thread):
+        drain the broker, then stop the listener."""
+        with self._stop_lock:
+            if self._stop_thread is not None:
+                return
+            self.broker.begin_drain()
+            if reason:
+                self._log(f"stopping ({reason}); draining "
+                          f"{self.broker.queue_depth()} in-flight job(s)")
+            # shutdown() must not run on the serve_forever thread, and
+            # signal handlers run on the main thread which may be
+            # wait()ing — so teardown gets its own thread.
+            self._stop_thread = threading.Thread(
+                target=self._stop, args=(drain_timeout,),
+                name="serve-stop", daemon=True)
+            self._stop_thread.start()
+
+    def _stop(self, drain_timeout: float | None) -> None:
+        self.drained = self.broker.stop(drain=True, timeout=drain_timeout)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._stopped.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until shutdown completes; returns whether it did."""
+        return self._stopped.wait(timeout)
+
+    def stop(self, drain_timeout: float | None = 30.0) -> bool:
+        """Synchronous stop for tests and embedding: request shutdown
+        and wait for it."""
+        self.request_stop(drain_timeout=drain_timeout)
+        self.wait()
+        return bool(self.drained)

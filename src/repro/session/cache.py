@@ -9,6 +9,14 @@ atomically (temp file + rename) so concurrent writers — e.g. the
 expose a torn file.  Disk entries are self-invalidating across library
 versions because the fingerprint key embeds ``repro.__version__``.
 
+Within one process the cache is thread-safe: every public operation
+(lookup, store, invalidate, stats read) runs under a single re-entrant
+lock, so the serve broker (:mod:`repro.serve.broker`) can hit one
+:class:`~repro.session.session.Session` from many request threads
+without torn LRU state or lost counter updates.  The lock is held across
+disk-tier I/O too — correctness over concurrency; the disk tier is an
+optimisation, and artifact pickles are small.
+
 Every operation feeds :class:`CacheStats`, the counters surfaced through
 ``Session.report()`` / ``tms-experiments --cache-stats``-style output.
 """
@@ -18,6 +26,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -94,6 +103,9 @@ class ArtifactCache:
         self.max_disk_mb = max_disk_mb
         self.stats = CacheStats()
         self._mem: OrderedDict[str, Any] = OrderedDict()
+        # one lock for both tiers and the counters: get/put from many
+        # broker threads must never tear the LRU order or drop updates.
+        self._lock = threading.RLock()
         # aggregate counters in the process metrics registry (shared by
         # every cache instance; the per-instance view stays in `stats`).
         self._m = {
@@ -111,60 +123,88 @@ class ArtifactCache:
     def get(self, key: str) -> Any:
         """Return the cached value for ``key`` or the :data:`MISS`
         sentinel.  Disk hits are promoted into the memory tier."""
-        if key in self._mem:
-            self._mem.move_to_end(key)
-            self.stats.hits += 1
-            self._m["hits"].inc()
-            return self._mem[key]
-        if self.disk_dir is not None:
-            value = self._disk_read(key)
-            if value is not MISS:
-                self.stats.disk_hits += 1
-                self._m["disk_hits"].inc()
-                self._mem_put(key, value)
-                return value
-        self.stats.misses += 1
-        self._m["misses"].inc()
-        return MISS
+        with self._lock:
+            if key in self._mem:
+                self._mem.move_to_end(key)
+                self.stats.hits += 1
+                self._m["hits"].inc()
+                return self._mem[key]
+            if self.disk_dir is not None:
+                value = self._disk_read(key)
+                if value is not MISS:
+                    self.stats.disk_hits += 1
+                    self._m["disk_hits"].inc()
+                    self._mem_put(key, value)
+                    return value
+            self.stats.misses += 1
+            self._m["misses"].inc()
+            return MISS
 
     def put(self, key: str, value: Any) -> None:
         """Insert ``value`` under ``key`` in both tiers."""
-        self._mem_put(key, value)
-        self.stats.stores += 1
-        self._m["stores"].inc()
-        if self.disk_dir is not None:
-            self._disk_write(key, value)
+        with self._lock:
+            self._mem_put(key, value)
+            self.stats.stores += 1
+            self._m["stores"].inc()
+            if self.disk_dir is not None:
+                self._disk_write(key, value)
 
     def invalidate(self, key: str) -> bool:
         """Drop ``key`` from both tiers; True if anything was removed."""
-        removed = self._mem.pop(key, MISS) is not MISS
-        path = self._disk_path(key)
-        if path is not None and path.exists():
-            try:
-                path.unlink()
-                removed = True
-            except OSError:
-                self.stats.disk_errors += 1
-                self._m["disk_errors"].inc()
-        if removed:
-            self.stats.invalidations += 1
-            self._m["invalidations"].inc()
-        return removed
+        with self._lock:
+            removed = self._mem.pop(key, MISS) is not MISS
+            path = self._disk_path(key)
+            if path is not None and path.exists():
+                try:
+                    path.unlink()
+                    removed = True
+                except OSError:
+                    self.stats.disk_errors += 1
+                    self._m["disk_errors"].inc()
+            if removed:
+                self.stats.invalidations += 1
+                self._m["invalidations"].inc()
+            return removed
 
     def clear(self) -> None:
         """Empty the memory tier (disk entries are left in place)."""
-        self._mem.clear()
+        with self._lock:
+            self._mem.clear()
 
     def __len__(self) -> int:
-        return len(self._mem)
+        with self._lock:
+            return len(self._mem)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._mem or (
-            self.disk_dir is not None
-            and (p := self._disk_path(key)) is not None and p.exists())
+        with self._lock:
+            return key in self._mem or (
+                self.disk_dir is not None
+                and (p := self._disk_path(key)) is not None and p.exists())
 
     def keys(self) -> Iterator[str]:
-        return iter(self._mem.keys())
+        with self._lock:
+            return iter(list(self._mem.keys()))
+
+    def stats_dict(self) -> dict[str, Any]:
+        """The cache's counters and shape as one JSON-able dict — the
+        payload behind the serve daemon's ``/stats`` endpoint."""
+        with self._lock:
+            s = self.stats
+            return {
+                "hits": s.hits,
+                "misses": s.misses,
+                "stores": s.stores,
+                "evictions": s.evictions,
+                "invalidations": s.invalidations,
+                "disk_hits": s.disk_hits,
+                "disk_stores": s.disk_stores,
+                "disk_errors": s.disk_errors,
+                "disk_prunes": s.disk_prunes,
+                "hit_rate": s.hit_rate,
+                "entries": len(self._mem),
+                "maxsize": self.maxsize,
+                "disk_tier": self.disk_dir is not None,
+            }
 
     # -- memory tier --------------------------------------------------------
 

@@ -15,11 +15,22 @@ The worker count resolves as: explicit argument, else the
 runs everything inline in the calling process — same code path, no
 pickling, exceptions still captured — which keeps the cache counters of
 the calling :class:`~repro.session.session.Session` exact.
+
+``persistent=True`` keeps one warm ``ProcessPoolExecutor`` alive across
+``map`` calls instead of rebuilding it per call — the worker pool behind
+the serve daemon (:mod:`repro.serve`) and batch users that map many
+small waves.  A persistent runner recycles its workers after
+``max_tasks_per_worker`` tasks each (bounding interpreter bloat from
+long-lived children), replaces the pool when a worker hard-crashes
+(``BrokenProcessPool`` fails the wave's tasks soft, and the next wave —
+a retry wave included — gets a fresh pool), and must be released with
+:meth:`ParallelRunner.close` or a ``with`` block.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import concurrent.futures.process
 import math
 import os
 import random
@@ -105,11 +116,65 @@ class ParallelRunner:
     """Maps a callable over items, in parallel when ``jobs > 1``."""
 
     jobs: int | None = None
+    #: keep one warm process pool across ``map`` calls (see module doc);
+    #: release it with :meth:`close` / a ``with`` block.
+    persistent: bool = False
+    #: recycle the persistent pool after this many tasks per worker
+    #: (``None`` = never recycle).
+    max_tasks_per_worker: int | None = None
     #: resolved worker count (populated on first use)
     resolved_jobs: int = field(init=False, default=0)
+    _pool: Any = field(init=False, default=None, repr=False)
+    #: tasks dispatched to the current persistent pool since it spawned
+    _pool_tasks: int = field(init=False, default=0, repr=False)
 
     def __post_init__(self) -> None:
         self.resolved_jobs = resolve_jobs(self.jobs)
+        if self.max_tasks_per_worker is not None \
+                and self.max_tasks_per_worker < 1:
+            raise ValueError(f"max_tasks_per_worker must be >= 1 or None, "
+                             f"got {self.max_tasks_per_worker}")
+
+    # -- persistent-pool lifecycle -----------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the persistent pool (if any).  Idempotent; the
+        runner stays usable — the next parallel ``map`` spawns a fresh
+        pool."""
+        self._dispose_pool()
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _dispose_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        self._pool_tasks = 0
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _acquire_pool(self, workers: int):
+        """The pool for one wave: fresh per wave normally, the shared
+        warm pool under ``persistent=True`` (sized ``resolved_jobs`` so
+        differently-sized maps reuse it, recycled after
+        ``max_tasks_per_worker`` tasks per worker)."""
+        if not self.persistent:
+            return concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers)
+        size = self.resolved_jobs
+        if (self._pool is not None and self.max_tasks_per_worker is not None
+                and self._pool_tasks >= self.max_tasks_per_worker * size):
+            self._dispose_pool()
+            metrics.counter(
+                "runner.worker_recycles",
+                "persistent pools recycled after max_tasks_per_worker"
+            ).inc()
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=size)
+        return self._pool
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
             *, on_error: str = "capture", timeout: float | None = None,
@@ -231,11 +296,24 @@ class ParallelRunner:
         workers = min(workers, len(pending))
         results: dict[int, TaskResult] = {}
         cfg = telemetry_config()
-        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
-        futures = {pool.submit(_traced_call, fn, i, items[i], cfg): i
-                   for i in pending}
+        pool = self._acquire_pool(workers)
+        keep_pool = self.persistent
+        try:
+            futures = {pool.submit(_traced_call, fn, i, items[i], cfg): i
+                       for i in pending}
+        except concurrent.futures.process.BrokenProcessPool as exc:
+            # a previous wave's crash poisoned the warm pool between
+            # maps: fail this wave soft (a retry wave re-runs it on a
+            # fresh pool) and replace the pool.
+            self._replace_broken_pool()
+            return [TaskResult(index=i, error=exc,
+                               error_traceback=traceback.format_exc())
+                    for i in pending]
+        self._pool_tasks += len(pending)
         deadline = None if timeout is None else (
             time.monotonic() + timeout * math.ceil(len(pending) / workers))
+        broken = False
+        killed = False
         try:
             not_done = set(futures)
             while not_done:
@@ -248,6 +326,10 @@ class ParallelRunner:
                     try:
                         results[i] = fut.result()
                     except BaseException as exc:  # pool/pickling failure
+                        if isinstance(
+                                exc,
+                                concurrent.futures.process.BrokenProcessPool):
+                            broken = True
                         results[i] = TaskResult(
                             index=i, error=exc,
                             error_traceback=traceback.format_exc())
@@ -259,10 +341,23 @@ class ParallelRunner:
                         results[futures[fut]] = self._timeout_result(
                             futures[fut], timeout)
                     self._terminate_workers(pool)
+                    killed = True
                     break
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            if not keep_pool:
+                pool.shutdown(wait=False, cancel_futures=True)
+            elif broken or killed:
+                # crash replacement: drop the poisoned/killed pool; the
+                # next wave (retry waves included) spawns a fresh one.
+                self._replace_broken_pool()
         return [results[i] for i in pending]
+
+    def _replace_broken_pool(self) -> None:
+        self._dispose_pool()
+        metrics.counter(
+            "runner.pool_rebuilds",
+            "persistent pools replaced after a worker crash or "
+            "timeout kill").inc()
 
     @staticmethod
     def _terminate_workers(pool) -> None:

@@ -121,16 +121,29 @@ class Session:
     jobs:
         Default parallelism for the ``*_many`` fan-out calls
         (default: ``REPRO_JOBS`` or sequential).
+    persistent:
+        Keep one warm :class:`~repro.session.runner.ParallelRunner`
+        process pool alive across ``*_many`` calls instead of rebuilding
+        it per call (the serve daemon's mode).  Release it with
+        :meth:`close` or a ``with`` block.
+    max_tasks_per_worker:
+        Recycle the persistent pool's workers after this many tasks
+        each (``None`` = never).
     """
 
     def __init__(self, arch: ArchConfig | None = None,
                  config: SchedulerConfig | None = None, *,
                  cache_size: int | None = None,
                  cache_dir: str | os.PathLike | None = None,
-                 jobs: int | None = None) -> None:
+                 jobs: int | None = None,
+                 persistent: bool = False,
+                 max_tasks_per_worker: int | None = None) -> None:
         self.arch = arch
         self.config = config
         self.jobs = jobs
+        self.persistent = persistent
+        self.max_tasks_per_worker = max_tasks_per_worker
+        self._runner: ParallelRunner | None = None
         self.cache = ArtifactCache(
             maxsize=cache_size if cache_size is not None
             else _resolve_cache_size(),
@@ -142,6 +155,32 @@ class Session:
         # the entry lives.
         self._templates: OrderedDict[tuple[int, int], tuple[Any, Any]] = \
             OrderedDict()
+
+    # -- execution ----------------------------------------------------------
+
+    def _runner_for(self, jobs: int | None) -> ParallelRunner:
+        """The runner one ``*_many`` call fans out on: the shared warm
+        runner in persistent mode (when the call doesn't override
+        ``jobs``), a throwaway one otherwise."""
+        if self.persistent and jobs is None:
+            if self._runner is None:
+                self._runner = ParallelRunner(
+                    self.jobs, persistent=True,
+                    max_tasks_per_worker=self.max_tasks_per_worker)
+            return self._runner
+        return ParallelRunner(jobs if jobs is not None else self.jobs)
+
+    def close(self) -> None:
+        """Release the persistent worker pool (no-op otherwise).  The
+        session stays usable; the next fan-out respawns the pool."""
+        if self._runner is not None:
+            self._runner.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # -- default resolution -------------------------------------------------
 
@@ -190,14 +229,19 @@ class Session:
                      config: SchedulerConfig | None = None,
                      latency: LatencyModel | None = None, *,
                      jobs: int | None = None,
-                     on_error: str = "raise"
+                     on_error: str = "raise",
+                     timeout: float | None = None,
+                     retries: int = 0
                      ) -> list["CompiledLoop | None"]:
         """Compile a batch, fanning cache misses out across processes.
 
         Results come back in input order.  ``on_error="raise"``
         (default) re-raises the first failure; ``"skip"`` replaces
         failed entries with ``None`` so a sweep survives one
-        pathological loop.
+        pathological loop.  ``timeout`` / ``retries`` bound and retry
+        each uncached compile via the runner's per-task machinery (a
+        timed-out compile surfaces as a
+        :class:`~repro.errors.TaskTimeout` failure).
         """
         if on_error not in ("raise", "skip"):
             raise ValueError(
@@ -219,10 +263,11 @@ class Session:
                     key, (source, r_arch, r_res, r_cfg, r_lat))
         if pending:
             keys = list(pending)
-            runner = ParallelRunner(jobs if jobs is not None else self.jobs)
+            runner = self._runner_for(jobs)
             with span("session.compile_many", tasks=len(keys)):
                 results = runner.map(_compile_uncached,
-                                     [payloads[k] for k in keys])
+                                     [payloads[k] for k in keys],
+                                     timeout=timeout, retries=retries)
             for key, result in zip(keys, results):
                 if result.ok:
                     self.stats.compiles += 1
@@ -264,15 +309,19 @@ class Session:
                       arch: ArchConfig | None = None, iterations: int = 500,
                       seed: int = 0xACE5, *,
                       jobs: int | None = None,
-                      on_error: str = "raise") -> list["SimStats | None"]:
+                      on_error: str = "raise",
+                      timeout: float | None = None,
+                      retries: int = 0) -> list["SimStats | None"]:
         """Simulate a batch of kernels; parallel when ``jobs > 1``,
-        deterministic result order always."""
+        deterministic result order always.  ``timeout`` / ``retries``
+        bound and retry each simulation via the runner's per-task
+        machinery."""
         if on_error not in ("raise", "skip"):
             raise ValueError(
                 f"on_error must be 'raise' or 'skip', got {on_error!r}")
         arch = arch or self.arch or ArchConfig.paper_default()
         pipelined = [_as_pipelined(t) for t in targets]
-        runner = ParallelRunner(jobs if jobs is not None else self.jobs)
+        runner = self._runner_for(jobs)
         sim = SimConfig(iterations=iterations, seed=seed)
         payloads = [(p, arch, sim) for p in pipelined]
         with span("session.simulate_many", tasks=len(payloads)):
@@ -287,9 +336,11 @@ class Session:
                     template = self._template_for(p, a)
                     return SpMTSimulator(p, a, s, template=template).run()
 
-                results = runner.map(_inline, payloads)
+                results = runner.map(_inline, payloads,
+                                     timeout=timeout, retries=retries)
             else:
-                results = runner.map(_simulate_task, payloads)
+                results = runner.map(_simulate_task, payloads,
+                                     timeout=timeout, retries=retries)
         ok = sum(1 for r in results if r.ok)
         self.stats.simulations += ok
         metrics.counter("session.simulations",

@@ -1,0 +1,51 @@
+"""Serve tests: isolated registry/tracer and a tiny reference loop.
+
+The registry fixture must be installed *before* any ``Session`` /
+``ArtifactCache`` is constructed — cache counter handles bind to the
+process-default registry at construction time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.spans import SpanTracer, set_span_tracer
+
+#: same loop as the repo-wide AXPY fixture (kept inline: serve requests
+#: carry raw DSL text over the wire, so the test mirrors a real payload)
+AXPY_SRC = """
+loop axpy
+array X 64
+array Y 64
+livein a 2.0
+livein s 0.0
+n0: x = load X[i]
+n1: t = fmul x, a
+n2: y = load Y[i]
+n3: r = fadd t, y
+n4: store Y[i], r
+n5: s = fadd s, r
+"""
+
+
+@pytest.fixture
+def registry():
+    """A fresh enabled registry installed as the process default."""
+    fresh = MetricsRegistry(enabled=True)
+    previous = set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_registry(previous)
+
+
+@pytest.fixture
+def span_tracer():
+    """A fresh enabled span tracer installed as the process default."""
+    fresh = SpanTracer(enabled=True, detail=True)
+    previous = set_span_tracer(fresh)
+    try:
+        yield fresh
+    finally:
+        set_span_tracer(previous)

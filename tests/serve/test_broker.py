@@ -1,0 +1,332 @@
+"""Broker semantics: coalescing, admission control, deadlines, errors."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError, TaskTimeout
+from repro.serve.broker import BrokerConfig, RequestBroker, execute_request
+from repro.serve.protocol import ServeRequest, response_bytes
+from repro.session import Session
+
+from .conftest import AXPY_SRC
+
+
+def _req(**kw):
+    base = dict(kind="compile", source=AXPY_SRC)
+    base.update(kw)
+    return ServeRequest(**base)
+
+
+@pytest.fixture
+def broker(registry, span_tracer):
+    """A real broker over a sequential session (no warm pool: broker
+    tests exercise admission, not parallelism)."""
+    b = RequestBroker(session=Session(jobs=1), config=BrokerConfig())
+    yield b
+    b.stop(drain=False, timeout=1.0)
+
+
+def _gated_broker(registry, gate: threading.Event, *,
+                  config: BrokerConfig | None = None,
+                  execute=None) -> RequestBroker:
+    """A broker whose execution blocks on ``gate`` — lets tests pin
+    jobs in flight deterministically."""
+    inner = execute or execute_request
+
+    def gated(session, request, **kw):
+        gate.wait(timeout=30.0)
+        return inner(session, request, **kw)
+
+    return RequestBroker(session=Session(jobs=1), config=config,
+                         execute=gated)
+
+
+def _wait_until(predicate, timeout: float = 10.0) -> None:
+    import time
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition never became true")
+        time.sleep(0.005)
+
+
+# -- basics ------------------------------------------------------------------
+
+def test_submit_computes_and_then_serves_from_cache(broker):
+    resp1, served1 = broker.submit(_req())
+    resp2, served2 = broker.submit(_req())
+    assert (served1, served2) == ("computed", "cached")
+    assert response_bytes(resp1) == response_bytes(resp2)
+    assert resp1["status"] == "ok"
+    assert resp1["result"]["loop"] == "axpy"
+    assert broker.counts["completed"] == 1
+    assert broker.counts["result_hits"] == 1
+    assert broker.session.stats.compiles == 1
+
+
+def test_submit_accepts_wire_payloads(broker):
+    resp, served = broker.submit({"kind": "compile", "source": AXPY_SRC})
+    assert served == "computed"
+    assert resp["status"] == "ok"
+
+
+def test_submit_propagates_protocol_errors(broker):
+    with pytest.raises(ProtocolError, match="unknown request kind"):
+        broker.submit({"kind": "nope", "source": AXPY_SRC})
+
+
+def test_simulate_requests_return_stats(broker):
+    resp, _ = broker.submit(_req(kind="simulate", iterations=64))
+    result = resp["result"]
+    assert result["kind"] == "simulate"
+    assert result["policy"] == "tms"
+    assert result["stats"]["iterations"] == 64
+    assert result["stats"]["total_cycles"] > 0
+    assert result["kernel"]
+
+
+def test_stats_payload_shape(broker):
+    broker.submit(_req())
+    stats = broker.stats()
+    assert stats["queue_depth"] == 0
+    assert stats["counts"]["requests"] == 1
+    assert stats["cache"]["misses"] == 1
+    assert stats["result_cache"]["stores"] == 1
+    assert stats["session"]["compiles"] == 1
+    assert not stats["draining"]
+
+
+# -- coalescing --------------------------------------------------------------
+
+def test_concurrent_identical_requests_coalesce(registry, span_tracer):
+    """N concurrent identical submits → exactly one computation,
+    byte-identical responses for every waiter."""
+    gate = threading.Event()
+    broker = _gated_broker(registry, gate)
+    try:
+        n = 8
+        outcomes: list[tuple[dict, str]] = [None] * n  # type: ignore
+
+        def submit(i):
+            outcomes[i] = broker.submit(_req())
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        # every submission is in (requests counter), exactly one job is
+        # in flight — only then may it execute
+        _wait_until(lambda: broker.counts["requests"] == n
+                    and broker.queue_depth() == 1)
+        gate.set()
+        for t in threads:
+            t.join(timeout=30.0)
+
+        assert broker.session.stats.compiles == 1         # one computation
+        assert broker.session.cache.stats.misses == 1     # one cache miss
+        assert broker.counts["completed"] == 1
+        assert broker.counts["coalesce_hits"] == n - 1
+        bodies = {response_bytes(resp) for resp, _ in outcomes}
+        assert len(bodies) == 1                           # byte-identical
+        served = sorted(s for _, s in outcomes)
+        assert served == ["coalesced"] * (n - 1) + ["computed"]
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+def test_distinct_requests_do_not_coalesce(registry, span_tracer):
+    broker = RequestBroker(session=Session(jobs=1))
+    try:
+        broker.submit(_req(cores=2))
+        broker.submit(_req(cores=4))
+        assert broker.counts["coalesce_hits"] == 0
+        assert broker.session.stats.compiles == 2
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+# -- admission control -------------------------------------------------------
+
+def test_queue_full_rejection(registry, span_tracer):
+    gate = threading.Event()
+    broker = _gated_broker(registry, gate,
+                           config=BrokerConfig(max_queue_depth=2, workers=1))
+    try:
+        results = {}
+
+        def submit(name, req):
+            results[name] = broker.submit(req)
+
+        t1 = threading.Thread(target=submit, args=("a", _req(cores=2)))
+        t2 = threading.Thread(target=submit, args=("b", _req(cores=4)))
+        t1.start()
+        t2.start()
+        _wait_until(lambda: broker.queue_depth() == 2)
+
+        resp, served = broker.submit(_req(cores=8))       # over the bound
+        assert served == "rejected"
+        assert resp["status"] == "rejected"
+        assert resp["reason"] == "queue_full"
+        assert broker.counts["rejects_queue_full"] == 1
+
+        # coalescing onto an in-flight job is NOT a new admission — it
+        # must still succeed at full depth
+        t3 = threading.Thread(target=submit, args=("a2", _req(cores=2)))
+        t3.start()
+        gate.set()
+        for t in (t1, t2, t3):
+            t.join(timeout=30.0)
+        assert results["a"][1] == "computed"
+        assert results["b"][1] == "computed"
+        assert results["a2"][1] in ("coalesced", "cached")
+        assert results["a"][0]["status"] == "ok"
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+def test_deadline_expired_in_queue_is_rejected(registry, span_tracer):
+    gate = threading.Event()
+    broker = _gated_broker(registry, gate,
+                           config=BrokerConfig(workers=1))
+    try:
+        results = {}
+
+        def submit(name, req):
+            results[name] = broker.submit(req)
+
+        # job A occupies the single executor...
+        t1 = threading.Thread(target=submit, args=("a", _req(cores=2)))
+        t1.start()
+        _wait_until(lambda: broker.queue_depth() == 1)
+        # ...so job B's tiny deadline burns down while it queues
+        t2 = threading.Thread(
+            target=submit,
+            args=("b", _req(cores=4, deadline_seconds=0.001)))
+        t2.start()
+        _wait_until(lambda: broker.queue_depth() == 2)
+        import time
+        time.sleep(0.05)
+        gate.set()
+        t1.join(timeout=30.0)
+        t2.join(timeout=30.0)
+
+        assert results["a"][0]["status"] == "ok"
+        resp, served = results["b"]
+        assert served == "rejected"
+        assert resp["reason"] == "deadline"
+        assert broker.counts["rejects_deadline"] == 1
+        # a rejected job must not poison the result cache
+        resp2, served2 = broker.submit(_req(cores=4))
+        assert served2 == "computed"
+        assert resp2["status"] == "ok"
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+def test_task_timeout_during_execution_is_a_deadline_rejection(
+        registry, span_tracer):
+    def timing_out(session, request, **kw):
+        raise TaskTimeout("task exceeded 0.5s")
+
+    broker = RequestBroker(session=Session(jobs=1), execute=timing_out)
+    try:
+        resp, served = broker.submit(_req())
+        assert served == "rejected"
+        assert resp["reason"] == "deadline"
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+def test_wrapped_task_timeout_still_counts_as_deadline(registry,
+                                                       span_tracer):
+    def wrapped(session, request, **kw):
+        try:
+            raise TaskTimeout("inner")
+        except TaskTimeout as exc:
+            raise RuntimeError("outer") from exc
+
+    broker = RequestBroker(session=Session(jobs=1), execute=wrapped)
+    try:
+        resp, _ = broker.submit(_req())
+        assert resp["reason"] == "deadline"
+        assert broker.counts["errors"] == 0
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+def test_draining_broker_rejects_new_work(broker):
+    broker.begin_drain()
+    resp, served = broker.submit(_req())
+    assert served == "rejected"
+    assert resp["reason"] == "draining"
+    assert broker.counts["rejects_draining"] == 1
+
+
+# -- failure paths -----------------------------------------------------------
+
+def test_execution_errors_become_typed_responses(registry, span_tracer):
+    def boom(session, request, **kw):
+        raise ValueError("no feasible II")
+
+    broker = RequestBroker(session=Session(jobs=1), execute=boom)
+    try:
+        resp, served = broker.submit(_req())
+        assert served == "computed"
+        assert resp["status"] == "error"
+        assert "no feasible II" in resp["error"]
+        assert broker.counts["errors"] == 1
+        # errors are not cached: the next identical submit re-executes
+        _, served2 = broker.submit(_req())
+        assert served2 == "computed"
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+def test_stop_drains_in_flight_work(registry, span_tracer):
+    gate = threading.Event()
+    broker = _gated_broker(registry, gate)
+    result = {}
+
+    def submit():
+        result["out"] = broker.submit(_req())
+
+    t = threading.Thread(target=submit)
+    t.start()
+    _wait_until(lambda: broker.queue_depth() == 1)
+    stopper = threading.Thread(target=lambda: result.update(
+        drained=broker.stop(drain=True, timeout=30.0)))
+    stopper.start()
+    gate.set()
+    t.join(timeout=30.0)
+    stopper.join(timeout=30.0)
+    assert result["drained"] is True
+    assert result["out"][0]["status"] == "ok"
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="max_queue_depth"):
+        BrokerConfig(max_queue_depth=0)
+    with pytest.raises(ValueError, match="workers"):
+        BrokerConfig(workers=0)
+    with pytest.raises(ValueError, match="retries"):
+        BrokerConfig(retries=-1)
+
+
+# -- telemetry ---------------------------------------------------------------
+
+def test_serve_metrics_and_spans(registry, span_tracer, broker):
+    broker.submit(_req())
+    broker.submit(_req())
+    totals = registry.deterministic_totals()
+    assert totals["serve.requests"] == 2
+    assert totals["serve.completed"] == 1
+    assert totals["serve.result_hits"] == 1
+    assert totals["serve.request_seconds"] == {"count": 1}
+    roots = [s for s in span_tracer.spans if s.name == "serve.request"]
+    assert len(roots) == 1
+    assert roots[0].attrs["kind"] == "compile"
+    assert roots[0].attrs["outcome"] == "ok"
+    assert roots[0].attrs["request_id"] == _req().request_id()

@@ -1,0 +1,153 @@
+"""Wire protocol: validation, fingerprints, canonical responses."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    REJECT_REASONS,
+    ServeRequest,
+    error_response,
+    ok_response,
+    rejected_response,
+    response_bytes,
+)
+
+from .conftest import AXPY_SRC
+
+
+def _req(**kw):
+    base = dict(kind="simulate", source=AXPY_SRC)
+    base.update(kw)
+    return ServeRequest(**base)
+
+
+# -- validation --------------------------------------------------------------
+
+def test_round_trip_through_dict():
+    req = _req(cores=8, unroll=2, iterations=300, seed=7, policy="sms",
+               deadline_seconds=1.5)
+    assert ServeRequest.from_dict(req.to_dict()) == req
+
+
+def test_to_dict_omits_null_deadline():
+    assert "deadline_seconds" not in _req().to_dict()
+
+
+def test_from_dict_survives_json_round_trip():
+    req = _req(deadline_seconds=0.5)
+    again = ServeRequest.from_dict(json.loads(json.dumps(req.to_dict())))
+    assert again == req
+
+
+@pytest.mark.parametrize("mutation,match", [
+    (dict(kind="transmogrify"), "unknown request kind"),
+    (dict(source="   "), "non-empty DSL text"),
+    (dict(cores=0), "cores"),
+    (dict(cores="4"), "must be an integer"),
+    (dict(cores=True), "must be an integer"),
+    (dict(unroll=0), "unroll"),
+    (dict(iterations=0), "iterations"),
+    (dict(policy="lru"), "unknown policy"),
+    (dict(deadline_seconds=0), "deadline_seconds"),
+    (dict(deadline_seconds=-1.0), "deadline_seconds"),
+])
+def test_invalid_fields_rejected(mutation, match):
+    with pytest.raises(ProtocolError, match=match):
+        _req(**mutation)
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ProtocolError, match="unknown request field"):
+        ServeRequest.from_dict({"kind": "compile", "source": AXPY_SRC,
+                                "sourc": "typo"})
+
+
+@pytest.mark.parametrize("missing", ["kind", "source"])
+def test_from_dict_requires_kind_and_source(missing):
+    payload = {"kind": "compile", "source": AXPY_SRC}
+    del payload[missing]
+    with pytest.raises(ProtocolError, match=f"missing '{missing}'"):
+        ServeRequest.from_dict(payload)
+
+
+def test_from_dict_rejects_non_object():
+    with pytest.raises(ProtocolError, match="JSON object"):
+        ServeRequest.from_dict(["compile"])
+
+
+# -- identity ----------------------------------------------------------------
+
+def test_fingerprint_ignores_deadline():
+    assert _req().fingerprint() == _req(deadline_seconds=0.25).fingerprint()
+    assert _req().request_id() == _req(deadline_seconds=0.25).request_id()
+
+
+def test_fingerprint_tracks_work_fields():
+    base = _req().fingerprint()
+    assert _req(cores=8).fingerprint() != base
+    assert _req(iterations=9).fingerprint() != base
+    assert _req(seed=1).fingerprint() != base
+    assert _req(policy="sms").fingerprint() != base
+    assert _req(source=AXPY_SRC + "\n# changed").fingerprint() != base
+
+
+def test_compile_fingerprint_ignores_simulation_knobs():
+    # a compile's result cannot depend on trip count / seed / policy, so
+    # requests differing only there must still coalesce
+    base = _req(kind="compile").fingerprint()
+    assert _req(kind="compile", iterations=9).fingerprint() == base
+    assert _req(kind="compile", seed=1).fingerprint() == base
+    assert _req(kind="compile", policy="sms").fingerprint() == base
+    assert _req(kind="compile", cores=8).fingerprint() != base
+
+
+def test_kinds_never_share_fingerprints():
+    assert _req(kind="compile").fingerprint() != _req().fingerprint()
+
+
+def test_request_id_is_a_fingerprint_prefix():
+    req = _req()
+    assert req.request_id() == f"r-{req.fingerprint()[:16]}"
+
+
+# -- responses ---------------------------------------------------------------
+
+def test_ok_response_envelope():
+    req = _req()
+    resp = ok_response(req, {"kind": "simulate", "x": 1})
+    assert resp["protocol_version"] == PROTOCOL_VERSION
+    assert resp["status"] == "ok"
+    assert resp["request_id"] == req.request_id()
+    assert resp["fingerprint"] == req.fingerprint()
+    assert resp["result"] == {"kind": "simulate", "x": 1}
+
+
+@pytest.mark.parametrize("reason", REJECT_REASONS)
+def test_rejected_response_carries_reason(reason):
+    resp = rejected_response(_req(), reason)
+    assert resp["status"] == "rejected"
+    assert resp["reason"] == reason
+
+
+def test_rejected_response_validates_reason():
+    with pytest.raises(ProtocolError, match="unknown rejection reason"):
+        rejected_response(_req(), "bad_hair_day")
+
+
+def test_error_response_carries_message():
+    resp = error_response(_req(), "SchedulingError: no feasible II")
+    assert resp["status"] == "error"
+    assert "SchedulingError" in resp["error"]
+
+
+def test_response_bytes_are_canonical():
+    # key order must not leak into the wire bytes
+    a = response_bytes({"b": 1, "a": {"y": 2, "x": 3}})
+    b = response_bytes({"a": {"x": 3, "y": 2}, "b": 1})
+    assert a == b
+    assert json.loads(a) == {"a": {"x": 3, "y": 2}, "b": 1}

@@ -1,0 +1,190 @@
+"""Daemon integration over real HTTP, and serve-vs-direct equivalence."""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+
+import pytest
+
+from repro.errors import AdmissionRejected, ProtocolError, ServerUnavailable
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.spans import SpanTracer, set_span_tracer, span_tree
+from repro.serve import (
+    ServeClient,
+    ServeDaemon,
+    ServeRequest,
+    execute_request,
+    response_bytes,
+    wait_ready,
+)
+from repro.serve.protocol import ok_response
+from repro.session import Session
+
+from .conftest import AXPY_SRC
+
+
+@pytest.fixture
+def daemon(registry, span_tracer):
+    d = ServeDaemon(port=0, broker=None).start()
+    client = ServeClient("127.0.0.1", d.port, timeout=60.0)
+    assert wait_ready(client, timeout=15.0)
+    yield d, client
+    if not d.wait(timeout=0):
+        d.stop(drain_timeout=10.0)
+
+
+def _req(**kw):
+    base = dict(kind="simulate", source=AXPY_SRC, iterations=64)
+    base.update(kw)
+    return ServeRequest(**base)
+
+
+# -- integration -------------------------------------------------------------
+
+def test_round_trip_and_warm_rerun(daemon):
+    d, client = daemon
+    first = client.submit(_req())
+    second = client.submit(_req())
+    assert first.ok and second.ok
+    assert first.served == "computed"
+    assert second.served == "cached"
+    assert first.body == second.body           # byte-identical off the wire
+    assert first.result["stats"]["iterations"] == 64
+
+    stats = client.stats()
+    assert stats["counts"]["requests"] == 2
+    assert stats["counts"]["completed"] == 1
+    assert stats["counts"]["result_hits"] == 1
+    assert stats["session"]["compiles"] == 1
+
+    health = client.healthz()
+    assert health["status"] == "ok"
+
+
+def test_compile_requests_over_http(daemon):
+    _, client = daemon
+    out = client.submit(_req(kind="compile"))
+    assert out.ok
+    assert out.result["algorithms"]["tms"]["ii"] >= out.result["mii"]
+    assert out.result["algorithms"]["tms"]["kernel"]
+
+
+def test_malformed_requests_get_http_400(daemon):
+    _, client = daemon
+    with pytest.raises(ProtocolError, match="unknown request kind"):
+        client.submit({"kind": "transmogrify", "source": AXPY_SRC})
+    with pytest.raises(ProtocolError, match="unknown request field"):
+        client.submit({"kind": "compile", "source": AXPY_SRC, "bogus": 1})
+
+
+def test_unknown_paths_get_http_404(daemon):
+    d, client = daemon
+    status, _, _ = client._round_trip("GET", "/nope")
+    assert status == 404
+    status, _, _ = client._round_trip("POST", "/nope")
+    assert status == 404
+
+
+def test_draining_daemon_rejects_with_503(daemon):
+    d, client = daemon
+    d.broker.begin_drain()
+    assert client.healthz()["status"] == "draining"
+    with pytest.raises(AdmissionRejected) as excinfo:
+        client.submit(_req())
+    assert excinfo.value.reason == "draining"
+    out = client.submit(_req(), raise_on_reject=False)
+    assert out.http_status == 503
+    assert out.served == "rejected"
+
+
+def test_shutdown_endpoint_drains_and_stops(daemon):
+    d, client = daemon
+    assert client.submit(_req(kind="compile")).ok
+    reply = client.shutdown()
+    assert reply["status"] == "stopping"
+    assert d.wait(timeout=30.0)
+    assert d.drained is True
+    # the listener is gone: the next call is a typed unavailability
+    assert not client.ping()
+
+
+def test_no_daemon_is_server_unavailable(registry):
+    with socket.socket() as s:                 # a port nothing listens on
+        s.bind(("127.0.0.1", 0))
+        port = s.getsockname()[1]
+    client = ServeClient("127.0.0.1", port, timeout=2.0)
+    assert not client.ping()
+    with pytest.raises(ServerUnavailable):
+        client.submit(_req())
+
+
+def test_from_address_parses_and_validates():
+    client = ServeClient.from_address("localhost:9000")
+    assert (client.host, client.port) == ("localhost", 9000)
+    assert ServeClient.from_address(":9000").host == "127.0.0.1"
+    with pytest.raises(ServerUnavailable, match="malformed"):
+        ServeClient.from_address("no-port-here")
+
+
+# -- serve-vs-direct equivalence ---------------------------------------------
+
+@contextlib.contextmanager
+def _fresh_obs():
+    registry = MetricsRegistry(enabled=True)
+    tracer = SpanTracer(enabled=True, detail=True)
+    prev_r = set_registry(registry)
+    prev_t = set_span_tracer(tracer)
+    try:
+        yield registry, tracer
+    finally:
+        set_registry(prev_r)
+        set_span_tracer(prev_t)
+
+
+def _observable(totals):
+    """Registry totals minus serve plumbing: ``serve.*`` only exists on
+    the daemon side, ``cache.*`` aggregates the broker's response cache
+    on top of the session cache."""
+    return {k: v for k, v in totals.items()
+            if not k.startswith(("serve.", "cache."))}
+
+
+def test_serve_and_direct_execution_are_equivalent():
+    """The daemon must answer exactly what a local Session computes:
+    byte-identical payloads, identical session-cache behaviour,
+    identical metric totals, and an identical normalized span tree
+    under the ``serve.request`` root."""
+    req = _req()
+
+    with _fresh_obs() as (reg_direct, tr_direct):
+        direct_session = Session(jobs=1)
+        result = execute_request(direct_session, req)
+        direct_bytes = response_bytes(ok_response(req, result))
+        direct_tree = span_tree(tr_direct.spans, normalize=True)
+        direct_totals = _observable(reg_direct.deterministic_totals())
+        direct_cache = direct_session.cache.stats_dict()
+
+    with _fresh_obs() as (reg_serve, tr_serve):
+        serve_session = Session(jobs=1)
+        from repro.serve import RequestBroker
+        daemon = ServeDaemon(
+            port=0, broker=RequestBroker(session=serve_session)).start()
+        try:
+            client = ServeClient("127.0.0.1", daemon.port, timeout=60.0)
+            assert wait_ready(client, timeout=15.0)
+            outcome = client.submit(req)
+        finally:
+            daemon.stop(drain_timeout=10.0)
+        serve_tree = span_tree(tr_serve.spans, normalize=True)
+        serve_totals = _observable(reg_serve.deterministic_totals())
+        serve_cache = serve_session.cache.stats_dict()
+
+    assert outcome.body == direct_bytes                    # byte-identical
+    assert serve_cache == direct_cache                     # same cache walk
+    assert serve_totals == direct_totals                   # same metrics
+
+    roots = [n for n in serve_tree if n["name"] == "serve.request"]
+    assert len(roots) == 1
+    assert roots[0]["attrs"]["outcome"] == "ok"
+    assert roots[0]["children"] == direct_tree             # same span tree

@@ -265,3 +265,91 @@ def test_session_resolves_cache_max_mb_env(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0")
     with pytest.raises(ValueError, match="REPRO_CACHE_MAX_MB"):
         Session()
+
+
+# -- thread safety -----------------------------------------------------------
+
+def test_concurrent_hammer_keeps_counters_exact():
+    """Many threads hitting one cache: under the instance lock, the
+    per-instance counters must balance exactly (no lost updates, no
+    torn LRU state)."""
+    import threading
+
+    cache = ArtifactCache(maxsize=64)
+    n_threads, n_ops = 8, 300
+
+    def hammer(tid):
+        for i in range(n_ops):
+            key = f"k{(tid * 7 + i) % 32}"
+            if i % 3 == 0:
+                cache.put(key, (tid, i))
+            else:
+                cache.get(key)
+
+    threads = [threading.Thread(target=hammer, args=(t,))
+               for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    puts = n_threads * len(range(0, n_ops, 3))
+    gets = n_threads * n_ops - puts
+    assert cache.stats.stores == puts
+    assert cache.stats.hits + cache.stats.misses == gets
+    assert len(cache) <= 64
+    # every surviving entry is intact (no torn values)
+    for key in cache.keys():
+        value = cache.get(key)
+        assert isinstance(value, tuple) and len(value) == 2
+
+
+def test_concurrent_invalidate_is_safe():
+    import threading
+
+    cache = ArtifactCache(maxsize=128)
+    for i in range(64):
+        cache.put(f"k{i}", i)
+
+    def invalidate_all():
+        for i in range(64):
+            cache.invalidate(f"k{i}")
+
+    threads = [threading.Thread(target=invalidate_all) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(cache) == 0
+    # each key was removed exactly once across all racing threads
+    assert cache.stats.invalidations == 64
+
+
+def test_keys_snapshot_tolerates_concurrent_writes():
+    cache = ArtifactCache(maxsize=16)
+    for i in range(8):
+        cache.put(f"k{i}", i)
+    for key in cache.keys():            # iterating a snapshot...
+        cache.put("new-" + key, 1)      # ...while mutating is fine
+
+
+# -- stats_dict --------------------------------------------------------------
+
+def test_stats_dict_shape():
+    cache = ArtifactCache(maxsize=4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("zzz")
+    d = cache.stats_dict()
+    assert d["hits"] == 1 and d["misses"] == 1 and d["stores"] == 1
+    assert d["entries"] == 1 and d["maxsize"] == 4
+    assert d["hit_rate"] == pytest.approx(0.5)
+    assert d["disk_tier"] is False
+
+
+def test_stats_dict_reports_disk_tier(tmp_path):
+    cache = ArtifactCache(maxsize=4, disk_dir=tmp_path)
+    cache.put("a", 1)
+    d = cache.stats_dict()
+    assert d["disk_tier"] is True
+    assert d["disk_stores"] == 1

@@ -241,3 +241,85 @@ def test_backoff_zero_never_sleeps(monkeypatch):
     results = ParallelRunner(1).map(_fail_on_three, [3], retries=1,
                                     backoff=0.0)
     assert results[0].attempts == 2
+
+
+# -- persistent warm pool ----------------------------------------------------
+
+def _worker_pid(_x):
+    return os.getpid()
+
+
+def _exit_hard(x):
+    if x == 2:
+        os._exit(13)                    # simulate a worker crash
+    return x
+
+
+def _recycles_metric():
+    from repro.obs import metrics
+    return metrics.counter(
+        "runner.worker_recycles",
+        "persistent pools recycled after max_tasks_per_worker").value
+
+
+def _rebuilds_metric():
+    from repro.obs import metrics
+    return metrics.counter(
+        "runner.pool_rebuilds",
+        "persistent pools replaced after a worker crash").value
+
+
+def test_persistent_pool_reuses_workers_across_maps():
+    with ParallelRunner(2, persistent=True) as runner:
+        first = {r.value for r in runner.map(_worker_pid, range(8))}
+        second = {r.value for r in runner.map(_worker_pid, range(8))}
+    assert first & second               # same warm processes answered both
+
+
+def test_non_persistent_runner_rebuilds_the_pool_each_map():
+    runner = ParallelRunner(2)
+    runner.map(_square, [1])
+    assert runner._pool is None         # nothing kept warm
+
+
+def test_persistent_pool_recycles_after_max_tasks():
+    before = _recycles_metric()
+    with ParallelRunner(2, persistent=True,
+                        max_tasks_per_worker=1) as runner:
+        runner.map(_square, [1, 2])     # fills the per-worker budget
+        results = runner.map(_square, [3, 4])
+    assert [r.value for r in results] == [9, 16]
+    assert _recycles_metric() == before + 1
+
+
+def test_persistent_pool_survives_worker_crash():
+    before = _rebuilds_metric()
+    with ParallelRunner(2, persistent=True) as runner:
+        crashed = runner.map(_exit_hard, [1, 2, 3])
+        assert not all(r.ok for r in crashed)          # soft failure...
+        after = runner.map(_square, [5, 6])            # ...fresh pool works
+    assert [r.value for r in after] == [25, 36]
+    assert _rebuilds_metric() > before
+
+
+def test_persistent_pool_crash_recovers_via_retries(tmp_path):
+    global _ATTEMPT_DIR
+    _ATTEMPT_DIR = str(tmp_path)
+    with ParallelRunner(2, persistent=True) as runner:
+        results = runner.map(_fail_until_marker, [1, 2], retries=2)
+    assert all(r.ok for r in results)
+
+
+def test_close_is_idempotent():
+    runner = ParallelRunner(2, persistent=True)
+    runner.map(_square, [1])
+    runner.close()
+    runner.close()
+    results = runner.map(_square, [2])  # usable again: pool respawns
+    assert results[0].value == 4
+    runner.close()
+
+
+def test_max_tasks_per_worker_validated():
+    with pytest.raises(ValueError, match="max_tasks_per_worker"):
+        ParallelRunner(2, persistent=True, max_tasks_per_worker=0)

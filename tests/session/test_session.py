@@ -187,3 +187,49 @@ def test_report_mentions_counters(loop):
     text = session.report()
     assert text.startswith("session:")
     assert "1 compilations" in text
+
+
+# -- persistent mode and runner passthrough ----------------------------------
+
+def test_persistent_session_reuses_one_runner(loop):
+    with Session(jobs=2, persistent=True) as session:
+        session.compile_many([loop])
+        runner = session._runner
+        assert runner is not None and runner.persistent
+        session.compile_many([loop])
+        assert session._runner is runner        # same warm runner
+    # close() released the pool but the session stays usable
+    assert session.compile_many([loop])[0] is not None
+
+
+def test_persistent_session_explicit_jobs_overrides(loop):
+    with Session(jobs=2, persistent=True) as session:
+        session.compile_many([loop], jobs=1)    # override: throwaway runner
+        assert session._runner is None
+
+
+def test_non_persistent_session_never_keeps_a_runner(loop):
+    session = Session(jobs=2)
+    session.compile_many([loop])
+    assert session._runner is None
+    session.close()                             # no-op
+
+
+def test_compile_many_timeout_passthrough(loop, monkeypatch):
+    import repro.session.session as session_mod
+
+    def slow(payload):
+        import time
+        time.sleep(2.0)
+
+    monkeypatch.setattr(session_mod, "_compile_uncached", slow)
+    session = Session(jobs=1)
+    results = session.compile_many([loop], timeout=0.2, on_error="skip")
+    assert results == [None]
+
+
+def test_simulate_many_timeout_passthrough(loop):
+    session = Session(jobs=1)
+    stats = session.simulate_many(
+        [session.compile(loop).tms], iterations=50, timeout=30.0)
+    assert stats[0].iterations == 50
