@@ -43,7 +43,7 @@ from .sched import (
 )
 from .spmt import simulate, simulate_sequential
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ArchConfig",

@@ -15,6 +15,10 @@ Design rules:
 * **Appending never breaks a run.**  An unwritable directory or full
   disk degrades to a warning on stderr; the command's own exit code is
   untouched.
+* **Appends are atomic and durable.**  Every record is one fsync'd
+  ``O_APPEND`` write (:func:`append_jsonl_line` — shared with the serve
+  request journal), so concurrent writers never interleave records and
+  an acknowledged append survives a SIGKILL'd process.
 * **Reading never crashes on a bad line.**  Ledgers are append-only
   files that can be truncated mid-write by a dying process;
   :func:`read_ledger` skips corrupt or schema-invalid lines (counting
@@ -37,6 +41,7 @@ from typing import Any, Sequence
 __all__ = [
     "LEDGER_FILENAME",
     "LEDGER_SCHEMA",
+    "append_jsonl_line",
     "append_run_record",
     "build_run_record",
     "ledger_dir",
@@ -72,6 +77,34 @@ LEDGER_SCHEMA: dict[str, Any] = {
     },
     "extra": dict,
 }
+
+
+def append_jsonl_line(path: str | os.PathLike, line: str | bytes, *,
+                      fsync: bool = True) -> None:
+    """Append one JSONL line to ``path`` as a single ``O_APPEND`` write,
+    durably (``fsync=True``).
+
+    This is the crash-safety primitive shared by the run ledger and the
+    serve request journal (:mod:`repro.serve.journal`): one ``os.write``
+    on an ``O_APPEND`` descriptor keeps concurrent writers from
+    interleaving records, and the fsync makes an acknowledged append
+    survive a SIGKILL'd process.  A writer dying *mid*-append leaves at
+    most one truncated trailing line, which the readers
+    (:func:`read_ledger`, ``repro.serve.journal.read_journal``) skip.
+    Raises ``OSError`` on filesystem failure — degrading is the caller's
+    policy decision.
+    """
+    data = line.encode("utf-8") if isinstance(line, str) else bytes(line)
+    if not data.endswith(b"\n"):
+        data += b"\n"
+    fd = os.open(os.fspath(path),
+                 os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+        if fsync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def ledger_dir() -> Path | None:
@@ -148,8 +181,7 @@ def append_run_record(command: str, argv: Sequence[str] | None = None, *,
     path = target / LEDGER_FILENAME
     try:
         target.mkdir(parents=True, exist_ok=True)
-        with open(path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
+        append_jsonl_line(path, line)
     except OSError as exc:
         print(f"warning: could not append to run ledger {path}: {exc}",
               file=sys.stderr)

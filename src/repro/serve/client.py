@@ -8,19 +8,50 @@ rejections become :class:`~repro.errors.AdmissionRejected` (or, with
 inspects).  One connection is opened per call — the daemon's threading
 server is connection-per-request, and serve requests are long relative
 to TCP setup.
+
+The hardened paths (see docs/serving.md):
+
+* :meth:`ServeClient.submit` takes ``retries`` — transport failures and
+  *retryable* typed rejections (:data:`~repro.serve.protocol.
+  RETRYABLE_REJECT_REASONS`: the daemon never executed the request) are
+  retried with capped exponential backoff and seeded jitter
+  (:class:`~repro.serve.resilience.BackoffPolicy`), so retry schedules
+  replay identically per seed.  A ``deadline`` rejection or an executed
+  error is never retried — the daemon answered.
+* An optional :class:`~repro.serve.resilience.CircuitBreaker` guards
+  the transport: after enough consecutive connection failures the
+  client fails fast with a typed :class:`~repro.errors.CircuitOpen`
+  instead of hammering a dead address; retry waves respect the
+  breaker's pacing (they sleep at least ``retry_after``) so the
+  half-open probe goes through.
+* ``hedge_after`` arms a hedged read: if the first ``/submit`` hasn't
+  answered within the given seconds, an identical second request is
+  launched and the first usable answer wins.  This is safe because the
+  daemon coalesces identical in-flight work — the hedge adopts the same
+  computation — and idempotent because ``request_id`` is a fingerprint
+  prefix.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import queue
 import socket
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
-from ..errors import AdmissionRejected, ProtocolError, ServerUnavailable
-from .protocol import ServeRequest
+from ..errors import (
+    AdmissionRejected,
+    CircuitOpen,
+    ProtocolError,
+    ServerUnavailable,
+)
+from ..obs import metrics
+from .protocol import RETRYABLE_REJECT_REASONS, ServeRequest
+from .resilience import BackoffPolicy, CircuitBreaker
 
 __all__ = ["ServeClient", "SubmitOutcome", "wait_ready"]
 
@@ -33,6 +64,7 @@ class SubmitOutcome:
     body: bytes                #: exact response bytes off the wire
     served: str                #: ``X-Repro-Served``: computed/coalesced/cached/rejected
     http_status: int
+    attempts: int = 1          #: round trips this submission took (retries + 1)
 
     @property
     def status(self) -> str:
@@ -48,21 +80,35 @@ class SubmitOutcome:
 
 
 class ServeClient:
-    """A thin, connection-per-call client for one daemon address."""
+    """A thin, connection-per-call client for one daemon address.
+
+    ``circuit_breaker=True`` builds a default
+    :class:`~repro.serve.resilience.CircuitBreaker` for the address;
+    pass a pre-built breaker to share one across clients or tune its
+    thresholds.  Without one (the default) every call goes to the wire.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8437, *,
-                 timeout: float | None = 300.0) -> None:
+                 timeout: float | None = 300.0,
+                 circuit_breaker: "CircuitBreaker | bool | None" = None
+                 ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        if circuit_breaker is True:
+            circuit_breaker = CircuitBreaker(f"{host}:{port}")
+        self.breaker: CircuitBreaker | None = circuit_breaker or None
 
     @classmethod
     def from_address(cls, address: str, *,
-                     timeout: float | None = 300.0) -> "ServeClient":
+                     timeout: float | None = 300.0,
+                     circuit_breaker: "CircuitBreaker | bool | None" = None
+                     ) -> "ServeClient":
         """Parse ``host:port`` (or bare ``:port`` / ``port``)."""
         host, _, port = address.rpartition(":")
         try:
-            return cls(host or "127.0.0.1", int(port), timeout=timeout)
+            return cls(host or "127.0.0.1", int(port), timeout=timeout,
+                       circuit_breaker=circuit_breaker)
         except ValueError:
             raise ServerUnavailable(
                 f"malformed server address {address!r}; expected host:port"
@@ -73,6 +119,8 @@ class ServeClient:
     def _round_trip(self, method: str, path: str,
                     body: bytes | None = None
                     ) -> tuple[int, dict[str, str], bytes]:
+        if self.breaker is not None:
+            self.breaker.guard()
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
@@ -80,15 +128,21 @@ class ServeClient:
             conn.request(method, path, body=body, headers=headers)
             resp = conn.getresponse()
             payload = resp.read()
-            return resp.status, {k.lower(): v for k, v in
-                                 resp.getheaders()}, payload
         except (ConnectionError, socket.timeout, socket.gaierror,
                 http.client.HTTPException, OSError) as exc:
+            # only transport failures trip the breaker — a daemon
+            # answering anything (even a rejection) is alive
+            if self.breaker is not None:
+                self.breaker.record_failure()
             raise ServerUnavailable(
                 f"no serve daemon reachable at {self.host}:{self.port} "
                 f"({type(exc).__name__}: {exc})") from exc
         finally:
             conn.close()
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return resp.status, {k.lower(): v for k, v in
+                             resp.getheaders()}, payload
 
     def _json(self, status: int, body: bytes) -> dict[str, Any]:
         try:
@@ -105,29 +159,114 @@ class ServeClient:
     # -- API -----------------------------------------------------------------
 
     def submit(self, request: "ServeRequest | Mapping[str, Any]", *,
-               raise_on_reject: bool = True) -> SubmitOutcome:
+               raise_on_reject: bool = True, retries: int = 0,
+               backoff: BackoffPolicy | None = None,
+               hedge_after: float | None = None) -> SubmitOutcome:
         """Submit one request and block for its response.
 
-        Admission rejections raise :class:`AdmissionRejected` carrying
-        the typed reason, unless ``raise_on_reject=False``.
+        ``retries`` extra round trips are attempted after transport
+        failures (:class:`ServerUnavailable`, :class:`CircuitOpen`) and
+        retryable typed rejections, paced by ``backoff`` (a default
+        :class:`BackoffPolicy` when omitted).  ``hedge_after`` arms a
+        hedged second request per round trip.  Admission rejections
+        that survive the retry budget raise :class:`AdmissionRejected`
+        carrying the typed reason, unless ``raise_on_reject=False``;
+        transport failures that survive it re-raise.
         """
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         if isinstance(request, ServeRequest):
             payload = request.to_dict()
         else:
             payload = dict(request)
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        status, headers, raw = self._round_trip("POST", "/submit", body)
+        policy = backoff or BackoffPolicy()
+        last_exc: Exception | None = None
+        outcome: SubmitOutcome | None = None
+        for attempt in range(retries + 1):
+            if attempt:
+                pause = policy.delay(attempt - 1)
+                if isinstance(last_exc, CircuitOpen):
+                    # let the breaker reach half-open so the retry is
+                    # the probe instead of another local fast-fail
+                    pause = max(pause, last_exc.retry_after)
+                metrics.counter("serve.client.retries",
+                                "submit retry round trips").inc()
+                time.sleep(pause)
+            try:
+                outcome = self._submit_once(body, hedge_after=hedge_after)
+            except (ServerUnavailable, CircuitOpen) as exc:
+                last_exc = exc
+                outcome = None
+                continue
+            last_exc = None
+            if outcome.status == "rejected" \
+                    and outcome.response.get("reason") \
+                    in RETRYABLE_REJECT_REASONS \
+                    and attempt < retries:
+                continue
+            break
+        if outcome is None:
+            assert last_exc is not None
+            raise last_exc
+        outcome = replace(outcome, attempts=attempt + 1)
+        if outcome.status == "rejected" and raise_on_reject:
+            raise AdmissionRejected(outcome.response.get("reason",
+                                                         "unknown"))
+        return outcome
+
+    def _submit_once(self, body: bytes, *,
+                     hedge_after: float | None = None) -> SubmitOutcome:
+        if hedge_after is not None:
+            return self._submit_hedged(body, hedge_after)
+        return self._decode_submit(*self._round_trip("POST", "/submit",
+                                                     body))
+
+    def _submit_hedged(self, body: bytes,
+                       hedge_after: float) -> SubmitOutcome:
+        """One round trip with a hedge: if the primary hasn't answered
+        within ``hedge_after`` seconds, race an identical second request
+        and take the first usable answer (safe: the daemon coalesces
+        identical in-flight work, so the hedge adopts the same
+        computation and receives byte-identical response bytes)."""
+        results: "queue.SimpleQueue[tuple[str, Any]]" = queue.SimpleQueue()
+
+        def attempt_request() -> None:
+            try:
+                results.put(("ok", self._decode_submit(
+                    *self._round_trip("POST", "/submit", body))))
+            except Exception as exc:  # noqa: BLE001 — reraised by the winner
+                results.put(("err", exc))
+
+        threading.Thread(target=attempt_request, daemon=True).start()
+        launched = 1
+        try:
+            kind, value = results.get(timeout=hedge_after)
+        except queue.Empty:
+            metrics.counter("serve.client.hedges",
+                            "hedged second requests launched").inc()
+            threading.Thread(target=attempt_request, daemon=True).start()
+            launched = 2
+            kind, value = results.get()
+        first_error = value if kind == "err" else None
+        while kind == "err" and launched > 1:
+            # the fastest answer failed; the slower twin may still win
+            launched -= 1
+            kind, value = results.get()
+        if kind == "err":
+            raise first_error if first_error is not None else value
+        return value
+
+    def _decode_submit(self, status: int, headers: dict[str, str],
+                       raw: bytes) -> SubmitOutcome:
         response = self._json(status, raw)
-        if status == 400:
+        if status in (400, 413):
             raise ProtocolError(response.get("error",
                                              f"bad request (HTTP {status})"))
-        outcome = SubmitOutcome(response=response, body=raw,
-                                served=headers.get("x-repro-served",
-                                                   "unknown"),
-                                http_status=status)
-        if outcome.status == "rejected" and raise_on_reject:
-            raise AdmissionRejected(response.get("reason", "unknown"))
-        return outcome
+        return SubmitOutcome(response=response, body=raw,
+                             served=headers.get("x-repro-served",
+                                                "unknown"),
+                             http_status=status)
 
     def stats(self) -> dict[str, Any]:
         status, _, raw = self._round_trip("GET", "/stats")
@@ -141,7 +280,7 @@ class ServeClient:
         """Whether a daemon answers at the address."""
         try:
             return "status" in self.healthz()
-        except ServerUnavailable:
+        except (ServerUnavailable, CircuitOpen):
             return False
 
     def shutdown(self) -> dict[str, Any]:
@@ -150,13 +289,33 @@ class ServeClient:
         return self._json(status, raw)
 
 
+#: readiness-poll pacing: quick first probes, settling to ~1s — the
+#: same curve the supervisor uses between probes of a starting child
+_READY_BACKOFF = BackoffPolicy(initial=0.02, factor=1.6, max_delay=1.0)
+
+
 def wait_ready(client: ServeClient, timeout: float = 30.0,
-               interval: float = 0.05) -> bool:
+               backoff: BackoffPolicy | None = None) -> bool:
     """Poll ``/healthz`` until the daemon answers (startup races in
-    tests and CI); returns readiness within ``timeout``."""
+    tests, CI, and the supervisor); returns readiness within
+    ``timeout``.
+
+    Pacing is capped exponential backoff with seeded jitter
+    (:class:`~repro.serve.resilience.BackoffPolicy`) instead of a fixed
+    interval: early probes are fast enough not to penalise a warm
+    start, late ones back off instead of spinning against a crash
+    loop, and the jitter keeps herds of waiting clients from probing
+    in lockstep.
+    """
+    policy = backoff or _READY_BACKOFF
     deadline = time.monotonic() + timeout
+    attempt = 0
     while time.monotonic() < deadline:
         if client.ping():
             return True
-        time.sleep(interval)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        time.sleep(min(policy.delay(attempt), remaining))
+        attempt += 1
     return client.ping()

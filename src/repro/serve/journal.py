@@ -1,0 +1,229 @@
+"""The crash-safe request journal: a write-ahead log for the broker.
+
+Admission control without durability loses work on a crash: a SIGKILL'd
+daemon forgets every admitted-but-unfinished job, and the clients
+holding open connections learn nothing except "connection reset".  The
+journal closes that gap with the same discipline as the run ledger
+(:mod:`repro.obs.ledger`), whose fsync'd atomic-append primitive it
+shares:
+
+* **admitted** records are appended *before* a job is queued for
+  execution — one line, one ``O_APPEND`` write, fsync'd;
+* **completed** records are appended after the response is known;
+  ``ok`` completions carry the full response so a restart can restore
+  the result cache without recomputing.
+
+On startup the broker replays the journal (:func:`read_journal`):
+completed ``ok`` responses are *restored* straight into the warm result
+cache, admitted-without-completed requests are *recovered* by
+re-executing them (warming the :class:`~repro.session.cache.
+ArtifactCache` so the retrying client's resubmission is a cache hit),
+and entries that cannot be replayed (malformed after truncation,
+unparseable requests, failing re-execution) are *abandoned* — all three
+counts are surfaced in ``/stats`` under ``journal``.  After replay the
+journal is compacted: live completed records are rewritten through an
+atomic tempfile-and-rename, everything else is dropped.
+
+Journal records are versioned (:data:`JOURNAL_SCHEMA_VERSION`); reading
+skips corrupt or foreign-version lines instead of raising — a damaged
+journal degrades to a smaller recovery, it never stops the daemon from
+starting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..obs import metrics
+from ..obs.ledger import append_jsonl_line
+
+__all__ = [
+    "JOURNAL_FILENAME",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalReplay",
+    "RequestJournal",
+    "read_journal",
+]
+
+#: default file name inside a journal directory
+JOURNAL_FILENAME = "journal.jsonl"
+
+#: bumped on incompatible journal record changes; foreign versions are
+#: skipped on read (never replayed into a build that can't trust them)
+JOURNAL_SCHEMA_VERSION = 1
+
+
+@dataclass
+class JournalReplay:
+    """Everything one journal scan found."""
+
+    #: fingerprint → canonical ``ok`` response (restorable cache entries)
+    completed: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: fingerprint → request wire payload, admitted but never completed
+    incomplete: dict[str, dict[str, Any]] = field(default_factory=dict)
+    records: int = 0   #: well-formed records seen
+    corrupt: int = 0   #: truncated / malformed / foreign-version lines
+
+
+def read_journal(path: str | os.PathLike) -> JournalReplay:
+    """Scan a journal file into a :class:`JournalReplay`.
+
+    Corrupt lines — the truncated tail a SIGKILL'd writer leaves, or
+    records from another schema version — are counted and skipped.  A
+    missing file reads as empty (a fresh daemon).
+    """
+    replay = JournalReplay()
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except FileNotFoundError:
+        return replay
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("record must be an object")
+            if record.get("schema_version") != JOURNAL_SCHEMA_VERSION:
+                raise ValueError("foreign schema version")
+            kind = record["kind"]
+            fingerprint = record["fingerprint"]
+            if not isinstance(fingerprint, str) or not fingerprint:
+                raise ValueError("missing fingerprint")
+            if kind == "admitted":
+                request = record["request"]
+                if not isinstance(request, dict):
+                    raise ValueError("admitted record missing request")
+            elif kind == "completed":
+                if record.get("status") == "ok" \
+                        and not isinstance(record.get("response"), dict):
+                    raise ValueError("ok completion missing response")
+            else:
+                raise ValueError(f"unknown record kind {kind!r}")
+        except (KeyError, ValueError, TypeError):
+            replay.corrupt += 1
+            continue
+        replay.records += 1
+        if kind == "admitted":
+            replay.incomplete[fingerprint] = record["request"]
+        else:
+            replay.incomplete.pop(fingerprint, None)
+            if record.get("status") == "ok":
+                replay.completed[fingerprint] = record["response"]
+    return replay
+
+
+class RequestJournal:
+    """Append-only WAL for one broker (thread-safe).
+
+    Filesystem failures degrade: the first append error prints one
+    warning and disables the journal for the rest of the process —
+    durability is lost, serving is not (the same never-break-a-run rule
+    as the ledger).
+    """
+
+    def __init__(self, path: str | os.PathLike, *,
+                 fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.enabled = True
+        self._lock = threading.Lock()
+        self.appends = 0
+        self.append_errors = 0
+
+    @classmethod
+    def in_dir(cls, directory: str | os.PathLike, *,
+               fsync: bool = True) -> "RequestJournal":
+        """The conventional journal inside ``directory`` (created)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        return cls(directory / JOURNAL_FILENAME, fsync=fsync)
+
+    # -- writes ---------------------------------------------------------------
+
+    def _append(self, record: dict[str, Any]) -> None:
+        if not self.enabled:
+            return
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            try:
+                append_jsonl_line(self.path, line, fsync=self.fsync)
+            except OSError as exc:
+                self.append_errors += 1
+                self.enabled = False
+                print(f"warning: request journal disabled "
+                      f"({self.path}: {exc})", file=sys.stderr)
+                return
+            self.appends += 1
+        metrics.counter("serve.journal.appends",
+                        "journal records appended").inc()
+
+    def admitted(self, fingerprint: str,
+                 request_payload: Mapping[str, Any]) -> None:
+        """Log one admission — call *before* queueing the job."""
+        self._append({
+            "schema_version": JOURNAL_SCHEMA_VERSION,
+            "kind": "admitted",
+            "fingerprint": fingerprint,
+            "request": dict(request_payload),
+        })
+
+    def completed(self, fingerprint: str, status: str,
+                  response: Mapping[str, Any] | None = None) -> None:
+        """Log one completion.  ``ok`` completions carry the response
+        (restorable); other statuses just close the admitted entry."""
+        record: dict[str, Any] = {
+            "schema_version": JOURNAL_SCHEMA_VERSION,
+            "kind": "completed",
+            "fingerprint": fingerprint,
+            "status": status,
+        }
+        if status == "ok" and response is not None:
+            record["response"] = dict(response)
+        self._append(record)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def compact(self, live: Mapping[str, Mapping[str, Any]]) -> None:
+        """Rewrite the journal to exactly the live completed records
+        (atomic tempfile-and-rename; crash-safe at every step)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            try:
+                fd, tmp = tempfile.mkstemp(
+                    dir=str(self.path.parent),
+                    prefix=self.path.name + ".", suffix=".tmp")
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    for fingerprint in sorted(live):
+                        fh.write(json.dumps({
+                            "schema_version": JOURNAL_SCHEMA_VERSION,
+                            "kind": "completed",
+                            "fingerprint": fingerprint,
+                            "status": "ok",
+                            "response": dict(live[fingerprint]),
+                        }, sort_keys=True, separators=(",", ":")) + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+            except OSError as exc:
+                self.append_errors += 1
+                print(f"warning: could not compact request journal "
+                      f"{self.path}: {exc}", file=sys.stderr)
+
+    def stats_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "path": str(self.path),
+                "appends": self.appends,
+                "append_errors": self.append_errors,
+            }

@@ -39,6 +39,7 @@ __all__ = [
     "KINDS",
     "PROTOCOL_VERSION",
     "REJECT_REASONS",
+    "RETRYABLE_REJECT_REASONS",
     "ServeRequest",
     "compile_result_dict",
     "error_response",
@@ -57,7 +58,14 @@ PROTOCOL_VERSION = 1
 KINDS = ("compile", "simulate")
 
 #: Admission-control rejection reasons (``response["reason"]``).
-REJECT_REASONS = ("queue_full", "deadline", "draining")
+#: ``shed`` is the degraded-health rejection: a coalescible duplicate of
+#: in-flight work, shed first under pressure because the original
+#: computation still completes and a retry lands in the result cache.
+REJECT_REASONS = ("queue_full", "deadline", "draining", "shed")
+
+#: Rejection reasons a hardened client may transparently retry: the
+#: condition is transient and the request was never executed.
+RETRYABLE_REJECT_REASONS = ("queue_full", "draining", "shed")
 
 #: Scheduling policies a ``simulate`` request may name (the compiled
 #: artifact carries one kernel per policy).

@@ -13,9 +13,12 @@ the JSON protocol of :mod:`repro.serve.protocol`:
     (``computed`` / ``coalesced`` / ``cached`` / ``rejected``) without
     perturbing the body.
 ``GET /stats``
-    The broker's live tallies, both cache tiers, and session counters.
+    The broker's live tallies, both cache tiers, session counters,
+    health state and journal-replay counts.
 ``GET /healthz``
-    ``{"status": "ok"|"draining"}`` — readiness for clients and CI.
+    The broker's :class:`~repro.serve.resilience.HealthReport` —
+    ``{"status": "ok"|"degraded"|"draining", "reasons": [...]}`` — for
+    clients, the supervisor's heartbeat probe, and CI.
 ``POST /shutdown``
     Graceful drain-and-stop, the in-band twin of SIGTERM.
 
@@ -39,9 +42,10 @@ from ..errors import ProtocolError
 from .broker import BrokerConfig, RequestBroker
 from .protocol import PROTOCOL_VERSION, response_bytes
 
-__all__ = ["ServeDaemon"]
+__all__ = ["MAX_BODY_BYTES", "ServeDaemon"]
 
-#: request body cap — a DSL loop is tiny; anything larger is malformed.
+#: default request body cap — a DSL loop is tiny; anything larger is
+#: malformed (override per daemon with ``max_body_bytes``).
 MAX_BODY_BYTES = 1 << 20
 
 
@@ -88,9 +92,16 @@ class _Handler(BaseHTTPRequestHandler):
         if n <= 0:
             self._client_error(400, "request body required")
             return None
-        if n > MAX_BODY_BYTES:
-            self._client_error(413, f"request body exceeds "
-                                    f"{MAX_BODY_BYTES} bytes")
+        cap = self.daemon.max_body_bytes
+        if n > cap:
+            # refused before a byte of the body is read: an oversized
+            # declared length never ties up handler memory
+            self._send_json(
+                413, {"protocol_version": PROTOCOL_VERSION,
+                      "status": "error",
+                      "error": f"request body of {n} bytes exceeds the "
+                               f"{cap}-byte limit"},
+                {"X-Repro-Served": "rejected"})
             return None
         return self.rfile.read(n)
 
@@ -99,8 +110,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         path = self.path.split("?", 1)[0]
         if path == "/healthz":
-            status = "draining" if self.daemon.broker.draining else "ok"
-            self._send_json(200, {"status": status,
+            health = self.daemon.broker.health()
+            self._send_json(200, {"status": health.state,
+                                  "reasons": list(health.reasons),
                                   "protocol_version": PROTOCOL_VERSION})
         elif path == "/stats":
             self._send_json(200, self.daemon.broker.stats())
@@ -161,16 +173,25 @@ class ServeDaemon:
         Wire SIGTERM/SIGINT to graceful drain (main thread only).
     verbose:
         Log per-request lines.
+    max_body_bytes:
+        Request body cap; larger declared bodies are refused with a
+        typed HTTP 413 (``X-Repro-Served: rejected``) before any body
+        byte is read.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  broker: RequestBroker | None = None,
                  config: BrokerConfig | None = None,
                  install_signal_handlers: bool = False,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 max_body_bytes: int = MAX_BODY_BYTES) -> None:
+        if max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1, "
+                             f"got {max_body_bytes}")
         self.broker = broker if broker is not None \
             else RequestBroker(config=config)
         self.verbose = verbose
+        self.max_body_bytes = max_body_bytes
         self._httpd = _Server((host, port), _Handler)
         self._httpd.daemon = self
         self.host, self.port = self._httpd.server_address[:2]

@@ -8,7 +8,9 @@ import pytest
 
 from repro.errors import ProtocolError, TaskTimeout
 from repro.serve.broker import BrokerConfig, RequestBroker, execute_request
+from repro.serve.journal import RequestJournal, read_journal
 from repro.serve.protocol import ServeRequest, response_bytes
+from repro.serve.resilience import HealthPolicy
 from repro.session import Session
 
 from .conftest import AXPY_SRC
@@ -257,6 +259,87 @@ def test_wrapped_task_timeout_still_counts_as_deadline(registry,
         broker.stop(drain=False, timeout=1.0)
 
 
+def test_expired_deadline_in_queue_is_never_executed(registry,
+                                                     span_tracer):
+    """A job whose deadline burned down while queued must be rejected
+    *without* touching the execution path — deadline misses shed work,
+    they never waste it."""
+    gate = threading.Event()
+    calls: list[str] = []
+
+    def counting(session, request, **kw):
+        calls.append(request.fingerprint())
+        return execute_request(session, request, **kw)
+
+    broker = _gated_broker(registry, gate, execute=counting,
+                           config=BrokerConfig(workers=1))
+    try:
+        results = {}
+
+        def submit(name, req):
+            results[name] = broker.submit(req)
+
+        t1 = threading.Thread(target=submit, args=("a", _req(cores=2)))
+        t1.start()
+        _wait_until(lambda: broker.queue_depth() == 1)
+        expiring = _req(cores=4, deadline_seconds=0.001)
+        t2 = threading.Thread(target=submit, args=("b", expiring))
+        t2.start()
+        _wait_until(lambda: broker.queue_depth() == 2)
+        import time
+        time.sleep(0.05)
+        gate.set()
+        t1.join(timeout=30.0)
+        t2.join(timeout=30.0)
+
+        assert results["b"][0]["reason"] == "deadline"
+        assert calls == [_req(cores=2).fingerprint()]   # b never executed
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+def test_deadline_mid_coalesce_wait_rejects_only_the_waiter(registry,
+                                                            span_tracer):
+    """A coalesced waiter whose own deadline expires is rejected, but
+    the computation it adopted keeps running for everyone else."""
+    gate = threading.Event()
+    broker = _gated_broker(registry, gate)
+    try:
+        results = {}
+
+        def submit():
+            results["primary"] = broker.submit(_req())
+
+        t1 = threading.Thread(target=submit)
+        t1.start()
+        _wait_until(lambda: broker.queue_depth() == 1)
+        # same fingerprint (deadline_seconds is QoS, not identity):
+        # this waiter coalesces, then times out while the job is gated
+        resp, served = broker.submit(_req(deadline_seconds=0.1))
+        assert served == "rejected"
+        assert resp["reason"] == "deadline"
+        assert broker.counts["rejects_deadline"] == 1
+
+        gate.set()
+        t1.join(timeout=30.0)
+        assert results["primary"][0]["status"] == "ok"
+        assert results["primary"][1] == "computed"
+        # the adopted computation completed and is cached for retries
+        resp2, served2 = broker.submit(_req())
+        assert served2 == "cached"
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+def test_non_positive_deadlines_are_protocol_errors(broker):
+    with pytest.raises(ProtocolError, match="deadline_seconds"):
+        broker.submit({"kind": "compile", "source": AXPY_SRC,
+                       "deadline_seconds": 0})
+    with pytest.raises(ProtocolError, match="deadline_seconds"):
+        ServeRequest(kind="compile", source=AXPY_SRC,
+                     deadline_seconds=-1.0)
+
+
 def test_draining_broker_rejects_new_work(broker):
     broker.begin_drain()
     resp, served = broker.submit(_req())
@@ -313,6 +396,182 @@ def test_config_validation():
         BrokerConfig(workers=0)
     with pytest.raises(ValueError, match="retries"):
         BrokerConfig(retries=-1)
+
+
+# -- health & shedding ---------------------------------------------------------
+
+def test_queue_pressure_degrades_without_shedding(registry, span_tracer):
+    """A full queue makes /healthz degraded, but duplicates still
+    coalesce — a coalesced waiter costs no queue slot, so shedding it
+    would only throw away free work."""
+    gate = threading.Event()
+    broker = _gated_broker(registry, gate,
+                           config=BrokerConfig(max_queue_depth=2, workers=1))
+    try:
+        threads = [threading.Thread(target=broker.submit,
+                                    args=(_req(cores=c),)) for c in (2, 4)]
+        for t in threads:
+            t.start()
+        _wait_until(lambda: broker.queue_depth() == 2)
+        health = broker.health()
+        assert health.state == "degraded"
+        assert not health.shed_duplicates
+        assert any("queue depth" in r for r in health.reasons)
+        gate.set()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert broker.counts["rejects_shed"] == 0
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+def test_execution_distress_sheds_coalescible_duplicates(registry,
+                                                         span_tracer):
+    """Once recent jobs miss deadlines, new duplicate submissions are
+    shed with a typed retryable rejection instead of piling waiters
+    onto a struggling executor; fresh work is still admitted."""
+    gate = threading.Event()
+    broker = _gated_broker(
+        registry, gate,
+        config=BrokerConfig(workers=1,
+                            health=HealthPolicy(min_samples=2)))
+    try:
+        results = {}
+
+        def submit(name, req):
+            results[name] = broker.submit(req)
+
+        # one gated job plus two queued jobs whose deadlines burn down:
+        # the recent-outcome window becomes [ok, deadline, deadline]
+        t1 = threading.Thread(target=submit, args=("a", _req(cores=2)))
+        t1.start()
+        _wait_until(lambda: broker.queue_depth() == 1)
+        t2 = threading.Thread(
+            target=submit, args=("b", _req(cores=4,
+                                           deadline_seconds=0.001)))
+        t3 = threading.Thread(
+            target=submit, args=("c", _req(cores=8,
+                                           deadline_seconds=0.001)))
+        t2.start()
+        t3.start()
+        _wait_until(lambda: broker.queue_depth() == 3)
+        import time
+        time.sleep(0.05)
+        gate.set()
+        for t in (t1, t2, t3):
+            t.join(timeout=30.0)
+        health = broker.health()
+        assert health.state == "degraded"
+        assert health.shed_duplicates
+
+        # pin a fresh job in flight, then submit its duplicate
+        gate.clear()
+        t4 = threading.Thread(target=submit, args=("d", _req(cores=16)))
+        t4.start()
+        _wait_until(lambda: broker.queue_depth() == 1)
+        resp, served = broker.submit(_req(cores=16))
+        assert served == "rejected"
+        assert resp["reason"] == "shed"
+        assert broker.counts["rejects_shed"] == 1
+        gate.set()
+        t4.join(timeout=30.0)
+        assert results["d"][0]["status"] == "ok"     # the original finished
+
+        # distress sheds duplicates only — fresh work is still admitted
+        resp2, served2 = broker.submit(_req(cores=2, unroll=2))
+        assert served2 == "computed"
+        assert resp2["status"] == "ok"
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+# -- journal replay ------------------------------------------------------------
+
+def test_journal_records_admissions_and_completions(registry, span_tracer,
+                                                    tmp_path):
+    journal = RequestJournal.in_dir(tmp_path)
+    broker = RequestBroker(session=Session(jobs=1), journal=journal)
+    try:
+        resp, _ = broker.submit(_req())
+        replay = read_journal(journal.path)
+        assert replay.incomplete == {}           # admitted, then completed
+        assert replay.completed == {_req().fingerprint(): resp}
+        appends = journal.appends
+        _, served = broker.submit(_req())        # cache hit: no new records
+        assert served == "cached"
+        assert journal.appends == appends
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+def test_restart_restores_completed_responses_without_recomputing(
+        registry, span_tracer, tmp_path):
+    first = RequestBroker(session=Session(jobs=1),
+                          journal=RequestJournal.in_dir(tmp_path))
+    resp1, _ = first.submit(_req())
+    first.stop(drain=False, timeout=5.0)
+
+    def must_not_execute(session, request, **kw):
+        raise AssertionError("restored responses must not re-execute")
+
+    second = RequestBroker(session=Session(jobs=1),
+                           journal=RequestJournal.in_dir(tmp_path),
+                           execute=must_not_execute).start()
+    try:
+        assert second.journal_counts["restored"] == 1
+        resp2, served = second.submit(_req())
+        assert served == "cached"
+        assert response_bytes(resp2) == response_bytes(resp1)
+        assert second.stats()["journal"]["restored"] == 1
+    finally:
+        second.stop(drain=False, timeout=1.0)
+
+
+def test_restart_recovers_admitted_but_unfinished_work(registry,
+                                                       span_tracer,
+                                                       tmp_path):
+    """An admitted-without-completed record — the signature a SIGKILL
+    leaves — is re-executed on restart, so the retrying client's
+    resubmission is a warm cache hit."""
+    req = _req()
+    crashed = RequestJournal.in_dir(tmp_path)
+    crashed.admitted(req.fingerprint(), req.to_dict())
+
+    calls: list[str] = []
+
+    def counting(session, request, **kw):
+        calls.append(request.fingerprint())
+        return execute_request(session, request, **kw)
+
+    broker = RequestBroker(session=Session(jobs=1),
+                           journal=RequestJournal.in_dir(tmp_path),
+                           execute=counting).start()
+    try:
+        _wait_until(lambda: broker.journal_counts["recovered"] == 1)
+        resp, served = broker.submit(req)
+        assert served == "cached"                # replay warmed the cache
+        assert resp["status"] == "ok"
+        assert calls == [req.fingerprint()]      # exactly one execution
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+def test_unreplayable_journal_entries_are_abandoned(registry, span_tracer,
+                                                    tmp_path):
+    crashed = RequestJournal.in_dir(tmp_path)
+    crashed.admitted("f" * 16, {"kind": "transmogrify", "source": "x"})
+    broker = RequestBroker(session=Session(jobs=1),
+                           journal=RequestJournal.in_dir(tmp_path)).start()
+    try:
+        assert broker.journal_counts["abandoned"] == 1
+        assert broker.stats()["journal"]["abandoned"] == 1
+    finally:
+        broker.stop(drain=False, timeout=1.0)
+
+
+def test_stats_without_a_journal_reports_none(broker):
+    broker.submit(_req())
+    assert broker.stats()["journal"] is None
 
 
 # -- telemetry ---------------------------------------------------------------

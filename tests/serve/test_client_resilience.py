@@ -1,0 +1,259 @@
+"""Hardened-client behaviour against a scripted HTTP server: retry
+waves, circuit breaking, hedged reads, oversized-body rejection."""
+
+from __future__ import annotations
+
+import http.server
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    AdmissionRejected,
+    CircuitOpen,
+    ProtocolError,
+    ServerUnavailable,
+)
+from repro.serve.client import ServeClient
+from repro.serve.resilience import BackoffPolicy, CircuitBreaker
+
+from .conftest import AXPY_SRC
+
+#: effectively-instant retry pacing so tests never sleep for real
+_FAST = BackoffPolicy(initial=0.001, factor=1.0, max_delay=0.001,
+                      jitter=0.0)
+
+_OK_BODY = {"status": "ok", "request_id": "r" * 16,
+            "result": {"kind": "compile", "loop": "axpy"}}
+
+
+def _req_payload():
+    return {"kind": "compile", "source": AXPY_SRC}
+
+
+class _ScriptedServer:
+    """An HTTP server answering ``/submit`` from a behaviour script.
+
+    Each behaviour is a dict: ``status`` (HTTP), ``body`` (JSON),
+    ``served`` (the ``X-Repro-Served`` header) and ``delay`` (seconds to
+    stall before answering).  The last behaviour repeats once the script
+    is exhausted; ``/healthz`` always answers ok.
+    """
+
+    def __init__(self, behaviors):
+        self.behaviors = list(behaviors)
+        self.hits = 0
+        self._lock = threading.Lock()
+        outer = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length", "0"))
+                self.rfile.read(length)
+                with outer._lock:
+                    behavior = outer.behaviors[
+                        min(outer.hits, len(outer.behaviors) - 1)]
+                    outer.hits += 1
+                if behavior.get("delay"):
+                    time.sleep(behavior["delay"])
+                self._reply(behavior.get("status", 200),
+                            behavior.get("body", _OK_BODY),
+                            behavior.get("served", "computed"))
+
+            def do_GET(self):
+                self._reply(200, {"status": "ok"}, None)
+
+            def _reply(self, status, body, served):
+                payload = json.dumps(body).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                if served:
+                    self.send_header("X-Repro-Served", served)
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args):
+                pass
+
+        self.httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0),
+                                                     Handler)
+        self.port = self.httpd.server_address[1]
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+
+    def close(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self._thread.join(timeout=10.0)
+
+
+def _reject(reason):
+    return {"status": 503 if reason != "deadline" else 504,
+            "body": {"status": "rejected", "reason": reason,
+                     "request_id": "r" * 16},
+            "served": "rejected"}
+
+
+def _dead_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+# -- retry waves -------------------------------------------------------------
+
+def test_retryable_rejection_is_retried_to_success(registry):
+    server = _ScriptedServer([_reject("queue_full"), _reject("shed"), {}])
+    try:
+        client = ServeClient("127.0.0.1", server.port, timeout=10.0)
+        outcome = client.submit(_req_payload(), retries=3, backoff=_FAST)
+        assert outcome.ok
+        assert outcome.attempts == 3
+        assert server.hits == 3
+        assert registry.deterministic_totals()["serve.client.retries"] == 2
+    finally:
+        server.close()
+
+
+def test_deadline_rejection_is_never_retried(registry):
+    server = _ScriptedServer([_reject("deadline"), {}])
+    try:
+        client = ServeClient("127.0.0.1", server.port, timeout=10.0)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            client.submit(_req_payload(), retries=5, backoff=_FAST)
+        assert excinfo.value.reason == "deadline"
+        assert server.hits == 1                    # the daemon answered
+    finally:
+        server.close()
+
+
+def test_exhausted_retries_surface_the_rejection(registry):
+    server = _ScriptedServer([_reject("queue_full")])
+    try:
+        client = ServeClient("127.0.0.1", server.port, timeout=10.0)
+        outcome = client.submit(_req_payload(), retries=2, backoff=_FAST,
+                                raise_on_reject=False)
+        assert outcome.status == "rejected"
+        assert outcome.attempts == 3
+        assert server.hits == 3
+    finally:
+        server.close()
+
+
+def test_transport_failures_retry_then_reraise(registry):
+    client = ServeClient("127.0.0.1", _dead_port(), timeout=1.0)
+    with pytest.raises(ServerUnavailable):
+        client.submit(_req_payload(), retries=2, backoff=_FAST)
+    assert registry.deterministic_totals()["serve.client.retries"] == 2
+
+
+def test_retries_validate(registry):
+    client = ServeClient("127.0.0.1", _dead_port(), timeout=1.0)
+    with pytest.raises(ValueError, match="retries"):
+        client.submit(_req_payload(), retries=-1)
+
+
+# -- circuit breaking ---------------------------------------------------------
+
+def test_breaker_opens_and_fails_fast_without_sockets(registry):
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0)
+    client = ServeClient("127.0.0.1", _dead_port(), timeout=1.0,
+                         circuit_breaker=breaker)
+    for _ in range(2):
+        with pytest.raises(ServerUnavailable):
+            client.submit(_req_payload())
+    assert breaker.state == CircuitBreaker.OPEN
+    started = time.monotonic()
+    with pytest.raises(CircuitOpen):
+        client.submit(_req_payload())
+    assert time.monotonic() - started < 0.5       # no connect attempt
+
+
+def test_breaker_closes_again_once_the_server_recovers(registry):
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=0.05)
+    client = ServeClient("127.0.0.1", 0, timeout=2.0,
+                         circuit_breaker=breaker)
+    client.port = _dead_port()
+    with pytest.raises(ServerUnavailable):
+        client.submit(_req_payload())
+    assert breaker.state == CircuitBreaker.OPEN
+
+    server = _ScriptedServer([{}])
+    try:
+        client.port = server.port
+        # the retry loop sleeps past retry_after, so the wave's next
+        # round trip is the half-open probe — and it succeeds
+        outcome = client.submit(_req_payload(), retries=3, backoff=_FAST)
+        assert outcome.ok
+        assert breaker.state == CircuitBreaker.CLOSED
+    finally:
+        server.close()
+
+
+def test_typed_rejections_do_not_trip_the_breaker(registry):
+    breaker = CircuitBreaker(failure_threshold=1)
+    server = _ScriptedServer([_reject("queue_full")])
+    try:
+        client = ServeClient("127.0.0.1", server.port, timeout=10.0,
+                             circuit_breaker=breaker)
+        with pytest.raises(AdmissionRejected):
+            client.submit(_req_payload())
+        assert breaker.state == CircuitBreaker.CLOSED   # the daemon is alive
+    finally:
+        server.close()
+
+
+def test_circuit_breaker_true_builds_a_default(registry):
+    client = ServeClient("127.0.0.1", 1, circuit_breaker=True)
+    assert isinstance(client.breaker, CircuitBreaker)
+    assert client.breaker.endpoint == "127.0.0.1:1"
+    assert ServeClient("127.0.0.1", 1).breaker is None
+
+
+# -- hedged reads ---------------------------------------------------------------
+
+def test_hedge_fires_when_the_primary_stalls(registry):
+    server = _ScriptedServer([{"delay": 5.0}, {}])
+    try:
+        client = ServeClient("127.0.0.1", server.port, timeout=30.0)
+        started = time.monotonic()
+        outcome = client.submit(_req_payload(), hedge_after=0.1)
+        assert outcome.ok
+        assert time.monotonic() - started < 4.0   # hedge won, no full stall
+        assert registry.deterministic_totals()["serve.client.hedges"] == 1
+    finally:
+        server.close()
+
+
+def test_no_hedge_when_the_primary_is_fast(registry):
+    server = _ScriptedServer([{}])
+    try:
+        client = ServeClient("127.0.0.1", server.port, timeout=10.0)
+        outcome = client.submit(_req_payload(), hedge_after=5.0)
+        assert outcome.ok
+        assert server.hits == 1
+        assert "serve.client.hedges" not in registry.deterministic_totals()
+    finally:
+        server.close()
+
+
+# -- protocol-level client errors -------------------------------------------------
+
+def test_http_413_is_a_protocol_error(registry):
+    oversized = {"status": 413,
+                 "body": {"status": "rejected", "reason": "oversized",
+                          "error": "request body of 9999 bytes exceeds "
+                                   "the 100-byte limit"},
+                 "served": "rejected"}
+    server = _ScriptedServer([oversized])
+    try:
+        client = ServeClient("127.0.0.1", server.port, timeout=10.0)
+        with pytest.raises(ProtocolError, match="exceeds the 100-byte"):
+            client.submit(_req_payload())
+    finally:
+        server.close()

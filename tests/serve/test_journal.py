@@ -1,0 +1,161 @@
+"""Request-journal semantics: WAL discipline, corrupt-tail tolerance,
+compaction, degradation on filesystem failure."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.journal import (
+    JOURNAL_FILENAME,
+    JOURNAL_SCHEMA_VERSION,
+    RequestJournal,
+    read_journal,
+)
+from repro.serve.protocol import ServeRequest, ok_response
+
+from .conftest import AXPY_SRC
+
+
+def _req(**kw):
+    base = dict(kind="compile", source=AXPY_SRC)
+    base.update(kw)
+    return ServeRequest(**base)
+
+
+def _response(request):
+    return ok_response(request, {"kind": "compile", "loop": "axpy"})
+
+
+# -- reading -------------------------------------------------------------------
+
+def test_missing_journal_reads_as_empty(tmp_path):
+    replay = read_journal(tmp_path / "absent.jsonl")
+    assert replay.records == 0
+    assert replay.corrupt == 0
+    assert not replay.completed and not replay.incomplete
+
+
+def test_admitted_then_completed_restores_the_response(tmp_path, registry):
+    journal = RequestJournal.in_dir(tmp_path)
+    req = _req()
+    fp = req.fingerprint()
+    journal.admitted(fp, req.to_dict())
+    journal.completed(fp, "ok", _response(req))
+
+    replay = read_journal(journal.path)
+    assert replay.records == 2
+    assert replay.incomplete == {}
+    assert replay.completed[fp] == _response(req)
+
+
+def test_admitted_without_completion_is_incomplete(tmp_path, registry):
+    journal = RequestJournal.in_dir(tmp_path)
+    req = _req()
+    journal.admitted(req.fingerprint(), req.to_dict())
+
+    replay = read_journal(journal.path)
+    assert replay.incomplete == {req.fingerprint(): req.to_dict()}
+    assert replay.completed == {}
+
+
+def test_non_ok_completion_closes_without_restoring(tmp_path, registry):
+    journal = RequestJournal.in_dir(tmp_path)
+    req = _req()
+    journal.admitted(req.fingerprint(), req.to_dict())
+    journal.completed(req.fingerprint(), "error")
+
+    replay = read_journal(journal.path)
+    assert replay.incomplete == {}
+    assert replay.completed == {}
+    assert replay.records == 2
+
+
+def test_truncated_tail_is_skipped_not_fatal(tmp_path, registry):
+    """The partial line a SIGKILL'd writer leaves must cost exactly that
+    record, never the journal."""
+    journal = RequestJournal.in_dir(tmp_path)
+    req = _req()
+    journal.admitted(req.fingerprint(), req.to_dict())
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write('{"schema_version": 1, "kind": "completed", "fing')
+
+    replay = read_journal(journal.path)
+    assert replay.corrupt == 1
+    assert replay.records == 1
+    assert req.fingerprint() in replay.incomplete
+
+
+def test_foreign_schema_versions_are_skipped(tmp_path):
+    path = tmp_path / JOURNAL_FILENAME
+    record = {"schema_version": JOURNAL_SCHEMA_VERSION + 1,
+              "kind": "admitted", "fingerprint": "f" * 16,
+              "request": {"kind": "compile", "source": "x"}}
+    path.write_text(json.dumps(record) + "\n", encoding="utf-8")
+    replay = read_journal(path)
+    assert replay.corrupt == 1
+    assert replay.records == 0
+
+
+def test_malformed_records_are_skipped(tmp_path):
+    path = tmp_path / JOURNAL_FILENAME
+    lines = [
+        "[1, 2, 3]",                                          # not an object
+        '{"schema_version": 1, "kind": "mystery", "fingerprint": "f"}',
+        '{"schema_version": 1, "kind": "admitted", "fingerprint": ""}',
+        '{"schema_version": 1, "kind": "admitted", "fingerprint": "f"}',
+        '{"schema_version": 1, "kind": "completed", "fingerprint": "f",'
+        ' "status": "ok"}',                                   # no response
+        "",                                                   # blank: free
+    ]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    replay = read_journal(path)
+    assert replay.corrupt == 5
+    assert replay.records == 0
+
+
+# -- compaction -----------------------------------------------------------------
+
+def test_compact_rewrites_to_exactly_the_live_records(tmp_path, registry):
+    journal = RequestJournal.in_dir(tmp_path)
+    done, pending = _req(cores=2), _req(cores=4)
+    journal.admitted(done.fingerprint(), done.to_dict())
+    journal.completed(done.fingerprint(), "ok", _response(done))
+    journal.admitted(pending.fingerprint(), pending.to_dict())
+
+    journal.compact({done.fingerprint(): _response(done)})
+
+    replay = read_journal(journal.path)
+    assert replay.corrupt == 0
+    assert replay.completed == {done.fingerprint(): _response(done)}
+    assert replay.incomplete == {}                # the admitted entry is gone
+    # nothing but the journal file survives in the directory (the
+    # tempfile was renamed over it, not left behind)
+    assert [p.name for p in tmp_path.iterdir()] == [JOURNAL_FILENAME]
+
+
+# -- degradation ------------------------------------------------------------------
+
+def test_append_failure_disables_the_journal(tmp_path, registry, capsys):
+    journal = RequestJournal(tmp_path / "no-such-dir" / JOURNAL_FILENAME)
+    req = _req()
+    journal.admitted(req.fingerprint(), req.to_dict())
+    assert not journal.enabled
+    assert journal.append_errors == 1
+    assert "request journal disabled" in capsys.readouterr().err
+    # further appends and compactions are silent no-ops
+    journal.completed(req.fingerprint(), "ok", _response(req))
+    journal.compact({})
+    assert journal.appends == 0
+
+
+def test_stats_dict_shape(tmp_path, registry):
+    journal = RequestJournal.in_dir(tmp_path)
+    journal.admitted("f" * 16, _req().to_dict())
+    stats = journal.stats_dict()
+    assert stats["enabled"] is True
+    assert stats["appends"] == 1
+    assert stats["append_errors"] == 0
+    assert stats["path"].endswith(JOURNAL_FILENAME)
+    assert registry.deterministic_totals()["serve.journal.appends"] == 1

@@ -1,0 +1,290 @@
+"""Resilience primitives: backoff, circuit breaker, health machine,
+supervisor."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import CircuitOpen
+from repro.serve.resilience import (
+    HEALTH_DEGRADED,
+    HEALTH_DRAINING,
+    HEALTH_OK,
+    BackoffPolicy,
+    CircuitBreaker,
+    HealthPolicy,
+    Supervisor,
+    SupervisorConfig,
+)
+
+
+# -- backoff -------------------------------------------------------------------
+
+def test_backoff_is_deterministic_per_seed_and_attempt():
+    a = BackoffPolicy(seed=7)
+    b = BackoffPolicy(seed=7)
+    assert [a.delay(i) for i in range(8)] == [b.delay(i) for i in range(8)]
+    c = BackoffPolicy(seed=8)
+    assert [a.delay(i) for i in range(8)] != [c.delay(i) for i in range(8)]
+
+
+def test_backoff_grows_exponentially_and_caps():
+    p = BackoffPolicy(initial=0.1, factor=2.0, max_delay=0.8, jitter=0.0)
+    assert [p.delay(i) for i in range(5)] == [0.1, 0.2, 0.4, 0.8, 0.8]
+
+
+def test_backoff_jitter_stays_in_band():
+    p = BackoffPolicy(initial=1.0, factor=1.0, max_delay=1.0,
+                      jitter=0.5, seed=3)
+    for attempt in range(64):
+        assert 0.75 <= p.delay(attempt) < 1.25
+
+
+def test_backoff_validates():
+    with pytest.raises(ValueError, match="initial"):
+        BackoffPolicy(initial=0.0)
+    with pytest.raises(ValueError, match="factor"):
+        BackoffPolicy(factor=0.5)
+    with pytest.raises(ValueError, match="max_delay"):
+        BackoffPolicy(initial=1.0, max_delay=0.5)
+    with pytest.raises(ValueError, match="jitter"):
+        BackoffPolicy(jitter=2.0)
+    with pytest.raises(ValueError, match="attempt"):
+        BackoffPolicy().delay(-1)
+
+
+# -- circuit breaker -----------------------------------------------------------
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_breaker_opens_after_threshold_and_fails_fast(registry):
+    clock = _Clock()
+    b = CircuitBreaker("x:1", failure_threshold=3, reset_timeout=2.0,
+                       clock=clock)
+    for _ in range(2):
+        b.guard()
+        b.record_failure()
+    assert b.state == CircuitBreaker.CLOSED     # under the threshold
+    b.guard()
+    b.record_failure()
+    assert b.state == CircuitBreaker.OPEN
+    with pytest.raises(CircuitOpen) as excinfo:
+        b.guard()
+    assert excinfo.value.retry_after == pytest.approx(2.0)
+    assert registry.deterministic_totals()["serve.client.circuit_opens"] == 1
+
+
+def test_breaker_half_open_admits_exactly_one_probe(registry):
+    clock = _Clock()
+    b = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+    b.record_failure()
+    assert b.state == CircuitBreaker.OPEN
+    clock.now = 1.5
+    b.guard()                                   # the probe goes through
+    assert b.state == CircuitBreaker.HALF_OPEN
+    with pytest.raises(CircuitOpen):
+        b.guard()                               # concurrent caller: no
+    b.record_success()                          # probe succeeded
+    assert b.state == CircuitBreaker.CLOSED
+    b.guard()
+
+
+def test_breaker_probe_failure_reopens(registry):
+    clock = _Clock()
+    b = CircuitBreaker(failure_threshold=2, reset_timeout=1.0, clock=clock)
+    b.record_failure()
+    b.record_failure()
+    clock.now = 1.1
+    b.guard()                                   # half-open probe
+    b.record_failure()                          # one probe failure suffices
+    assert b.state == CircuitBreaker.OPEN
+    with pytest.raises(CircuitOpen):
+        b.guard()
+
+
+def test_breaker_success_resets_the_failure_count(registry):
+    b = CircuitBreaker(failure_threshold=2)
+    b.record_failure()
+    b.record_success()
+    b.record_failure()                          # 1 again, not 2
+    assert b.state == CircuitBreaker.CLOSED
+
+
+def test_breaker_validates():
+    with pytest.raises(ValueError, match="failure_threshold"):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError, match="reset_timeout"):
+        CircuitBreaker(reset_timeout=0.0)
+
+
+# -- health machine --------------------------------------------------------------
+
+def _evaluate(policy=None, **kw):
+    base = dict(draining=False, queue_depth=0, max_queue_depth=64,
+                recent_outcomes=(), pool_rebuilds_in_window=0)
+    base.update(kw)
+    return (policy or HealthPolicy()).evaluate(**base)
+
+
+def test_health_ok_when_idle():
+    report = _evaluate()
+    assert report.state == HEALTH_OK
+    assert report.ok
+    assert not report.shed_duplicates
+    assert report.reasons == ()
+
+
+def test_health_queue_pressure_degrades_without_shedding():
+    report = _evaluate(queue_depth=48)          # 75% of 64
+    assert report.state == HEALTH_DEGRADED
+    assert not report.shed_duplicates           # coalescing must survive
+    assert any("queue depth" in r for r in report.reasons)
+
+
+def test_health_pool_rebuilds_degrade_and_shed():
+    report = _evaluate(pool_rebuilds_in_window=1)
+    assert report.state == HEALTH_DEGRADED
+    assert report.shed_duplicates
+    assert any("rebuild" in r for r in report.reasons)
+
+
+def test_health_deadline_miss_rate_degrades_and_sheds():
+    report = _evaluate(recent_outcomes=("ok", "deadline", "deadline", "ok"))
+    assert report.state == HEALTH_DEGRADED
+    assert report.shed_duplicates
+    assert any("deadline-miss" in r for r in report.reasons)
+
+
+def test_health_deadline_rate_needs_min_samples():
+    report = _evaluate(recent_outcomes=("deadline", "deadline"))
+    assert report.state == HEALTH_OK            # below min_samples=4
+
+
+def test_health_draining_wins():
+    report = _evaluate(draining=True, queue_depth=64,
+                       pool_rebuilds_in_window=3)
+    assert report.state == HEALTH_DRAINING
+    assert report.reasons == ("drain requested",)
+    assert report.to_dict()["state"] == HEALTH_DRAINING
+
+
+def test_health_policy_validates():
+    with pytest.raises(ValueError, match="queue_fraction"):
+        HealthPolicy(queue_fraction=0.0)
+    with pytest.raises(ValueError, match="deadline_miss_rate"):
+        HealthPolicy(deadline_miss_rate=1.5)
+    with pytest.raises(ValueError, match="window"):
+        HealthPolicy(window=0)
+    with pytest.raises(ValueError, match="min_samples"):
+        HealthPolicy(min_samples=0)
+
+
+# -- supervisor ------------------------------------------------------------------
+
+#: a minimal child answering /healthz — just enough daemon for the
+#: supervisor's liveness probes, without compile cost per restart
+_HEALTHZ_CHILD = """
+import http.server, json, sys
+
+class H(http.server.BaseHTTPRequestHandler):
+    def do_GET(self):
+        body = json.dumps({"status": "ok"}).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):
+        pass
+
+http.server.ThreadingHTTPServer(
+    ("127.0.0.1", int(sys.argv[1])), H).serve_forever()
+"""
+
+
+def _free_port() -> int:
+    import socket
+    with socket.socket() as s:
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _wait_until(predicate, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition never became true")
+        time.sleep(0.01)
+
+
+def test_supervisor_restarts_a_sigkilled_child(registry):
+    port = _free_port()
+
+    def spawn():
+        return subprocess.Popen(
+            [sys.executable, "-c", _HEALTHZ_CHILD, str(port)],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+    config = SupervisorConfig(
+        check_interval=0.05, startup_timeout=20.0, hang_timeout=5.0,
+        backoff=BackoffPolicy(initial=0.05, max_delay=0.2),
+        healthy_reset_seconds=3600.0)
+    sup = Supervisor(spawn, "127.0.0.1", port, config, verbose=False)
+    runner = threading.Thread(target=lambda: sup.run(), daemon=True)
+    runner.start()
+    try:
+        _wait_until(lambda: sup.child_pid is not None)
+        first_pid = sup.child_pid
+        from repro.serve.client import ServeClient
+        client = ServeClient("127.0.0.1", port, timeout=5.0)
+        _wait_until(client.ping)
+        # only kill once the supervisor is in its watch loop — a child
+        # dying during startup counts as a failed start, not a crash
+        checks = registry.counter("serve.supervisor.checks")
+        _wait_until(lambda: checks.value >= 1)
+
+        os.kill(first_pid, signal.SIGKILL)
+        _wait_until(lambda: sup.restarts >= 1)
+        _wait_until(lambda: client.ping()
+                    and sup.child_pid not in (None, first_pid))
+        assert sup.crashes >= 1
+        totals = registry.deterministic_totals()
+        assert totals["serve.restarts"] >= 1
+        assert totals["serve.supervisor.crashes"] >= 1
+    finally:
+        sup.request_stop()
+        runner.join(timeout=30.0)
+    assert not runner.is_alive()
+    assert sup.child_pid is None or sup.child.poll() is not None
+
+
+def test_supervisor_gives_up_when_the_budget_is_exhausted(registry):
+    port = _free_port()
+
+    def spawn():
+        return subprocess.Popen([sys.executable, "-c", "raise SystemExit(7)"],
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+
+    config = SupervisorConfig(
+        check_interval=0.05, startup_timeout=0.3, hang_timeout=1.0,
+        backoff=BackoffPolicy(initial=0.01, max_delay=0.05),
+        max_restarts=1)
+    sup = Supervisor(spawn, "127.0.0.1", port, config, verbose=False)
+    assert sup.run() == 1
+    assert sup.restarts == 1

@@ -18,7 +18,7 @@ from repro.serve import (
     response_bytes,
     wait_ready,
 )
-from repro.serve.protocol import ok_response
+from repro.serve.protocol import PROTOCOL_VERSION, ok_response
 from repro.session import Session
 
 from .conftest import AXPY_SRC
@@ -107,6 +107,45 @@ def test_shutdown_endpoint_drains_and_stops(daemon):
     assert d.drained is True
     # the listener is gone: the next call is a typed unavailability
     assert not client.ping()
+
+
+def test_healthz_carries_state_reasons_and_version(daemon):
+    d, client = daemon
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["reasons"] == []
+    assert health["protocol_version"] == PROTOCOL_VERSION
+    d.broker.begin_drain()
+    health = client.healthz()
+    assert health["status"] == "draining"
+    assert health["reasons"] == ["drain requested"]
+
+
+def test_oversized_bodies_get_http_413(registry, span_tracer):
+    d = ServeDaemon(port=0, broker=None, max_body_bytes=64).start()
+    try:
+        client = ServeClient("127.0.0.1", d.port, timeout=30.0)
+        assert wait_ready(client, timeout=15.0)
+        import json
+        body = json.dumps(_req().to_dict()).encode("utf-8")
+        assert len(body) > 64
+        status, headers, raw = client._round_trip("POST", "/submit", body)
+        assert status == 413
+        assert headers["x-repro-served"] == "rejected"
+        payload = json.loads(raw)
+        assert "exceeds the 64-byte limit" in payload["error"]
+        # the typed client surfaces the refusal as a protocol error
+        with pytest.raises(ProtocolError, match="64-byte limit"):
+            client.submit(_req())
+        # undersized requests still work: the daemon is not poisoned
+        assert client.healthz()["status"] == "ok"
+    finally:
+        d.stop(drain_timeout=10.0)
+
+
+def test_max_body_bytes_validates():
+    with pytest.raises(ValueError, match="max_body_bytes"):
+        ServeDaemon(port=0, max_body_bytes=0)
 
 
 def test_no_daemon_is_server_unavailable(registry):
