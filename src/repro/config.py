@@ -55,6 +55,8 @@ class ArchConfig:
         latency: 1 cycle for SEND + 1 per hop + 1 for RECV = 3.
     spawn_overhead:
         ``C_spn`` — cycles to spawn the next iteration's thread (paper: 3).
+        May be fractional (or zero): the DSE ``paper-overheads`` sweep
+        explores sub-cycle spawn costs.
     commit_overhead:
         ``C_ci`` — head-thread commit overhead (paper: 2, thanks to the
         double-buffered speculative write buffer).
@@ -77,7 +79,7 @@ class ArchConfig:
     l1_miss_rate: float = 0.0
     l2_miss_rate: float = 0.0
     reg_comm_latency: int = 3
-    spawn_overhead: int = 3
+    spawn_overhead: float = 3
     commit_overhead: int = 2
     invalidation_overhead: int = 15
     write_buffer_entries: int = 64
@@ -227,12 +229,19 @@ class SimConfig:
         Record a per-thread event trace (slower; used by tests/examples).
     max_events:
         Safety bound on simulator events to guarantee termination.
+    exact:
+        Force the reference per-thread event loop, disabling the
+        steady-state fast path (see docs/simulator.md).  The
+        ``REPRO_SIM_EXACT=1`` environment variable forces the same mode
+        process-wide; results are byte-identical either way — this is the
+        differential oracle's escape hatch, not a different model.
     """
 
     iterations: int = 1000
     seed: int = 0xACE5
     trace: bool = False
     max_events: int = 50_000_000
+    exact: bool = False
 
     def __post_init__(self) -> None:
         if self.iterations < 1:

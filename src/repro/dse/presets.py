@@ -38,7 +38,7 @@ PRESETS: dict[str, dict[str, Any]] = {
     "paper-overheads": {
         "description": "spawn/commit/invalidation overhead space",
         "space": {
-            "arch.spawn_overhead": [1, 3, 6],
+            "arch.spawn_overhead": [0, 1, 1.5, 3, 6],
             "arch.commit_overhead": [1, 2, 4],
             "arch.invalidation_overhead": [5, 15, 30],
         },

@@ -308,6 +308,7 @@ class Session:
     def simulate_many(self, targets: Sequence["AlgResult | PipelinedLoop"],
                       arch: ArchConfig | None = None, iterations: int = 500,
                       seed: int = 0xACE5, *,
+                      sim: SimConfig | None = None,
                       jobs: int | None = None,
                       on_error: str = "raise",
                       timeout: float | None = None,
@@ -315,14 +316,17 @@ class Session:
         """Simulate a batch of kernels; parallel when ``jobs > 1``,
         deterministic result order always.  ``timeout`` / ``retries``
         bound and retry each simulation via the runner's per-task
-        machinery."""
+        machinery.  ``sim`` overrides ``iterations``/``seed`` wholesale
+        (same contract as :meth:`simulate`) — e.g. ``SimConfig(...,
+        exact=True)`` runs the whole batch through the reference event
+        loop, worker processes included."""
         if on_error not in ("raise", "skip"):
             raise ValueError(
                 f"on_error must be 'raise' or 'skip', got {on_error!r}")
         arch = arch or self.arch or ArchConfig.paper_default()
         pipelined = [_as_pipelined(t) for t in targets]
         runner = self._runner_for(jobs)
-        sim = SimConfig(iterations=iterations, seed=seed)
+        sim = sim or SimConfig(iterations=iterations, seed=seed)
         payloads = [(p, arch, sim) for p in pipelined]
         with span("session.simulate_many", tasks=len(payloads)):
             if runner.resolved_jobs <= 1:

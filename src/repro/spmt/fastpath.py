@@ -1,0 +1,531 @@
+"""Steady-state detection and analytic fast-forward for the simulator.
+
+The thread recurrence the event loop iterates —
+
+    start(j)  = max(start(j-1) + C_spn, core_free[j % ncore])
+    timing(j) = resolve(start(j), arrivals from threads j - hops)
+    commit(j) = max(finish(j), commit(j-1)) + C_ci
+
+— is a max-plus system over the kernel template's constants, so after a
+transient it settles into a periodic regime: thread ``j + P`` replays
+thread ``j`` shifted by a constant ``D`` cycles.  The state period ``P``
+is always a multiple of ``ncore`` (core affinity must line up) but its
+other factor is the cyclicity of the system's critical circuit, which is
+*not* predictable from the kernel distances alone — so the detector
+verifies candidate periods at successive multiples of
+``base = lcm(ncore, channel hops, speculated distances)`` against the
+recorded history and uses the first one that proves out.
+
+The periodic regime may *include* misspeculations: a speculated
+dependence with probability 1 violates on every thread (the paper's SMS
+pathology), and the squash/restart cascade is a deterministic function
+of the feeder timings and the realisation vector — so a pattern of
+"execute, violate at a fixed relative time, restart, commit" replays
+shifted by ``D`` exactly like a clean one.  The detector therefore
+records each thread's restart count and its squash-statistics deltas and
+verifies them as part of the period.
+
+Proof obligations before a skip (all checked, never assumed):
+
+* **Periodicity** — over the last ``P`` threads, ``start``/``commit``/
+  ``finish`` advance by exactly ``D`` versus ``P`` threads earlier while
+  the per-thread stall, restart count, wasted-execution and
+  squashed-thread deltas are unchanged; the threads that feed future
+  arrivals (the last ``max_dist + 1``) additionally have identical
+  ``issue_rel`` patterns.  With that window fixed, induction over ``j``
+  extends the pattern to every future thread: ``max``/``+`` commute with
+  the shift.
+* **Integrality** — the induction argument needs exact arithmetic, so
+  every window value (and ``D`` and ``C_spn``) must be an integral float
+  and the shifted magnitudes must stay below 2**52.  Fractional timings
+  fall back to the event loop rather than risk one ulp of drift.
+* **Realisation safety** — the realisation RNG draws per thread, so the
+  skip must not change *which* outcomes future threads see.  Deps with
+  probability 0 or 1 are deterministic and need no scan (their
+  violations, if any, are part of the verified pattern).  Probabilistic
+  deps (``0 < p < 1``) have their Bernoulli draws batch-scanned in
+  stream order (:meth:`RealisationTable.block`); the skip stops at the
+  first thread where a probabilistic manifestation could change the
+  outcome — one that would violate under the pattern timings, or one
+  landing on a pattern offset that restarts (where it could perturb an
+  intermediate attempt of the cascade).  That thread, and everything
+  after it, runs through the exact loop.
+
+``SimStats`` accumulated across a skip are affine in the skipped count:
+the stall/wasted/squash/restart patterns sum per period, and
+spawn/commit/pair totals are already ``N``-proportional.  After a skip
+the history rings are backfilled from the proven pattern, so the
+detector can re-lock immediately after the single exact thread a scan
+stop inserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import lcm
+
+import numpy as np
+
+from ..config import ArchConfig
+from .channels import KernelTimingTemplate, ThreadTiming
+from .violations import RealisationTable, manifest_violations
+
+__all__ = ["FastForward", "SteadyStateDetector"]
+
+#: periods past this are not worth proving (the verification window and
+#: per-attempt cost grow with P; real ring kernels sit far below this).
+_MAX_PERIOD = 512
+
+#: candidate periods tried per attempt: base, 2*base, ... up to this many.
+_MAX_MULTIPLES = 16
+
+#: threads per batched realisation draw while scanning for the next
+#: manifest-unsafe thread (bounds the retained block's memory).
+_SCAN_CHUNK = 1 << 15
+
+#: cap on the attempt back-off gap for kernels that never lock.
+_MAX_BACKOFF = 1 << 14
+
+#: shifted timing values must stay exactly representable.
+_MAX_MAGNITUDE = float(2 ** 52)
+
+
+@dataclass
+class FastForward:
+    """A verified skip: the event-loop state at thread ``target``."""
+
+    target: int
+    skipped: int
+    stall_cycles: float
+    prev_start: float
+    prev_commit: float
+    core_free: list[float]
+    timings: dict[int, ThreadTiming]
+    #: squash statistics accumulated over the skipped range (all zero
+    #: for a violation-free pattern).
+    misspeculations: int = 0
+    squashed_threads: int = 0
+    wasted_cycles: float = 0.0
+    invalidation_cycles: float = 0.0
+
+
+class SteadyStateDetector:
+    """Watches committed threads for the periodic fixed point."""
+
+    def __init__(self, template: KernelTimingTemplate, arch: ArchConfig,
+                 n: int) -> None:
+        self.template = template
+        self.arch = arch
+        self.n = n
+        distances = {ch.hops for ch in template.channels}
+        distances |= {k for (_x, _y, k, _p) in template.speculated}
+        self.max_dist = max(distances, default=1)
+        base = arch.ncore
+        for d in sorted(distances):
+            if d > 0:
+                base = lcm(base, d)
+        self.base = base
+        self.candidates = [base * k for k in range(1, _MAX_MULTIPLES + 1)
+                           if base * k <= _MAX_PERIOD]
+        p_max = self.candidates[-1] if self.candidates else base
+        #: ThreadTiming entries the simulator must retain for us (the
+        #: largest candidate's verification reaches P + max_dist + 1 back).
+        self.retention = p_max + self.max_dist + 2
+        self.viable = (base <= _MAX_PERIOD
+                       and n > 2 * base + self.max_dist + 2
+                       and float(arch.spawn_overhead).is_integer())
+        #: deps whose manifestation is a coin flip (0 < p < 1); the
+        #: deterministic rest either never manifests or is part of the
+        #: verified pattern.
+        self.prob_idx = [i for i, (_x, _y, _k, p)
+                         in enumerate(template.speculated)
+                         if 0.0 < p < 1.0]
+        self.next_try = 0
+        self._gap = base
+        #: sorted thread indices (within the ring horizon) that restarted;
+        #: lets an attempt reject candidates whose window would contain a
+        #: non-periodic restart without touching numpy at all.
+        self._restart_log: list[int] = []
+        #: per-candidate retry gates: a failed verification reports the
+        #: newest offending window position, and the candidate is not
+        #: re-verified until that position has scrolled out of its window.
+        self._cand_gate: dict[int, int] = {}
+        #: scalar history rings sized for the largest candidate's window;
+        #: entries before ``valid_from`` are stale (never observed).
+        self.valid_from = 0
+        self.size = 2 * p_max + self.max_dist + 2
+        self._rstart = np.zeros(self.size, dtype=np.float64)
+        self._rstall = np.zeros(self.size, dtype=np.float64)
+        self._rfinish = np.zeros(self.size, dtype=np.float64)
+        self._rcommit = np.zeros(self.size, dtype=np.float64)
+        self._rrestarts = np.zeros(self.size, dtype=np.int64)
+        self._rwasted = np.zeros(self.size, dtype=np.float64)
+        self._rsquash = np.zeros(self.size, dtype=np.int64)
+
+    # -- observation --------------------------------------------------------
+
+    def observe(self, j: int, timing: ThreadTiming, commit: float,
+                restarts: int, wasted: float, squashed: int) -> None:
+        """Record thread ``j``'s committed execution (``wasted`` and
+        ``squashed`` are this thread's contributions to the run stats)."""
+        i = j % self.size
+        self._rstart[i] = timing.start
+        self._rstall[i] = timing.total_stall
+        self._rfinish[i] = timing.finish
+        self._rcommit[i] = commit
+        self._rrestarts[i] = restarts
+        self._rwasted[i] = wasted
+        self._rsquash[i] = squashed
+        if restarts:
+            # a squash is a re-lock opportunity: probe at the base
+            # cadence again
+            self._gap = self.base
+            # an isolated violation in an otherwise clean regime knocks
+            # the pattern out for exactly one verification window — aim
+            # the next attempt right past it.  When violations are the
+            # regime (restarts in the recent log too) the pattern can
+            # re-verify with the restarts in it, so leave the schedule to
+            # the back-off machinery instead of pushing it out forever.
+            log = self._restart_log
+            if not (log and log[-1] >= j - self.base):
+                self.next_try = j + 2 * self.base + self.max_dist + 2
+            log.append(j)
+
+    # -- attempt ------------------------------------------------------------
+
+    def attempt(self, t: int, timings: dict[int, ThreadTiming],
+                realisations: RealisationTable) -> FastForward | None:
+        """Try to fast-forward from thread ``t`` (threads [0, t) are
+        committed).  Returns the verified skip, or None to keep iterating."""
+        if t < self.next_try or t >= self.n:
+            return None
+        avail = t - self.valid_from
+        tried = False
+        log = self._restart_log
+        while log and log[0] < t - self.size:
+            log.pop(0)
+        gates = self._cand_gate
+        earliest: int | None = None
+        for P in self.candidates:
+            if avail < 2 * P + self.max_dist + 2:
+                break
+            tried = True
+            gate = gates.get(P, 0)
+            if t < gate:
+                earliest = gate if earliest is None else min(earliest, gate)
+                continue
+            # restart positions in the window must be P-periodic; the
+            # sparse log settles that in pure python, so the (frequent)
+            # "isolated restart still in window" case never pays for a
+            # numpy verification
+            r_new = [x for x in log if x >= t - P]
+            r_old = [x - (t - 2 * P) for x in log if t - 2 * P <= x < t - P]
+            if len(r_new) != len(r_old) or \
+                    any(a - (t - P) != b for a, b in zip(r_new, r_old)):
+                # unaligned restarts: retry once the newest one has
+                # scrolled out of the 2P window (earlier re-checks would
+                # find the same mismatch)
+                gate = max(x for x in log if x >= t - 2 * P) + 2 * P + 1
+                gates[P] = gate
+                earliest = gate if earliest is None else min(earliest, gate)
+                continue
+            D, retry = self._verify(t, P)
+            if D is None:
+                gates[P] = retry
+                earliest = retry if earliest is None \
+                    else min(earliest, retry)
+                continue
+            status, unsafe, blocked = self._classify(t, P, timings,
+                                                     realisations)
+            if status == "blocked":
+                # no candidate can succeed while the ambiguous thread is
+                # inside the (smallest) verification window: retry once
+                # it has scrolled out
+                self.next_try = max(t + 1, blocked + self.base + 1)
+                return None
+            if status != "ok":
+                gate = t + self.base
+                gates[P] = gate
+                earliest = gate if earliest is None else min(earliest, gate)
+                continue
+            target = self.n if unsafe is None \
+                else self._scan(t, P, unsafe, realisations)
+            if self._pattern_restarts(t, P):
+                # skipped threads must have the full speculative window
+                # ahead of them (the squash estimate's n-1-j cap)
+                target = min(target, self.n - self.arch.ncore)
+            if target <= t:
+                # thread t itself will violate; let the event loop take it
+                self.next_try = t + 1
+                return None
+            plan = self._plan(t, P, target, D, timings)
+            gates.clear()
+            self.next_try = target + 1
+            self._gap = self.base
+            return plan
+        if tried:
+            if earliest is not None:
+                # every candidate reported when it could next verify
+                self.next_try = max(t + 1, earliest)
+                self._gap = self.base
+            else:
+                # nothing reported a retry point: back off exponentially
+                # so kernels that never settle pay a vanishing overhead
+                self.next_try = t + self._gap
+                self._gap = min(self._gap * 2, _MAX_BACKOFF)
+        return None
+
+    # -- verification -------------------------------------------------------
+
+    def _at(self, arr: np.ndarray, j: int) -> float:
+        return float(arr[j % self.size])
+
+    def _pattern_restarts(self, t: int, P: int) -> bool:
+        idx = np.arange(t - P, t) % self.size
+        return bool(self._rrestarts[idx].any())
+
+    def _verify(self, t: int, P: int) -> tuple[float | None, int]:
+        """``(D, 0)`` if the last ``P`` threads replay the ``P`` before
+        them exactly (and exactly representably); ``(None, retry_at)``
+        otherwise, where ``retry_at`` is the earliest thread at which
+        this candidate could plausibly verify again (the newest
+        offending window position — assumed to be the deviant of its
+        mismatched pair — must scroll out of the 2P window first).
+
+        One fancy-indexed gather of the 2P-thread window per ring, then
+        whole-array comparisons: the cost per attempt is a handful of
+        numpy ops regardless of the candidate period.
+        """
+        idx = np.arange(t - 2 * P, t) % self.size
+        new, old = slice(P, None), slice(None, P)
+
+        def fail(bad: np.ndarray) -> tuple[None, int]:
+            # bad: boolean mask over the P window offsets
+            return None, t + P + int(np.nonzero(bad)[0].max()) + 1
+
+        # integer pre-checks first: restart/squash pattern equality
+        # aborts most failed attempts before any float work
+        rs = self._rrestarts[idx]
+        if not np.array_equal(rs[new], rs[old]):
+            return fail(rs[new] != rs[old])
+        sq = self._rsquash[idx]
+        if not np.array_equal(sq[new], sq[old]):
+            return fail(sq[new] != sq[old])
+        st = self._rstart[idx]
+        D = float(st[-1] - st[P - 1])
+        if not D.is_integer():
+            return None, t + 2 * P
+        # a full skip shifts by at most this much; stay in exact-int range
+        periods_left = float(self.n - t) / P + 2.0
+        cm = self._rcommit[idx]
+        if abs(D) * periods_left + abs(float(cm[-1])) > _MAX_MAGNITUDE:
+            return None, t + 2 * P
+        fn = self._rfinish[idx]
+        wl = self._rstall[idx]
+        wa = self._rwasted[idx]
+        ds = st[new] - st[old]
+        if not np.all(ds == D):
+            return fail(ds != D)
+        dc = cm[new] - cm[old]
+        if not np.all(dc == D):
+            return fail(dc != D)
+        df = fn[new] - fn[old]
+        if not np.all(df == D):
+            return fail(df != D)
+        if not np.array_equal(wl[new], wl[old]):
+            return fail(wl[new] != wl[old])
+        if not np.array_equal(wa[new], wa[old]):
+            return fail(wa[new] != wa[old])
+        win = np.stack((st[new], cm[new], fn[new], wl[new], wa[new]))
+        frac = win != np.floor(win)
+        if frac.any():
+            return fail(frac.any(axis=0))
+        if float(wa[new].sum()) * periods_left > _MAX_MAGNITUDE:
+            return None, t + 2 * P
+        return D, 0
+
+    def _issue_pattern_matches(self, a: ThreadTiming, b: ThreadTiming) -> bool:
+        if a.issue_rel is b.issue_rel:
+            arr = a.issue_array()
+            return bool(np.all(arr == np.floor(arr)))
+        ia, ib = a.issue_array(), b.issue_array()
+        return bool(np.array_equal(ia, ib) and np.all(ia == np.floor(ia)))
+
+    def _classify(self, t: int, P: int, timings: dict[int, ThreadTiming],
+                  realisations: RealisationTable
+                  ) -> tuple[str, np.ndarray | None, int]:
+        """Issue-pattern check plus per-offset realisation classification.
+
+        Returns ``("retry", None, -1)`` when the pattern cannot be proven
+        at this period (a longer candidate may still prove out),
+        ``("blocked", None, m)`` when an ambiguous coin-flip
+        manifestation on restarting thread ``m`` forbids any skip until
+        ``m`` leaves the verification window, ``("ok", None, -1)`` when
+        no realisation can ever change the outcome (skip needs no scan),
+        or ``("ok", mask, -1)`` with the (P x n_deps) mask of
+        probabilistic deps whose manifestation at each offset would
+        perturb the pattern.
+        """
+        # threads that feed future arrivals must replay exactly
+        for j in range(t - self.max_dist - 1, t):
+            a = timings.get(j)
+            b = timings.get(j - P)
+            if a is None or b is None:
+                return "retry", None, -1
+            if a.total_stall != b.total_stall:
+                return "retry", None, -1
+            if not self._issue_pattern_matches(a, b):
+                return "retry", None, -1
+        nspec = len(self.template.speculated)
+        if nspec == 0:
+            return "ok", None, -1
+        restarts = [bool(self._rrestarts[(t - P + o) % self.size])
+                    for o in range(P)]
+        if self.prob_idx and any(restarts):
+            # a coin-flip manifestation on a restarting window thread is
+            # ambiguous (it may have driven an intermediate attempt of
+            # the cascade): refuse rather than misattribute.  This is
+            # terminal for the whole attempt — any longer candidate's
+            # window contains this one — so report the newest such
+            # thread and let the caller schedule the retry past it.
+            blocked = -1
+            for o in range(P):
+                if not restarts[o]:
+                    continue
+                realised = realisations.realised(t - P + o)
+                if any(realised[idx] for idx in self.prob_idx):
+                    blocked = max(blocked, t - P + o)
+            if blocked >= 0:
+                return "blocked", None, blocked
+        # fully deterministic deps need no scan: p == 0 never manifests
+        # and p == 1 violations are part of the verified pattern (a p == 1
+        # dep that were timing-unsafe on a clean offset would have
+        # violated there, contradicting the pattern)
+        mask = np.zeros((P, nspec), dtype=bool)
+        for o in range(P):
+            if not self.prob_idx:
+                break
+            # a probabilistic manifestation perturbs the pattern if it
+            # would violate under the pattern timings, or if it lands on
+            # a restarting thread (whose intermediate attempts see other
+            # timings than the committed one)
+            if restarts[o]:
+                for idx in self.prob_idx:
+                    mask[o, idx] = True
+            else:
+                unsafe = manifest_violations(self.template, timings,
+                                             t - P + o)
+                for idx in self.prob_idx:
+                    if idx in unsafe:
+                        mask[o, idx] = True
+        return "ok", (mask if mask.any() else None), -1
+
+    def _scan(self, t: int, P: int, unsafe: np.ndarray,
+              realisations: RealisationTable) -> int:
+        """First thread >= ``t`` whose realisation manifests a dependence
+        that would perturb the pattern, or ``n`` if none does."""
+        cur = t
+        while cur < self.n:
+            cnt = min(_SCAN_CHUNK, self.n - cur)
+            mat = realisations.block(cur, cnt)
+            offsets = (np.arange(cur - t, cur - t + cnt)) % P
+            hits = (mat & unsafe[offsets]).any(axis=1)
+            nz = np.nonzero(hits)[0]
+            if nz.size:
+                return cur + int(nz[0])
+            cur += cnt
+        return self.n
+
+    # -- plan construction --------------------------------------------------
+
+    def _plan(self, t: int, P: int, target: int, D: float,
+              timings: dict[int, ThreadTiming]) -> FastForward:
+        skipped = target - t
+        # snapshot the window pattern first: the ring backfill below may
+        # overwrite window positions (when the skip exceeds the ring size
+        # minus one period), and every computation here must read the
+        # pattern as observed
+        offs = [(t - P + o) % self.size for o in range(P)]
+        pat_start = [float(self._rstart[i]) for i in offs]
+        pat_stall = np.array([self._rstall[i] for i in offs])
+        pat_finish = [float(self._rfinish[i]) for i in offs]
+        pat_commit = [float(self._rcommit[i]) for i in offs]
+        pat_restarts = np.array([self._rrestarts[i] for i in offs])
+        pat_wasted = np.array([self._rwasted[i] for i in offs])
+        pat_squash = np.array([self._rsquash[i] for i in offs])
+
+        # per-period stats: every per-thread contribution is affine in
+        # the skipped count (full periods plus a prefix); all values are
+        # integral so regrouping the sums is exact.
+        full, rem = divmod(skipped, P)
+        stall_cycles = full * float(pat_stall.sum()) \
+            + float(pat_stall[:rem].sum())
+        misspec = full * int(pat_restarts.sum()) \
+            + int(pat_restarts[:rem].sum())
+        wasted = full * float(pat_wasted.sum()) \
+            + float(pat_wasted[:rem].sum())
+        squashed = full * int(pat_squash.sum()) + int(pat_squash[:rem].sum())
+        invalidation = float(misspec) * self.arch.invalidation_overhead
+
+        def shift_of(j: int) -> tuple[int, float]:
+            """(pattern offset, cycle shift) of thread ``j >= t - P``."""
+            o = (j - (t - P)) % P
+            return o, D * ((j - (t - P + o)) // P)
+
+        def start_at(j: int) -> float:
+            if j < t - P:
+                return self._at(self._rstart, j)
+            o, shift = shift_of(j)
+            return pat_start[o] + shift
+
+        def commit_at(j: int) -> float:
+            if j < t - P:
+                return self._at(self._rcommit, j)
+            o, shift = shift_of(j)
+            return pat_commit[o] + shift
+
+        ncore = self.arch.ncore
+        core_free = []
+        for c in range(ncore):
+            jc = target - 1 - ((target - 1 - c) % ncore)
+            core_free.append(commit_at(jc) if jc >= 0 else 0.0)
+        prev_start = start_at(target - 1)
+        prev_commit = commit_at(target - 1)
+        new_timings: dict[int, ThreadTiming] = {}
+        if target < self.n:
+            for j in range(max(0, target - self.retention), target):
+                if j < t:
+                    src = timings.get(j)
+                    if src is not None:
+                        new_timings[j] = src
+                else:
+                    o, shift = shift_of(j)
+                    new_timings[j] = timings[t - P + o].shifted(shift)
+            # backfill the history rings from the proven pattern so the
+            # next attempt can verify (and re-lock) immediately after the
+            # exact thread a scan stop inserts
+            for j in range(max(t, target - self.size), target):
+                i = j % self.size
+                o, shift = shift_of(j)
+                self._rstart[i] = pat_start[o] + shift
+                self._rstall[i] = pat_stall[o]
+                self._rfinish[i] = pat_finish[o] + shift
+                self._rcommit[i] = pat_commit[o] + shift
+                self._rrestarts[i] = pat_restarts[o]
+                self._rwasted[i] = pat_wasted[o]
+                self._rsquash[i] = pat_squash[o]
+                if pat_restarts[o]:
+                    self._restart_log.append(j)
+        return FastForward(
+            target=target,
+            skipped=skipped,
+            stall_cycles=stall_cycles,
+            prev_start=prev_start,
+            prev_commit=prev_commit,
+            core_free=core_free,
+            timings=new_timings,
+            misspeculations=misspec,
+            squashed_threads=squashed,
+            wasted_cycles=wasted,
+            invalidation_cycles=invalidation,
+        )

@@ -23,9 +23,22 @@ out-of-order dataflow stall model of :mod:`repro.spmt.channels`, the
 more-speculative-squash count estimate) and documented where they live;
 they do not affect the ordering or magnitude relationships the experiments
 measure.
+
+Two execution strategies produce byte-identical :class:`SimStats`:
+
+* the **reference event loop** iterates every thread with the scalar
+  resolver — forced by ``SimConfig.exact`` or ``REPRO_SIM_EXACT=1``;
+* the default path vectorises per-thread arrival resolution over the
+  kernel template and, once :class:`~repro.spmt.fastpath.
+  SteadyStateDetector` proves the periodic steady state, fast-forwards
+  the remaining iterations analytically.  Tracing, cache-miss draws and
+  fault hooks all disengage the parts of the fast path they would
+  perturb (see docs/simulator.md).
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -36,6 +49,7 @@ from ..obs.events import get_tracer
 from ..obs.spans import get_span_tracer
 from ..sched.postpass import PipelinedLoop
 from .channels import KernelTimingTemplate, ThreadTiming
+from .fastpath import SteadyStateDetector
 from .stats import SimStats
 from .trace import ThreadRecord
 from .violations import RealisationTable, detect_violation
@@ -45,13 +59,25 @@ __all__ = ["SpMTSimulator", "simulate"]
 #: restart attempts per thread before declaring the simulation wedged.
 _MAX_RESTARTS = 64
 
+#: distinct relative-arrival vectors memoised per run by the vectorised
+#: executor (steady and violation-periodic regimes cycle through a
+#: handful; the cap only guards pathological non-repeating kernels).
+_RESOLVE_CACHE_MAX = 4096
+
+
+def _env_exact() -> bool:
+    """``REPRO_SIM_EXACT=1`` forces the reference event loop everywhere
+    (including session worker processes, which inherit the environment)."""
+    return os.environ.get("REPRO_SIM_EXACT", "").strip() not in ("", "0")
+
 
 class SpMTSimulator:
     """Simulates one pipelined loop on the SpMT machine."""
 
     def __init__(self, pipelined: PipelinedLoop, arch: ArchConfig,
                  sim: SimConfig | None = None, *,
-                 template: KernelTimingTemplate | None = None) -> None:
+                 template: KernelTimingTemplate | None = None,
+                 exact: bool | None = None) -> None:
         self.pipelined = pipelined
         self.arch = arch
         self.sim = sim or SimConfig()
@@ -59,14 +85,19 @@ class SpMTSimulator:
         # solely from (pipelined, reg_comm_latency), so reuse is exact.
         self.template = template if template is not None else \
             KernelTimingTemplate(pipelined, arch.reg_comm_latency)
-        # per-thread cache perturbation: indices of the kernel's loads, for
-        # drawing miss latencies when the architecture's miss rates are on.
-        self._load_indices = [
-            i for i, name in enumerate(self.template.names)
-            if pipelined.schedule.ddg.node(name).opcode.is_load
-        ]
-        self._cache_rng = (np.random.default_rng(self.sim.seed ^ 0xCAC4E)
-                          if arch.l1_miss_rate > 0.0 else None)
+        if exact is None:
+            exact = self.sim.exact
+        self._exact = bool(exact) or _env_exact()
+        # cache-perturbation state (miss rng + load indices) is derived
+        # lazily inside the run so a reused simulator never replays a
+        # previous run's rng position or a stale template's load set.
+        self._cache_rng: np.random.Generator | None = None
+        self._load_indices: list[int] | None = None
+        #: no-stall shortcut hit diagnostics (reset per run)
+        self._fast_calls = 0
+        self._fast_hits = 0
+        #: relative-arrival memo of the vectorised executor (reset per run)
+        self._resolve_cache: dict[bytes, tuple[list[float], float, float]] = {}
 
     def run(self) -> SimStats:
         """Simulate all iterations; one ``sim.run`` span per call, with
@@ -89,11 +120,17 @@ class SpMTSimulator:
         n = self.sim.iterations
         template = self.template
         realisations = RealisationTable(template, self.sim.seed)
+        # re-derive perturbation state per run (satellite fix: a reused
+        # simulator must not see a previous run's rng position)
+        self._cache_rng = None
+        self._load_indices = None
+        self._fast_calls = 0
+        self._fast_hits = 0
+        self._resolve_cache = {}
 
         stats = SimStats(iterations=n, ncore=arch.ncore,
                          reg_comm_latency=arch.reg_comm_latency)
         timings: dict[int, ThreadTiming] = {}
-        commit_done: dict[int, float] = {}
         core_free = [0.0] * arch.ncore
         prev_start = -float(arch.spawn_overhead)
         prev_commit = 0.0
@@ -101,11 +138,61 @@ class SpMTSimulator:
 
         trace = self.sim.trace
         tracer = get_tracer()
-        for j in range(n):
+
+        # kernel distances are immutable for the run, so the retention
+        # horizon is a loop constant (previously re-scanned every
+        # iteration)
+        max_hops = max(
+            max((ch.hops for ch in template.channels), default=1),
+            max((k for (_x, _y, k, _p) in template.speculated), default=1),
+        )
+        retention = max_hops + arch.ncore + 1
+
+        # the vectorised resolver replaces the scalar one whenever nothing
+        # needs the scalar loop's side channels (per-RECV stall logs, cache
+        # draws, arrival perturbation)
+        cls = type(self)
+        vectorise = (not self._exact and not tracer.enabled
+                     and arch.l1_miss_rate <= 0.0
+                     and cls._perturb_arrivals is SpMTSimulator._perturb_arrivals)
+        # the steady-state fast-forward additionally needs every thread to
+        # be deterministic and unrecorded: no per-thread records, no fault
+        # hooks of any kind
+        detector = None
+        if vectorise and not trace \
+                and cls._start_delay is SpMTSimulator._start_delay \
+                and cls._inject_violation is SpMTSimulator._inject_violation:
+            candidate = SteadyStateDetector(template, arch, n)
+            if candidate.viable:
+                detector = candidate
+                retention = max(retention, detector.retention)
+        fastforwards = 0
+        fastforwarded_threads = 0
+
+        j = 0
+        while j < n:
+            if detector is not None:
+                ff = detector.attempt(j, timings, realisations)
+                if ff is not None:
+                    stats.sync_stall_cycles += ff.stall_cycles
+                    stats.misspeculations += ff.misspeculations
+                    stats.squashed_threads += ff.squashed_threads
+                    stats.wasted_execution_cycles += ff.wasted_cycles
+                    stats.invalidation_cycles += ff.invalidation_cycles
+                    timings = ff.timings
+                    prev_start = ff.prev_start
+                    prev_commit = ff.prev_commit
+                    core_free = ff.core_free
+                    fastforwards += 1
+                    fastforwarded_threads += ff.skipped
+                    j = ff.target
+                    continue
             core = j % arch.ncore
             start = max(prev_start + arch.spawn_overhead, core_free[core])
             start += self._start_delay(j, core)
             restarts = 0
+            thread_wasted = 0.0
+            thread_squashed = 0
             stall_log: list[tuple[int, float, float]] | None = None
             while True:
                 events += 1
@@ -114,7 +201,12 @@ class SpMTSimulator:
                         f"simulation exceeded max_events={self.sim.max_events}")
                 if tracer.enabled:
                     stall_log = []
-                timing = self._execute(j, start, timings, stall_log=stall_log)
+                    timing = self._execute(j, start, timings,
+                                           stall_log=stall_log)
+                elif vectorise:
+                    timing = self._execute_fast(j, start, timings)
+                else:
+                    timing = self._execute(j, start, timings)
                 timings[j] = timing
                 violation = detect_violation(
                     template, timings, realisations.realised(j), j)
@@ -133,7 +225,7 @@ class SpMTSimulator:
                         f"times; violation cannot clear")
                 _idx, detected = violation
                 stats.misspeculations += 1
-                stats.wasted_execution_cycles += max(0.0, detected - start)
+                thread_wasted += max(0.0, detected - start)
                 stats.invalidation_cycles += arch.invalidation_overhead
                 # the violated thread plus all more speculative started
                 # threads are squashed; more speculative threads have not
@@ -141,17 +233,19 @@ class SpMTSimulator:
                 # many had started by detection time from the spawn chain —
                 # capped by the threads that exist at all (n - 1 - j): a
                 # violation on the most speculative thread squashes only
-                # itself.
-                started_after = min(
-                    arch.ncore - 1, n - 1 - j,
-                    int(max(0.0, detected - start)
-                        // max(arch.spawn_overhead, 1)))
-                stats.squashed_threads += 1 + started_after
+                # itself.  Thread j+i has started by detection time iff
+                # i * C_spn <= gap; a free spawn means the whole window was
+                # already running.
+                gap = max(0.0, detected - start)
+                spawn = float(arch.spawn_overhead)
+                chain = int(gap // spawn) if spawn > 0.0 else arch.ncore - 1
+                started_after = min(arch.ncore - 1, n - 1 - j, chain)
+                thread_squashed += 1 + started_after
                 # those threads' partial executions are wasted too: thread
                 # start+i spawned ~i*C_spn after this one, so it ran for
                 # detected - (start + i*C_spn) cycles before the squash.
                 for i in range(1, started_after + 1):
-                    stats.wasted_execution_cycles += max(
+                    thread_wasted += max(
                         0.0, detected - (start + i * arch.spawn_overhead))
                 if tracer.enabled:
                     if injected:
@@ -167,11 +261,12 @@ class SpMTSimulator:
                                 tid=core)
                 # re-execute on the same core after invalidation
                 start = detected + arch.invalidation_overhead
-            # committed execution: account its stalls
+            # committed execution: account its stalls and squash costs
             stats.sync_stall_cycles += timings[j].total_stall
+            stats.wasted_execution_cycles += thread_wasted
+            stats.squashed_threads += thread_squashed
             # in-order commit behind the head thread
             commit = max(timings[j].finish, prev_commit) + arch.commit_overhead
-            commit_done[j] = commit
             core_free[core] = commit
             prev_commit = commit
             prev_start = timings[j].start
@@ -184,20 +279,27 @@ class SpMTSimulator:
             if tracer.enabled:
                 self._emit_thread_events(tracer, j, core, timings[j],
                                          commit, restarts, stall_log)
+            if detector is not None:
+                detector.observe(j, timings[j], commit, restarts,
+                                 thread_wasted, thread_squashed)
             # bound memory: drop state no longer reachable by any kernel
             # distance (communication hops or speculated distances)
-            max_hops = max(
-                max((ch.hops for ch in template.channels), default=1),
-                max((k for (_x, _y, k, _p) in template.speculated), default=1),
-            )
-            horizon = j - max_hops - arch.ncore - 1
+            horizon = j - retention
             if horizon in timings:
                 del timings[horizon]
+            j += 1
 
         stats.total_cycles = prev_commit
         stats.send_recv_pairs = self.pipelined.comm.pairs_per_iteration * n
         stats.spawn_cycles = arch.spawn_overhead * n
         stats.commit_cycles = arch.commit_overhead * n
+        if fastforwards:
+            metrics.counter(
+                "sim.fastforwards",
+                "steady-state fast-forwards taken").inc(fastforwards)
+            metrics.counter(
+                "sim.fastforward_threads",
+                "threads skipped analytically").inc(fastforwarded_threads)
         metrics.counter("sim.runs", "simulations completed").inc()
         metrics.counter("sim.threads", "threads committed").inc(n)
         metrics.counter("sim.violations", "misspeculations detected").inc(
@@ -293,12 +395,75 @@ class SpMTSimulator:
                                     extra_latency=self._draw_cache_extra(),
                                     stall_log=stall_log)
 
+    def _execute_fast(self, j: int, start: float,
+                      timings: dict[int, ThreadTiming]) -> ThreadTiming:
+        """Vectorised :meth:`_execute`: one gather per distinct hop count
+        resolves all arrivals, and a thread none of whose arrivals exceeds
+        its consumer's dataflow-ready time reuses the template's shared
+        no-stall timing.  Values are byte-identical to the scalar path:
+        the gather performs the same float operations in the same
+        association order, and any thread that might stall falls back to
+        the scalar resolver.
+        """
+        template = self.template
+        self._fast_calls += 1
+        if template.n_channels == 0:
+            self._fast_hits += 1
+            return ThreadTiming.no_stall(template, start)
+        arrivals = np.empty(template.n_channels, dtype=np.float64)
+        for hops, cis, prod_idx in template.hop_groups:
+            prod = timings.get(j - hops)
+            if prod is None:
+                # live-ins: broadcast before the loop started
+                arrivals[cis] = -np.inf
+            else:
+                # ((start + issue) + lat) + hops * C_reg_com, term for
+                # term as ThreadTiming.value_arrival associates it
+                produced = ((prod.start + prod.issue_array()[prod_idx])
+                            + template.latency_f[prod_idx])
+                arrivals[cis] = produced + (hops * template.reg_comm_latency)
+        rel = arrivals - start
+        exceed = rel > template.base_cons_issue
+        if not exceed.any():
+            self._fast_hits += 1
+            return ThreadTiming.no_stall(template, start)
+        # the resolver is shift-invariant: the relative-arrival vector is
+        # its complete input, and steady/violation-periodic regimes (and
+        # even post-squash transients) cycle through a handful of
+        # distinct vectors — memoise the relaxation per vector
+        key = rel.tobytes()
+        cached = self._resolve_cache.get(key)
+        if cached is None:
+            # only the stalled consumers' cone can deviate from the base
+            # pattern: re-relax just that cone instead of the whole kernel
+            seeds = template.chan_consumer_idx[exceed]
+            t0 = ThreadTiming.resolve_partial(template, 0.0, rel.tolist(),
+                                              seeds)
+            cached = (t0.issue_rel, t0.total_stall, t0.finish)
+            if len(self._resolve_cache) < _RESOLVE_CACHE_MAX:
+                self._resolve_cache[key] = cached
+        issue_rel, stall, finish_rel = cached
+        return ThreadTiming(start=start, issue_rel=issue_rel,
+                            total_stall=stall, finish=start + finish_rel)
+
     def _draw_cache_extra(self) -> list[int] | None:
         """Per-load latency perturbation from the probabilistic cache
-        (None when miss rates are zero — the deterministic default)."""
-        if self._cache_rng is None:
-            return None
+        (None when miss rates are zero — the deterministic default).
+
+        The rng and the template's load indices are derived on first use
+        within a run (seed mix ``sim.seed ^ 0xCAC4E``), so every run of a
+        simulator starts the miss stream from the same position and sees
+        the current template.
+        """
         arch = self.arch
+        if arch.l1_miss_rate <= 0.0:
+            return None
+        if self._cache_rng is None:
+            self._cache_rng = np.random.default_rng(self.sim.seed ^ 0xCAC4E)
+            self._load_indices = [
+                i for i, name in enumerate(self.template.names)
+                if self.pipelined.schedule.ddg.node(name).opcode.is_load
+            ]
         extra = [0] * len(self.template.names)
         for i in self._load_indices:
             if self._cache_rng.random() < arch.l1_miss_rate:

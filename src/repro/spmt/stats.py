@@ -54,6 +54,28 @@ class SimStats:
     #: per-thread timeline, populated when ``SimConfig.trace`` is set.
     thread_records: list["ThreadRecord"] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        """JSON-ready numeric view of the run (the golden-pin format).
+
+        Cycle fields are cast through ``float`` so numpy scalars never
+        leak into serialised output; ``thread_records`` are omitted (they
+        are populated only under ``SimConfig.trace``).
+        """
+        return {
+            "iterations": int(self.iterations),
+            "ncore": int(self.ncore),
+            "total_cycles": float(self.total_cycles),
+            "sync_stall_cycles": float(self.sync_stall_cycles),
+            "send_recv_pairs": int(self.send_recv_pairs),
+            "misspeculations": int(self.misspeculations),
+            "squashed_threads": int(self.squashed_threads),
+            "invalidation_cycles": float(self.invalidation_cycles),
+            "wasted_execution_cycles": float(self.wasted_execution_cycles),
+            "spawn_cycles": float(self.spawn_cycles),
+            "commit_cycles": float(self.commit_cycles),
+            "reg_comm_latency": int(self.reg_comm_latency),
+        }
+
     @property
     def communication_overhead(self) -> float:
         """Stall cycles + C_reg_com x dynamic SEND/RECV pairs (Fig. 6c)."""

@@ -23,7 +23,7 @@ import numpy as np
 
 from .channels import KernelTimingTemplate, ThreadTiming
 
-__all__ = ["RealisationTable", "detect_violation"]
+__all__ = ["RealisationTable", "detect_violation", "manifest_violations"]
 
 
 class RealisationTable:
@@ -37,6 +37,12 @@ class RealisationTable:
         self.template = template
         self._rng = np.random.default_rng(seed)
         self._cache: dict[int, tuple[bool, ...]] = {}
+        self._probs = np.array(
+            [p for (_x, _y, _k, p) in template.speculated], dtype=np.float64)
+        # most recent batch draw (fast-path skip scans): first thread
+        # index plus the boolean realisation matrix for its thread range.
+        self._block_first = 0
+        self._block: np.ndarray | None = None
 
     def realised(self, thread: int) -> tuple[bool, ...]:
         """Which speculated dependences manifest for consumer ``thread``.
@@ -46,12 +52,48 @@ class RealisationTable:
         """
         got = self._cache.get(thread)
         if got is None:
-            draws = self._rng.random(len(self.template.speculated)) \
-                if self.template.speculated else np.empty(0)
-            got = tuple(bool(d < p) for d, (_x, _y, _k, p)
-                        in zip(draws, self.template.speculated))
+            block = self._block
+            if block is not None and \
+                    self._block_first <= thread < self._block_first + len(block):
+                got = tuple(bool(x) for x in block[thread - self._block_first])
+            else:
+                draws = self._rng.random(len(self.template.speculated)) \
+                    if self.template.speculated else np.empty(0)
+                got = tuple(bool(d < p) for d, (_x, _y, _k, p)
+                            in zip(draws, self.template.speculated))
             self._cache[thread] = got
         return got
+
+    def block(self, first: int, count: int) -> np.ndarray:
+        """Realisation matrix (``count`` x n_deps, bool) for threads
+        ``[first, first + count)``, drawn in one batch.
+
+        Batched draws consume the underlying stream exactly as ``count``
+        sequential :meth:`realised` calls would, so per-thread and batched
+        access interleave without diverging from the reference simulator.
+        An overlap with the previous block is served from that block
+        (those threads' draws were already consumed); only threads beyond
+        it draw fresh values.  The caller must request threads in
+        simulation order, which is how the event loop proceeds.
+        """
+        nspec = len(self.template.speculated)
+        if nspec == 0:
+            return np.zeros((count, 0), dtype=bool)
+        parts: list[np.ndarray] = []
+        draw_from = first
+        prev, prev_first = self._block, self._block_first
+        if prev is not None and prev_first <= first < prev_first + len(prev):
+            overlap = prev[first - prev_first:first - prev_first + count]
+            parts.append(overlap)
+            draw_from = first + len(overlap)
+        missing = first + count - draw_from
+        if missing > 0:
+            draws = self._rng.random((missing, nspec))
+            parts.append(draws < self._probs)
+        mat = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        self._block_first = first
+        self._block = mat
+        return mat
 
     def forget(self, thread: int) -> None:
         """Drop cached draws for threads being re-executed?  No — the
@@ -88,3 +130,29 @@ def detect_violation(template: KernelTimingTemplate,
             if worst is None or produced < worst[1]:
                 worst = (idx, produced)
     return worst
+
+
+def manifest_violations(template: KernelTimingTemplate,
+                        timings: dict[int, ThreadTiming],
+                        thread: int) -> list[int]:
+    """Dependence indices that WOULD violate for ``thread`` if they
+    manifested — :func:`detect_violation`'s timing condition evaluated
+    under an all-manifest realisation.
+
+    The steady-state fast path uses this to classify each dependence at
+    each period offset: an empty list at every offset proves no
+    realisation can produce a violation, and a non-empty one marks the
+    dependences whose Bernoulli draws must be scanned before skipping.
+    """
+    out: list[int] = []
+    cons = timings[thread]
+    for idx, (x, y, k, _p) in enumerate(template.speculated):
+        producer_thread = thread - k
+        if producer_thread < 0:
+            continue
+        prod = timings.get(producer_thread)
+        if prod is None:
+            continue
+        if cons.issue_time(template, y) < prod.completion_time(template, x):
+            out.append(idx)
+    return out

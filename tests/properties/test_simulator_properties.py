@@ -1,8 +1,13 @@
-"""Property-based tests on the SpMT simulator: conservation laws."""
+"""Property-based tests on the SpMT simulator: conservation laws, plus
+the differential oracle for the steady-state fast path — every random
+(loop, arch, fault-plan) draw must produce byte-identical ``SimStats``
+through the default vectorised/fast-forward path and the reference
+event loop (``SimConfig.exact``)."""
 
 from hypothesis import given, settings, strategies as st
 
 from repro.config import ArchConfig, SimConfig
+from repro.faults import FaultPlan, FaultSpec, simulate_with_faults
 from repro.graph import build_ddg
 from repro.machine import LatencyModel, ResourceModel
 from repro.sched import run_postpass, schedule_sms
@@ -51,6 +56,56 @@ def test_monotone_in_iterations(shape, seed):
     t50 = simulate(pipelined, ARCH, SimConfig(iterations=50, seed=1))
     t150 = simulate(pipelined, ARCH, SimConfig(iterations=150, seed=1))
     assert t150.total_cycles > t50.total_cycles
+
+
+archs = st.sampled_from([
+    ArchConfig.paper_default(),
+    ArchConfig(ncore=2),
+    ArchConfig(ncore=8),
+    ArchConfig(spawn_overhead=0),
+    ArchConfig(spawn_overhead=1.5),
+    ArchConfig(reg_comm_latency=7),
+    ArchConfig(commit_overhead=0, invalidation_overhead=1),
+    ArchConfig.single_core(),
+])
+
+
+@given(shape=shapes, seed=st.integers(0, 5000), arch=archs,
+       n=st.integers(1, 1200))
+@settings(max_examples=30, deadline=None)
+def test_fast_path_matches_reference_loop(shape, seed, arch, n):
+    """The differential oracle: random loop x arch grid, default path vs
+    the reference event loop, full SimStats equality (dataclass ``==``
+    compares every field, so cycle counts must match to the last bit)."""
+    pipelined = _pipelined(shape, seed)
+    fast = simulate(pipelined, arch, SimConfig(iterations=n, seed=seed))
+    exact = simulate(pipelined, arch,
+                     SimConfig(iterations=n, seed=seed, exact=True))
+    assert fast == exact
+
+
+fault_specs = st.sampled_from([
+    FaultSpec("violation", probability=0.3, every=2),
+    FaultSpec("comm_jitter", probability=0.5, magnitude=3.0),
+    FaultSpec("spawn_failure", probability=0.2, magnitude=5.0),
+])
+
+
+@given(shape=shapes, seed=st.integers(0, 5000),
+       specs=st.lists(fault_specs, min_size=1, max_size=2, unique=True))
+@settings(max_examples=10, deadline=None)
+def test_faulted_runs_match_reference_loop(shape, seed, specs):
+    """Fault hooks override the event-loop extension points, which must
+    disengage the fast path — so faulted runs agree with the reference
+    loop too (and the hook-override gate is what this exercises)."""
+    pipelined = _pipelined(shape, seed)
+    plan = FaultPlan(seed=seed % 97, specs=tuple(specs))
+    fast, _ = simulate_with_faults(
+        pipelined, ARCH, plan, SimConfig(iterations=120, seed=seed))
+    exact, _ = simulate_with_faults(
+        pipelined, ARCH, plan,
+        SimConfig(iterations=120, seed=seed, exact=True))
+    assert fast == exact
 
 
 @given(shape=shapes, seed=st.integers(0, 5000))
